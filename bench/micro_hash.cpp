@@ -1,0 +1,82 @@
+// E10 — micro: signature-generation throughput of every super-key hash
+// (offline indexing is one HashValue per cell, so this is the index build
+// hot loop). XASH trades a slower hash for a far stronger filter.
+
+#include <benchmark/benchmark.h>
+
+#include "hash/hash_registry.h"
+#include "util/rng.h"
+#include "workload/vocabulary.h"
+
+namespace mate {
+namespace {
+
+std::vector<std::string> TestValues() {
+  Rng rng(42);
+  std::vector<std::string> values;
+  for (int i = 0; i < 512; ++i) values.push_back(GenerateWord(&rng, 2, 14));
+  return values;
+}
+
+void HashFamilyBench(benchmark::State& state, HashFamily family) {
+  const size_t bits = static_cast<size_t>(state.range(0));
+  auto hash = MakeRowHash(family, bits, nullptr);
+  const std::vector<std::string> values = TestValues();
+  size_t i = 0;
+  BitVector sig(bits);
+  for (auto _ : state) {
+    sig.Clear();
+    hash->AddValue(values[i++ & 511], &sig);
+    benchmark::DoNotOptimize(sig);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_Xash(benchmark::State& state) {
+  HashFamilyBench(state, HashFamily::kXash);
+}
+void BM_Bloom(benchmark::State& state) {
+  HashFamilyBench(state, HashFamily::kBloom);
+}
+void BM_LHBF(benchmark::State& state) {
+  HashFamilyBench(state, HashFamily::kLessHashingBloom);
+}
+void BM_HashTable(benchmark::State& state) {
+  HashFamilyBench(state, HashFamily::kHashTable);
+}
+void BM_Md5(benchmark::State& state) {
+  HashFamilyBench(state, HashFamily::kMd5);
+}
+void BM_Murmur(benchmark::State& state) {
+  HashFamilyBench(state, HashFamily::kMurmur);
+}
+void BM_City(benchmark::State& state) {
+  HashFamilyBench(state, HashFamily::kCity);
+}
+void BM_SimHash(benchmark::State& state) {
+  HashFamilyBench(state, HashFamily::kSimHash);
+}
+
+BENCHMARK(BM_Xash)->Arg(128)->Arg(512);
+BENCHMARK(BM_Bloom)->Arg(128)->Arg(512);
+BENCHMARK(BM_LHBF)->Arg(128)->Arg(512);
+BENCHMARK(BM_HashTable)->Arg(128);
+BENCHMARK(BM_Md5)->Arg(128);
+BENCHMARK(BM_Murmur)->Arg(128);
+BENCHMARK(BM_City)->Arg(128);
+BENCHMARK(BM_SimHash)->Arg(128);
+
+// Super-key aggregation for a whole row (5 values, the DWTC average).
+void BM_MakeSuperKeyRow(benchmark::State& state) {
+  auto hash = MakeRowHash(HashFamily::kXash, 128, nullptr);
+  Rng rng(7);
+  std::vector<std::string> row;
+  for (int i = 0; i < 5; ++i) row.push_back(GenerateWord(&rng, 2, 14));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash->MakeSuperKey(row));
+  }
+}
+BENCHMARK(BM_MakeSuperKeyRow);
+
+}  // namespace
+}  // namespace mate

@@ -1,0 +1,91 @@
+// E10 — micro: inverted-index probe and super-key filter throughput (the
+// online discovery hot loops).
+
+#include <benchmark/benchmark.h>
+
+#include "index/index_builder.h"
+#include "workload/generator.h"
+
+namespace mate {
+namespace {
+
+struct World {
+  Corpus corpus;
+  std::unique_ptr<InvertedIndex> index;
+  std::vector<std::string> probe_values;  // mix of present and absent
+  std::vector<BitVector> probe_keys;
+};
+
+const World& SharedWorld() {
+  static World* world = [] {
+    auto* w = new World();
+    Vocabulary vocab =
+        Vocabulary::Generate(5000, Vocabulary::Style::kMixed, 11);
+    CorpusSpec spec;
+    spec.num_tables = 500;
+    spec.seed = 13;
+    w->corpus = GenerateCorpus(spec, vocab);
+    auto index = BuildIndex(w->corpus, IndexBuildOptions{});
+    w->index = std::move(*index);
+    Rng rng(17);
+    for (int i = 0; i < 1024; ++i) {
+      if (i % 2 == 0) {
+        w->probe_values.push_back(vocab.word(rng.Uniform(vocab.size())));
+      } else {
+        w->probe_values.push_back(GenerateWord(&rng, 3, 10) + "-absent");
+      }
+      w->probe_keys.push_back(w->index->hash().MakeSuperKey(
+          {w->probe_values.back(), vocab.word(rng.Uniform(vocab.size()))}));
+    }
+    return w;
+  }();
+  return *world;
+}
+
+void BM_PostingListLookup(benchmark::State& state) {
+  const World& world = SharedWorld();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        world.index->Lookup(world.probe_values[i++ & 1023]));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PostingListLookup);
+
+void BM_SuperKeyCoversProbe(benchmark::State& state) {
+  const World& world = SharedWorld();
+  const SuperKeyStore& store = world.index->superkeys();
+  size_t i = 0;
+  size_t num_tables = store.num_tables();
+  for (auto _ : state) {
+    size_t t = i % num_tables;
+    size_t rows = store.NumRows(static_cast<TableId>(t));
+    if (rows == 0) {
+      ++i;
+      continue;
+    }
+    benchmark::DoNotOptimize(
+        store.Covers(static_cast<TableId>(t), static_cast<RowId>(i % rows),
+                     world.probe_keys[i & 1023]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SuperKeyCoversProbe);
+
+void BM_IndexBuildSmall(benchmark::State& state) {
+  Vocabulary vocab = Vocabulary::Generate(500, Vocabulary::Style::kMixed, 3);
+  CorpusSpec spec;
+  spec.num_tables = 50;
+  spec.seed = 5;
+  Corpus corpus = GenerateCorpus(spec, vocab);
+  for (auto _ : state) {
+    auto index = BuildIndex(corpus, IndexBuildOptions{});
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_IndexBuildSmall)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mate

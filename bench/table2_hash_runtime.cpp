@@ -1,0 +1,117 @@
+// E3 — Table 2: discovery runtime of MATE under every super-key hash
+// function and hash size, against the SCR (no filter) baseline, on all
+// eight query sets. The index is built once per corpus; each hash config
+// re-keys the super keys only (posting lists are hash-independent).
+//
+// Paper shape to hold: Xash fastest in every row; BF the second-best
+// family; HT the weakest filter; plain digests (MD5/Murmur/City) beat SCR
+// but lose to the filters; larger hash sizes usually help, with occasional
+// inversions (the paper's blue cells).
+
+#include <iostream>
+
+#include "bench_util/report.h"
+#include "bench_util/runner.h"
+#include "index/index_builder.h"
+#include "workload/scenarios.h"
+
+using namespace mate;  // NOLINT: bench brevity
+
+namespace {
+
+struct HashConfig {
+  HashFamily family;
+  size_t bits;
+  std::string Label() const {
+    return std::string(HashFamilyName(family)) + " " + std::to_string(bits);
+  }
+};
+
+const std::vector<HashConfig>& Configs() {
+  static const std::vector<HashConfig> kConfigs = {
+      {HashFamily::kMd5, 128},       {HashFamily::kMurmur, 128},
+      {HashFamily::kCity, 128},      {HashFamily::kSimHash, 128},
+      {HashFamily::kSimHash, 256},   {HashFamily::kSimHash, 512},
+      {HashFamily::kHashTable, 128}, {HashFamily::kHashTable, 256},
+      {HashFamily::kHashTable, 512}, {HashFamily::kBloom, 128},
+      {HashFamily::kBloom, 256},     {HashFamily::kBloom, 512},
+      {HashFamily::kLessHashingBloom, 128},
+      {HashFamily::kLessHashingBloom, 256},
+      {HashFamily::kLessHashingBloom, 512},
+      {HashFamily::kXash, 128},      {HashFamily::kXash, 256},
+      {HashFamily::kXash, 512}};
+  return kConfigs;
+}
+
+void RunWorkload(const Workload& workload, int k, ReportTable* table) {
+  IndexBuildOptions options;
+  IndexBuildReport report;
+  auto built = BuildIndexWithReport(workload.corpus, options, &report);
+  if (!built.ok()) {
+    std::cerr << "index build failed: " << built.status().ToString() << "\n";
+    std::exit(1);
+  }
+  std::unique_ptr<InvertedIndex> index = std::move(*built);
+
+  // rows[set] = {SCR seconds, then one per config}.
+  std::vector<std::vector<std::string>> rows(workload.query_sets.size());
+  for (size_t s = 0; s < workload.query_sets.size(); ++s) {
+    rows[s].push_back(workload.query_sets[s].first);
+    DiscoveryOptions scr;
+    scr.k = k;
+    scr.use_row_filter = false;
+    QuerySetMetrics metrics = RunMateWithOptions(
+        workload.corpus, *index, workload.query_sets[s].second, scr, "SCR");
+    rows[s].push_back(FormatSeconds(metrics.total_runtime_s));
+  }
+  for (const HashConfig& config : Configs()) {
+    if (auto status = index->ResetHash(
+            workload.corpus,
+            MakeRowHash(config.family, config.bits, &report.corpus_stats));
+        !status.ok()) {
+      std::cerr << "ResetHash failed: " << status.ToString() << "\n";
+      std::exit(1);
+    }
+    for (size_t s = 0; s < workload.query_sets.size(); ++s) {
+      DiscoveryOptions mate_options;
+      mate_options.k = k;
+      QuerySetMetrics metrics =
+          RunMateWithOptions(workload.corpus, *index,
+                             workload.query_sets[s].second, mate_options,
+                             config.Label());
+      rows[s].push_back(FormatSeconds(metrics.total_runtime_s));
+    }
+  }
+  for (auto& row : rows) table->AddRow(std::move(row));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs defaults;
+  defaults.scale = 0.12;
+  defaults.queries = 2;
+  BenchArgs args = ParseBenchArgs(argc, argv, "table2_hash_runtime",
+                                  defaults);
+  WorkloadConfig config;
+  config.scale = args.scale;
+  config.queries_per_set = args.queries;
+  config.seed = args.seed;
+
+  std::cout << "== E3 / Table 2: runtime (total seconds per query set) per "
+               "hash function (k="
+            << args.k << ", scale=" << args.scale << ") ==\n\n";
+
+  std::vector<std::string> headers = {"Dataset", "SCR"};
+  for (const HashConfig& c : Configs()) headers.push_back(c.Label());
+  ReportTable table(headers);
+  RunWorkload(MakeWebTablesWorkload(config), args.k, &table);
+  RunWorkload(MakeOpenDataWorkload(config), args.k, &table);
+  RunWorkload(MakeKaggleWorkload(config), args.k, &table);
+  RunWorkload(MakeSchoolWorkload(config), args.k, &table);
+  table.Print(std::cout);
+  std::cout << "\nShape check (paper): Xash wins every row (up to 10x vs "
+               "BF); SCR slowest; digests in between; larger sizes usually "
+               "faster.\n";
+  return 0;
+}

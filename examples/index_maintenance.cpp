@@ -1,0 +1,129 @@
+// §5.4 in action: keeping the MATE index consistent under table edits
+// (insert table/row, append column, update cell, delete row/column) without
+// rebuilding it — and persisting it to disk and back.
+//
+// Build & run:  ./build/examples/index_maintenance
+
+#include <cstdio>
+#include <string>
+
+#include "core/mate.h"
+#include "index/index_builder.h"
+#include "index/index_io.h"
+
+using namespace mate;  // NOLINT: example brevity
+
+namespace {
+
+int64_t TopJoinability(const Corpus& corpus, const InvertedIndex& index,
+                       const Table& query,
+                       const std::vector<ColumnId>& key) {
+  MateSearch mate(&corpus, &index);
+  DiscoveryOptions options;
+  options.k = 1;
+  DiscoveryResult result = mate.Discover(query, key, options);
+  return result.JoinabilityAt(0);
+}
+
+}  // namespace
+
+int main() {
+  Corpus corpus;
+  Table inventory("inventory");
+  inventory.AddColumn("sku");
+  inventory.AddColumn("warehouse");
+  inventory.AddColumn("stock");
+  (void)inventory.AppendRow({"widget-1", "berlin", "15"});
+  (void)inventory.AppendRow({"widget-2", "berlin", "3"});
+  (void)inventory.AppendRow({"widget-3", "hamburg", "42"});
+  TableId inv_id = corpus.AddTable(std::move(inventory));
+
+  IndexBuildOptions build_options;
+  IndexBuildReport report;
+  auto built = BuildIndexWithReport(corpus, build_options, &report);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<InvertedIndex> index = std::move(*built);
+
+  Table orders("orders");
+  orders.AddColumn("sku");
+  orders.AddColumn("warehouse");
+  (void)orders.AppendRow({"widget-1", "berlin"});
+  (void)orders.AppendRow({"widget-3", "hamburg"});
+  (void)orders.AppendRow({"widget-9", "munich"});
+  const std::vector<ColumnId> key = {0, 1};
+
+  std::printf("initial top joinability: %lld (expect 2)\n",
+              static_cast<long long>(
+                  TopJoinability(corpus, *index, orders, key)));
+
+  // Insert a row that matches the third order -> joinability rises to 3.
+  auto new_row =
+      corpus.mutable_table(inv_id)->AppendRow({"widget-9", "munich", "7"});
+  if (!new_row.ok()) return 1;
+  if (auto s = index->InsertRow(corpus, inv_id, *new_row); !s.ok()) return 1;
+  std::printf("after InsertRow:         %lld (expect 3)\n",
+              static_cast<long long>(
+                  TopJoinability(corpus, *index, orders, key)));
+
+  // Update a cell: widget-1 moves to hamburg -> its combo stops matching.
+  if (auto s = corpus.mutable_table(inv_id)->SetCell(0, 1, "hamburg");
+      !s.ok()) {
+    return 1;
+  }
+  if (auto s = index->UpdateCell(corpus, inv_id, 0, 1, "berlin"); !s.ok()) {
+    return 1;
+  }
+  std::printf("after UpdateCell:        %lld (expect 2)\n",
+              static_cast<long long>(
+                  TopJoinability(corpus, *index, orders, key)));
+
+  // Delete the widget-3 row -> joinability drops to 1.
+  if (auto s = index->DeleteRow(corpus, inv_id, 2); !s.ok()) return 1;
+  if (auto s = corpus.mutable_table(inv_id)->DeleteRow(2); !s.ok()) return 1;
+  std::printf("after DeleteRow:         %lld (expect 1)\n",
+              static_cast<long long>(
+                  TopJoinability(corpus, *index, orders, key)));
+
+  // Append a column (per §5.4 this only ORs new bits into the super keys).
+  {
+    std::vector<std::string> cells;
+    for (RowId r = 0; r < corpus.table(inv_id).NumRows(); ++r) {
+      cells.push_back("supplier-" + std::to_string(r % 2));
+    }
+    if (auto s = corpus.mutable_table(inv_id)
+                     ->AddColumnWithCells("supplier", std::move(cells));
+        !s.ok()) {
+      return 1;
+    }
+    if (auto s = index->AddAppendedColumn(corpus, inv_id); !s.ok()) return 1;
+  }
+  std::printf("after AddColumn:         %lld (expect 1)\n",
+              static_cast<long long>(
+                  TopJoinability(corpus, *index, orders, key)));
+
+  // Persist the maintained index and reload it.
+  const std::string path = "/tmp/mate_example_index.bin";
+  if (auto s = SaveIndex(*index, HashFamily::kXash, report.corpus_stats,
+                         path);
+      !s.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto loaded = LoadIndex(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("after Save/Load:         %lld (expect 1)\n",
+              static_cast<long long>(
+                  TopJoinability(corpus, **loaded, orders, key)));
+  std::remove(path.c_str());
+  std::printf("\nEvery edit kept the index consistent without a rebuild — "
+              "the §5.4 maintenance paths.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// The paper's §7.3 qualitative result, reproduced synthetically: searching
+// with the single-column key <Movie Title> surfaces tables that merely share
+// title strings, while the composite key <Director, Movie Title> surfaces a
+// rich, correctly-aligned movie-facts table (plot, actors, ...).
+//
+// Build & run:  ./build/examples/movie_enrichment
+
+#include <cstdio>
+#include <string>
+
+#include "core/mate.h"
+#include "index/index_builder.h"
+
+using namespace mate;  // NOLINT: example brevity
+
+namespace {
+
+struct Movie {
+  const char* director;
+  const char* title;
+  const char* year;
+  const char* plot;
+  const char* lead;
+};
+
+constexpr Movie kMovies[] = {
+    {"nolan", "inception", "2010", "a thief steals secrets in dreams",
+     "dicaprio"},
+    {"nolan", "dunkirk", "2017", "allied soldiers are evacuated", "whitehead"},
+    {"scott", "alien", "1979", "a crew meets a deadly organism", "weaver"},
+    {"scott", "gladiator", "2000", "a general seeks revenge in rome",
+     "crowe"},
+    {"kubrick", "the shining", "1980", "a writer unravels in a hotel",
+     "nicholson"},
+    {"spielberg", "jaws", "1975", "a shark terrorizes a beach town",
+     "scheider"},
+    {"spielberg", "lincoln", "2012", "a president fights for a law",
+     "day-lewis"},
+    {"villeneuve", "dune", "2021", "a noble family rules a desert planet",
+     "chalamet"},
+};
+
+}  // namespace
+
+int main() {
+  Corpus corpus;
+
+  // The valuable target: a movie-facts table keyed by (director, title).
+  Table facts("movie_facts");
+  facts.AddColumn("director");
+  facts.AddColumn("title");
+  facts.AddColumn("year");
+  facts.AddColumn("plot");
+  facts.AddColumn("lead_actor");
+  for (const Movie& m : kMovies) {
+    (void)facts.AppendRow({m.director, m.title, m.year, m.plot, m.lead});
+  }
+  TableId facts_id = corpus.AddTable(std::move(facts));
+
+  // Noise: tables that reuse famous titles for unrelated things (bands,
+  // books, board games) — they join on the title column alone.
+  const char* reuse_kinds[] = {"band", "novel", "board game", "racehorse"};
+  for (int k = 0; k < 4; ++k) {
+    Table reuse(std::string("things_named_like_movies_") +
+                std::to_string(k));
+    reuse.AddColumn("name");
+    reuse.AddColumn("kind");
+    reuse.AddColumn("since");
+    for (const Movie& m : kMovies) {
+      (void)reuse.AppendRow(
+          {m.title, reuse_kinds[k], std::to_string(1990 + k)});
+    }
+    corpus.AddTable(std::move(reuse));
+  }
+
+  auto index = BuildIndex(corpus, IndexBuildOptions{});
+  if (!index.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+
+  // The analyst's dataset: directors + titles + a rating to be enriched.
+  Table query("imdb_sample");
+  query.AddColumn("director_name");
+  query.AddColumn("movie_title");
+  query.AddColumn("imdb_score");
+  for (const Movie& m : kMovies) {
+    (void)query.AppendRow({m.director, m.title, "7.9"});
+  }
+
+  MateSearch mate(&corpus, index->get());
+  DiscoveryOptions options;
+  options.k = 3;
+
+  std::printf("Single-column key <movie_title>:\n");
+  DiscoveryResult unary = mate.Discover(query, {1}, options);
+  for (const TableResult& tr : unary.top_k) {
+    std::printf("  %-32s joinability=%lld  (%zu columns of payload)\n",
+                corpus.table(tr.table_id).name().c_str(),
+                static_cast<long long>(tr.joinability),
+                corpus.table(tr.table_id).NumColumns() - 1);
+  }
+  std::printf("  -> every title-reuse table ties with the real one; the "
+              "analyst cannot tell them apart.\n\n");
+
+  std::printf("Composite key <director_name, movie_title>:\n");
+  DiscoveryResult nary = mate.Discover(query, {0, 1}, options);
+  for (const TableResult& tr : nary.top_k) {
+    std::printf("  %-32s joinability=%lld\n",
+                corpus.table(tr.table_id).name().c_str(),
+                static_cast<long long>(tr.joinability));
+  }
+  if (!nary.top_k.empty() && nary.top_k[0].table_id == facts_id) {
+    const Table& t = corpus.table(facts_id);
+    std::printf("  -> only the aligned movie-facts table survives; joining "
+                "it adds columns:");
+    for (ColumnId c = 2; c < t.NumColumns(); ++c) {
+      std::printf(" %s", t.column_name(c).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

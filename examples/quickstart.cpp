@@ -1,0 +1,107 @@
+// Quickstart: index a tiny corpus and discover n-ary joinable tables.
+//
+// This walks the paper's Figure 1 running example end to end:
+//   1. build a corpus (the data lake),
+//   2. build the MATE index (inverted index + XASH super keys),
+//   3. ask for the top-k tables joinable with a query table on the
+//      composite key <F. Name, L. Name, Country>.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/mate.h"
+#include "index/index_builder.h"
+
+using namespace mate;  // NOLINT: example brevity
+
+int main() {
+  // ---- 1. The data lake --------------------------------------------
+  Corpus corpus;
+
+  Table t1("people_de");  // the paper's candidate table T1
+  t1.AddColumn("Vorname");
+  t1.AddColumn("Nachname");
+  t1.AddColumn("Land");
+  t1.AddColumn("Besetzung");
+  (void)t1.AppendRow({"Helmut", "Newton", "Germany", "Photographer"});
+  (void)t1.AppendRow({"Muhammad", "Lee", "US", "Dancer"});
+  (void)t1.AppendRow({"Ansel", "Adams", "UK", "Dancer"});
+  (void)t1.AppendRow({"Ansel", "Adams", "US", "Photographer"});
+  (void)t1.AppendRow({"Muhammad", "Ali", "US", "Boxer"});
+  (void)t1.AppendRow({"Muhammad", "Lee", "Germany", "Birder"});
+  (void)t1.AppendRow({"Gretchen", "Lee", "Germany", "Artist"});
+  (void)t1.AppendRow({"Adam", "Sandler", "US", "Actor"});
+  corpus.AddTable(std::move(t1));
+
+  Table t2("partial_match");
+  t2.AddColumn("first");
+  t2.AddColumn("last");
+  t2.AddColumn("country");
+  (void)t2.AppendRow({"Muhammad", "Lee", "US"});
+  (void)t2.AppendRow({"Helmut", "Newton", "Germany"});
+  (void)t2.AppendRow({"Grace", "Hopper", "US"});
+  corpus.AddTable(std::move(t2));
+
+  Table t3("values_but_no_combos");
+  t3.AddColumn("a");
+  t3.AddColumn("b");
+  t3.AddColumn("c");
+  (void)t3.AppendRow({"Muhammad", "Newton", "UK"});
+  (void)t3.AppendRow({"Ansel", "Lee", "Germany"});
+  corpus.AddTable(std::move(t3));
+
+  // ---- 2. Offline indexing (Figure 2, left) -------------------------
+  IndexBuildOptions build_options;       // XASH, 128 bits, corpus-tuned
+  IndexBuildReport report;
+  auto index = BuildIndexWithReport(corpus, build_options, &report);
+  if (!index.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Indexed corpus: %s\n", report.corpus_stats.ToString().c_str());
+  std::printf("Index: %s\n\n", report.ToString().c_str());
+
+  // ---- 3. Online discovery (Algorithm 1) ----------------------------
+  Table query("d");
+  query.AddColumn("F. Name");
+  query.AddColumn("L. Name");
+  query.AddColumn("Country");
+  query.AddColumn("Salary");
+  (void)query.AppendRow({"Muhammad", "Lee", "US", "60k"});
+  (void)query.AppendRow({"Ansel", "Adams", "UK", "50k"});
+  (void)query.AppendRow({"Ansel", "Adams", "US", "400k"});
+  (void)query.AppendRow({"Muhammad", "Lee", "Germany", "90k"});
+  (void)query.AppendRow({"Helmut", "Newton", "Germany", "300k"});
+
+  MateSearch mate(&corpus, index->get());
+  DiscoveryOptions options;
+  options.k = 5;
+  DiscoveryResult result =
+      mate.Discover(query, /*key_columns=*/{0, 1, 2}, options);
+
+  std::printf("Top joinable tables for key <F. Name, L. Name, Country>:\n");
+  for (const TableResult& tr : result.top_k) {
+    std::printf("  %-22s joinability=%lld  mapping:",
+                corpus.table(tr.table_id).name().c_str(),
+                static_cast<long long>(tr.joinability));
+    for (size_t i = 0; i < tr.best_mapping.size(); ++i) {
+      std::printf(" %s->%s",
+                  query.column_name(static_cast<ColumnId>(i)).c_str(),
+                  corpus.table(tr.table_id)
+                      .column_name(tr.best_mapping[i])
+                      .c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\nDiscovery stats: %s\n", result.stats.ToString().c_str());
+  std::printf(
+      "\nThe super-key row filter sent %llu of %llu fetched rows to "
+      "verification (precision %.2f) — that pruning is the paper's core "
+      "contribution.\n",
+      static_cast<unsigned long long>(result.stats.rows_sent_to_verification),
+      static_cast<unsigned long long>(result.stats.rows_checked),
+      result.stats.Precision());
+  return 0;
+}

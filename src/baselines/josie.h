@@ -1,0 +1,110 @@
+// JOSIE adaptations (§7.1.1). JOSIE [Zhu et al., SIGMOD'19] is a top-k
+// overlap set-similarity search over *columns as token sets*; it finds the
+// columns (hence tables) with the largest distinct-value overlap with one
+// query column, but knows nothing about rows. The paper adapts it to n-ary
+// discovery in two ways, both reproduced here:
+//
+//   * SCR JOSIE: run JOSIE on the init column to shortlist tables, then
+//     verify rows via the SCR index restricted to that shortlist.
+//   * MCR JOSIE: run JOSIE once per key column, intersect the table
+//     shortlists, and verify the intersection.
+//
+// Our JosieIndex keeps the algorithmic skeleton (distinct-set semantics,
+// posting-list-driven overlap counting, k-th score candidate cut) without
+// the original's cost-based early-termination model — see DESIGN.md §2.
+// Because the shortlist is bounded, the JOSIE adaptations are *heuristic*:
+// they can miss tables whose init-column overlap is small even though their
+// multi-column joinability is high (one reason the paper builds MATE).
+
+#ifndef MATE_BASELINES_JOSIE_H_
+#define MATE_BASELINES_JOSIE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/mate.h"
+#include "storage/value_dictionary.h"
+
+namespace mate {
+
+class JosieIndex {
+ public:
+  struct SetRef {
+    TableId table_id;
+    ColumnId column_id;
+    uint32_t set_size;  // distinct values in the column
+  };
+
+  struct ScoredSet {
+    uint32_t set_id;
+    int64_t overlap;
+  };
+
+  /// Builds the value -> column-set index over every corpus column.
+  static JosieIndex Build(const Corpus& corpus);
+
+  /// The `n` column sets with the largest distinct-token overlap with
+  /// `tokens` (overlap desc, set id asc); sets with zero overlap are never
+  /// returned.
+  std::vector<ScoredSet> TopSets(const std::vector<std::string>& tokens,
+                                 size_t n) const;
+
+  /// Distinct table ids behind the top `n` sets, in score order.
+  std::vector<TableId> TopTables(const std::vector<std::string>& tokens,
+                                 size_t n) const;
+
+  const SetRef& set(uint32_t id) const { return sets_[id]; }
+  size_t NumSets() const { return sets_.size(); }
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<SetRef> sets_;
+  ValueDictionary dictionary_;
+  std::unordered_map<ValueId, std::vector<uint32_t>> postings_;
+};
+
+struct JosieOptions {
+  int k = 10;
+  /// Tables shortlisted per JOSIE probe = overfetch * k (the adaptation has
+  /// to over-fetch because single-column overlap only approximates n-ary
+  /// joinability).
+  size_t overfetch = 5;
+};
+
+class ScrJosieSearch {
+ public:
+  ScrJosieSearch(const Corpus* corpus, const InvertedIndex* index,
+                 const JosieIndex* josie)
+      : corpus_(corpus), index_(index), josie_(josie) {}
+
+  DiscoveryResult Discover(const Table& query,
+                           const std::vector<ColumnId>& key_columns,
+                           const JosieOptions& options) const;
+
+ private:
+  const Corpus* corpus_;
+  const InvertedIndex* index_;
+  const JosieIndex* josie_;
+};
+
+class McrJosieSearch {
+ public:
+  McrJosieSearch(const Corpus* corpus, const InvertedIndex* index,
+                 const JosieIndex* josie)
+      : corpus_(corpus), index_(index), josie_(josie) {}
+
+  DiscoveryResult Discover(const Table& query,
+                           const std::vector<ColumnId>& key_columns,
+                           const JosieOptions& options) const;
+
+ private:
+  const Corpus* corpus_;
+  const InvertedIndex* index_;
+  const JosieIndex* josie_;
+};
+
+}  // namespace mate
+
+#endif  // MATE_BASELINES_JOSIE_H_

@@ -1,0 +1,33 @@
+// MCR — Multi-Column Retrieval (§7.1.1): fetches the posting lists of
+// *every* query key column, intersects the (table, row) hits across columns,
+// and verifies the surviving rows exactly. Complete (never misses a
+// joinable table) but fetches |Q| times more PL items than MATE and applies
+// no table pruning — the paper's slowest baseline on large corpora.
+
+#ifndef MATE_BASELINES_MCR_H_
+#define MATE_BASELINES_MCR_H_
+
+#include "core/mate.h"
+
+namespace mate {
+
+class McrSearch {
+ public:
+  McrSearch(const Corpus* corpus, const InvertedIndex* index)
+      : corpus_(corpus), index_(index) {}
+
+  /// Top-k discovery by per-column retrieval + intersection. Honors
+  /// options.k and options.exclude_tables; the filter switches do not apply
+  /// (MCR has no super keys and no sorted-order pruning).
+  DiscoveryResult Discover(const Table& query,
+                           const std::vector<ColumnId>& key_columns,
+                           const DiscoveryOptions& options) const;
+
+ private:
+  const Corpus* corpus_;
+  const InvertedIndex* index_;
+};
+
+}  // namespace mate
+
+#endif  // MATE_BASELINES_MCR_H_

@@ -1,0 +1,4 @@
+// ScrSearch is header-only (a thin adapter over MateSearch); this file
+// anchors the baselines library's SCR translation unit.
+
+#include "baselines/scr.h"

@@ -1,0 +1,116 @@
+#include "bench_util/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+namespace mate {
+
+ReportTable::ReportTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void ReportTable::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void ReportTable::Print(std::ostream& os) const { os << ToString(); }
+
+std::string ReportTable::ToString() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << "| " << cell << std::string(widths[c] - cell.size(), ' ') << ' ';
+    }
+    os << "|\n";
+  };
+  auto emit_rule = [&] {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      os << '+' << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  emit_rule();
+  emit_row(headers_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return os.str();
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fus", seconds * 1e6);
+  }
+  return buf;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= (uint64_t{1} << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", b / (1 << 30));
+  } else if (bytes >= (uint64_t{1} << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", b / (1 << 20));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", b / 1024);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatMeanStd(double mean, double std_dev) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f ±%.2f", mean, std_dev);
+  return buf;
+}
+
+BenchArgs ParseBenchArgs(int argc, char** argv, const char* bench_name,
+                         BenchArgs defaults) {
+  BenchArgs args = defaults;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      args.scale = std::atof(arg + 8);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      args.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--queries=", 10) == 0) {
+      args.queries = std::strtoull(arg + 10, nullptr, 10);
+    } else if (std::strncmp(arg, "--k=", 4) == 0) {
+      args.k = std::atoi(arg + 4);
+    } else {
+      std::cerr << bench_name
+                << ": usage: [--scale=F] [--seed=N] [--queries=N] [--k=N]\n";
+      std::exit(2);
+    }
+  }
+  if (args.scale <= 0 || args.queries == 0 || args.k <= 0) {
+    std::cerr << bench_name << ": invalid flag values\n";
+    std::exit(2);
+  }
+  return args;
+}
+
+}  // namespace mate

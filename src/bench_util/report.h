@@ -1,0 +1,53 @@
+// ASCII table rendering and flag parsing shared by the paper-reproduction
+// bench binaries.
+
+#ifndef MATE_BENCH_UTIL_REPORT_H_
+#define MATE_BENCH_UTIL_REPORT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mate {
+
+/// Column-aligned plain-text table (first row rendered as a header).
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string FormatDouble(double v, int precision);
+/// "1.23s" / "45.6ms" adaptive formatting.
+std::string FormatSeconds(double seconds);
+/// "12.3 MB" adaptive formatting.
+std::string FormatBytes(uint64_t bytes);
+/// "0.88 ±0.26" (Table 3 style).
+std::string FormatMeanStd(double mean, double std_dev);
+
+/// Common bench flags: --scale=F --seed=N --queries=N --k=N.
+struct BenchArgs {
+  double scale = 1.0;
+  uint64_t seed = 42;
+  size_t queries = 5;
+  int k = 10;
+};
+
+/// Parses flags (exits with a usage message on unknown flags). `defaults`
+/// sets per-bench default scale/queries so every binary finishes quickly
+/// out of the box.
+BenchArgs ParseBenchArgs(int argc, char** argv, const char* bench_name,
+                         BenchArgs defaults = {});
+
+}  // namespace mate
+
+#endif  // MATE_BENCH_UTIL_REPORT_H_

@@ -1,0 +1,122 @@
+#include "bench_util/runner.h"
+
+#include <cmath>
+
+namespace mate {
+
+namespace {
+
+void Accumulate(QuerySetMetrics* m, const DiscoveryResult& result,
+                std::vector<double>* precisions) {
+  const DiscoveryStats& s = result.stats;
+  m->total_runtime_s += s.runtime_seconds;
+  m->pl_items_fetched += s.pl_items_fetched;
+  m->rows_checked += s.rows_checked;
+  m->rows_sent_to_verification += s.rows_sent_to_verification;
+  m->tp_rows += s.rows_true_positive;
+  m->fp_rows += s.FalsePositiveRows();
+  precisions->push_back(s.Precision());
+  m->avg_top1_joinability += static_cast<double>(result.JoinabilityAt(0));
+  for (const TableResult& tr : result.top_k) m->topk_score_sum += tr.joinability;
+  ++m->queries;
+}
+
+void Finalize(QuerySetMetrics* m, const std::vector<double>& precisions) {
+  if (m->queries == 0) return;
+  m->avg_runtime_s = m->total_runtime_s / static_cast<double>(m->queries);
+  m->avg_top1_joinability /= static_cast<double>(m->queries);
+  double mean = 0.0;
+  for (double p : precisions) mean += p;
+  mean /= static_cast<double>(precisions.size());
+  double var = 0.0;
+  for (double p : precisions) var += (p - mean) * (p - mean);
+  var /= static_cast<double>(precisions.size());
+  m->avg_precision = mean;
+  m->std_precision = std::sqrt(var);
+}
+
+}  // namespace
+
+std::string_view SystemKindName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kMate: return "Mate";
+    case SystemKind::kScr: return "SCR";
+    case SystemKind::kMcr: return "MCR";
+    case SystemKind::kScrJosie: return "SCR Josie";
+    case SystemKind::kMcrJosie: return "MCR Josie";
+  }
+  return "?";
+}
+
+QuerySetMetrics RunSystem(SystemKind kind, const Corpus& corpus,
+                          const InvertedIndex& index, const JosieIndex* josie,
+                          const std::vector<QueryCase>& queries, int k,
+                          std::string label) {
+  QuerySetMetrics metrics;
+  metrics.label = std::move(label);
+  std::vector<double> precisions;
+
+  for (const QueryCase& qc : queries) {
+    DiscoveryResult result;
+    switch (kind) {
+      case SystemKind::kMate: {
+        MateSearch engine(&corpus, &index);
+        DiscoveryOptions options;
+        options.k = k;
+        result = engine.Discover(qc.query, qc.key_columns, options);
+        break;
+      }
+      case SystemKind::kScr: {
+        ScrSearch engine(&corpus, &index);
+        DiscoveryOptions options;
+        options.k = k;
+        result = engine.Discover(qc.query, qc.key_columns, options);
+        break;
+      }
+      case SystemKind::kMcr: {
+        McrSearch engine(&corpus, &index);
+        DiscoveryOptions options;
+        options.k = k;
+        result = engine.Discover(qc.query, qc.key_columns, options);
+        break;
+      }
+      case SystemKind::kScrJosie: {
+        ScrJosieSearch engine(&corpus, &index, josie);
+        JosieOptions options;
+        options.k = k;
+        result = engine.Discover(qc.query, qc.key_columns, options);
+        break;
+      }
+      case SystemKind::kMcrJosie: {
+        McrJosieSearch engine(&corpus, &index, josie);
+        JosieOptions options;
+        options.k = k;
+        result = engine.Discover(qc.query, qc.key_columns, options);
+        break;
+      }
+    }
+    Accumulate(&metrics, result, &precisions);
+  }
+  Finalize(&metrics, precisions);
+  return metrics;
+}
+
+QuerySetMetrics RunMateWithOptions(const Corpus& corpus,
+                                   const InvertedIndex& index,
+                                   const std::vector<QueryCase>& queries,
+                                   const DiscoveryOptions& options,
+                                   std::string label) {
+  QuerySetMetrics metrics;
+  metrics.label = std::move(label);
+  std::vector<double> precisions;
+  MateSearch engine(&corpus, &index);
+  for (const QueryCase& qc : queries) {
+    DiscoveryResult result =
+        engine.Discover(qc.query, qc.key_columns, options);
+    Accumulate(&metrics, result, &precisions);
+  }
+  Finalize(&metrics, precisions);
+  return metrics;
+}
+
+}  // namespace mate

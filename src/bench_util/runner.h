@@ -1,0 +1,58 @@
+// Query-set runners: execute one discovery system over a set of generated
+// queries and aggregate the metrics the paper reports (runtime, precision
+// mean ± std, FP/TP row counts, PL items fetched).
+
+#ifndef MATE_BENCH_UTIL_RUNNER_H_
+#define MATE_BENCH_UTIL_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/josie.h"
+#include "baselines/mcr.h"
+#include "baselines/scr.h"
+#include "core/mate.h"
+#include "workload/query_gen.h"
+
+namespace mate {
+
+enum class SystemKind { kMate, kScr, kMcr, kScrJosie, kMcrJosie };
+
+std::string_view SystemKindName(SystemKind kind);
+
+struct QuerySetMetrics {
+  std::string label;
+  size_t queries = 0;
+  double total_runtime_s = 0.0;
+  double avg_runtime_s = 0.0;
+  double avg_precision = 0.0;
+  double std_precision = 0.0;
+  uint64_t pl_items_fetched = 0;
+  uint64_t rows_checked = 0;
+  uint64_t rows_sent_to_verification = 0;
+  uint64_t tp_rows = 0;
+  uint64_t fp_rows = 0;
+  double avg_top1_joinability = 0.0;
+  /// Sum over queries of the top-k joinability scores (used by agreement
+  /// checks between systems).
+  int64_t topk_score_sum = 0;
+};
+
+/// Runs `kind` over all `queries`; `josie` may be null unless kind is a
+/// JOSIE variant.
+QuerySetMetrics RunSystem(SystemKind kind, const Corpus& corpus,
+                          const InvertedIndex& index, const JosieIndex* josie,
+                          const std::vector<QueryCase>& queries, int k,
+                          std::string label);
+
+/// Runs MATE with explicit options (hash sweeps, ablations, init-column
+/// strategies).
+QuerySetMetrics RunMateWithOptions(const Corpus& corpus,
+                                   const InvertedIndex& index,
+                                   const std::vector<QueryCase>& queries,
+                                   const DiscoveryOptions& options,
+                                   std::string label);
+
+}  // namespace mate
+
+#endif  // MATE_BENCH_UTIL_RUNNER_H_

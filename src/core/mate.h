@@ -1,0 +1,65 @@
+// MATE's online discovery phase (Algorithm 1, §6): initialization (init
+// column + query super keys), table filtering (two pruning rules), super-key
+// row filtering, and exact joinability calculation, maintaining a top-k
+// heap of candidate tables.
+//
+// The same engine also powers the SCR baseline: with
+// DiscoveryOptions::use_row_filter = false every fetched row goes straight
+// to exact verification (§7.1.1's "SCR ... cannot utilize the super key").
+
+#ifndef MATE_CORE_MATE_H_
+#define MATE_CORE_MATE_H_
+
+#include <vector>
+
+#include "core/init_column.h"
+#include "core/joinability.h"
+#include "core/topk.h"
+#include "index/inverted_index.h"
+#include "storage/corpus.h"
+
+namespace mate {
+
+struct DiscoveryOptions {
+  /// Number of joinable tables to return.
+  int k = 10;
+
+  InitColumnStrategy init_strategy = InitColumnStrategy::kMinCardinality;
+
+  /// Super-key row filtering (§6.3). Disabled -> the SCR baseline.
+  bool use_row_filter = true;
+
+  /// Table-filter rules 1 and 2 (§6.2).
+  bool use_table_filters = true;
+
+  /// Tables to exclude from results (used by examples that query a table
+  /// already present in the corpus against itself).
+  std::vector<TableId> exclude_tables;
+
+  /// When non-empty, only these tables are considered at all — the JOSIE
+  /// adaptations evaluate exactly their candidate table set this way.
+  std::vector<TableId> restrict_tables;
+};
+
+class MateSearch {
+ public:
+  /// Both `corpus` and `index` must outlive the searcher; the index must
+  /// have been built over `corpus`.
+  MateSearch(const Corpus* corpus, const InvertedIndex* index)
+      : corpus_(corpus), index_(index) {}
+
+  /// Finds the top-k tables joinable with `query` on `key_columns`
+  /// (Algorithm 1). Returns results sorted by joinability desc, table id
+  /// asc; tables with joinability 0 are never reported.
+  DiscoveryResult Discover(const Table& query,
+                           const std::vector<ColumnId>& key_columns,
+                           const DiscoveryOptions& options) const;
+
+ private:
+  const Corpus* corpus_;
+  const InvertedIndex* index_;
+};
+
+}  // namespace mate
+
+#endif  // MATE_CORE_MATE_H_

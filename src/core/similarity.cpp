@@ -1,0 +1,132 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace mate {
+
+size_t SignatureHamming(const BitVector& a, const BitVector& b) {
+  BitVector diff = a;
+  diff.XorWith(b);
+  return diff.CountOnes();
+}
+
+std::vector<SimilarValuePair> SimilarValueCandidates(
+    const RowHashFunction& hash, const std::vector<std::string>& values,
+    size_t max_hamming) {
+  std::vector<BitVector> signatures;
+  signatures.reserve(values.size());
+  for (const std::string& value : values) {
+    signatures.push_back(hash.HashValue(NormalizeValue(value)));
+  }
+  std::vector<SimilarValuePair> pairs;
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (size_t j = i + 1; j < values.size(); ++j) {
+      size_t hamming = SignatureHamming(signatures[i], signatures[j]);
+      if (hamming <= max_hamming) pairs.push_back({i, j, hamming});
+    }
+  }
+  return pairs;
+}
+
+double RowOverlap(const Table& left, RowId lr, const Table& right, RowId rr) {
+  std::unordered_set<std::string> left_cells;
+  for (ColumnId c = 0; c < left.NumColumns(); ++c) {
+    std::string norm = NormalizeValue(left.cell(lr, c));
+    if (!norm.empty()) left_cells.insert(std::move(norm));
+  }
+  std::unordered_set<std::string> right_cells;
+  for (ColumnId c = 0; c < right.NumColumns(); ++c) {
+    std::string norm = NormalizeValue(right.cell(rr, c));
+    if (!norm.empty()) right_cells.insert(std::move(norm));
+  }
+  if (left_cells.empty() || right_cells.empty()) return 0.0;
+  size_t intersection = 0;
+  for (const std::string& cell : left_cells) {
+    intersection += right_cells.count(cell);
+  }
+  size_t union_size = left_cells.size() + right_cells.size() - intersection;
+  return static_cast<double>(intersection) /
+         static_cast<double>(union_size);
+}
+
+std::vector<DuplicateRowPair> DuplicateRowFinder::FindDuplicates(
+    const DuplicateFinderOptions& options) const {
+  struct RowRef {
+    TableId table;
+    RowId row;
+  };
+  // Blocking: rows sharing at least one normalized cell value land in a
+  // common block (rows with no value in common cannot be near-duplicates
+  // under Jaccard). Super keys per row are precomputed for the Hamming
+  // prefilter.
+  std::unordered_map<uint64_t, std::vector<RowRef>> blocks;
+  std::unordered_map<uint64_t, BitVector> row_keys;
+  auto row_id64 = [](TableId t, RowId r) {
+    return (static_cast<uint64_t>(t) << 32) | r;
+  };
+  for (TableId t = 0; t < corpus_->NumTables(); ++t) {
+    const Table& table = corpus_->table(t);
+    for (RowId r = 0; r < table.NumRows(); ++r) {
+      if (table.IsRowDeleted(r)) continue;
+      BitVector key(hash_->hash_bits());
+      std::unordered_set<uint64_t> row_blocks;
+      for (ColumnId c = 0; c < table.NumColumns(); ++c) {
+        std::string norm = NormalizeValue(table.cell(r, c));
+        if (!norm.empty()) {
+          row_blocks.insert(SplitMix64(std::hash<std::string>{}(norm)));
+        }
+        hash_->AddValue(norm, &key);
+      }
+      for (uint64_t block : row_blocks) blocks[block].push_back({t, r});
+      row_keys.emplace(row_id64(t, r), std::move(key));
+    }
+  }
+
+  auto pack = [&row_id64](const RowRef& r) { return row_id64(r.table, r.row); };
+  std::vector<DuplicateRowPair> pairs;
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  for (const auto& [block_key, rows] : blocks) {
+    (void)block_key;
+    if (rows.size() < 2) continue;
+    size_t budget = options.max_pairs_per_block;
+    for (size_t i = 0; i < rows.size() && budget > 0; ++i) {
+      for (size_t j = i + 1; j < rows.size() && budget > 0; ++j) {
+        const RowRef& a = rows[i];
+        const RowRef& b = rows[j];
+        if (a.table == b.table && a.row == b.row) continue;
+        --budget;
+        if (!seen.insert({pack(a), pack(b)}).second) continue;
+        if (options.max_signature_hamming > 0 &&
+            SignatureHamming(row_keys.at(pack(a)), row_keys.at(pack(b))) >
+                options.max_signature_hamming) {
+          continue;  // super-key prefilter: too dissimilar to verify
+        }
+        double overlap = RowOverlap(corpus_->table(a.table), a.row,
+                                    corpus_->table(b.table), b.row);
+        if (overlap >= options.min_overlap) {
+          pairs.push_back({a.table, a.row, b.table, b.row, overlap});
+        }
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const DuplicateRowPair& a, const DuplicateRowPair& b) {
+              if (a.left_table != b.left_table) {
+                return a.left_table < b.left_table;
+              }
+              if (a.left_row != b.left_row) return a.left_row < b.left_row;
+              if (a.right_table != b.right_table) {
+                return a.right_table < b.right_table;
+              }
+              return a.right_row < b.right_row;
+            });
+  return pairs;
+}
+
+}  // namespace mate

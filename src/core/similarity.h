@@ -1,0 +1,90 @@
+// XASH as a similarity prefilter — the paper's §1 duplicate-detection
+// application ("our hash function could serve as a prefilter for finding
+// similar records") and §9 future-work direction (signature distance tracks
+// syntactic similarity, because similar values share rare characters and
+// lengths).
+//
+// Two layers:
+//   * value level: SignatureHamming + a candidate generator that pairs
+//     values whose signatures are within a Hamming budget;
+//   * row level: DuplicateRowFinder blocks rows on super-key words and
+//     verifies candidate pairs by exact cell-set overlap — a near-duplicate
+//     record prefilter with no false negatives for exact duplicates.
+
+#ifndef MATE_CORE_SIMILARITY_H_
+#define MATE_CORE_SIMILARITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hash/hash_function.h"
+#include "storage/corpus.h"
+#include "storage/types.h"
+
+namespace mate {
+
+/// Hamming distance between two equal-width signatures.
+size_t SignatureHamming(const BitVector& a, const BitVector& b);
+
+struct SimilarValuePair {
+  size_t left;   // indices into the input value vector
+  size_t right;
+  size_t hamming;
+};
+
+/// All pairs of `values` whose XASH signatures differ in at most
+/// `max_hamming` bits (candidate pairs for a similarity join; exact
+/// duplicates always have distance 0, so they are never missed). O(n^2)
+/// in the candidate set — intended as the verification-side prefilter.
+std::vector<SimilarValuePair> SimilarValueCandidates(
+    const RowHashFunction& hash, const std::vector<std::string>& values,
+    size_t max_hamming);
+
+struct DuplicateRowPair {
+  TableId left_table;
+  RowId left_row;
+  TableId right_table;
+  RowId right_row;
+  /// Jaccard overlap of the two rows' normalized cell multisets.
+  double overlap;
+};
+
+struct DuplicateFinderOptions {
+  /// Minimum verified cell-set Jaccard overlap to report a pair.
+  double min_overlap = 0.8;
+  /// Super-key Hamming prefilter: candidate pairs whose row super keys
+  /// differ in more bits are dropped before verification. Exact duplicates
+  /// have distance 0, so they can never be filtered out. 0 disables the
+  /// prefilter (verify every blocked pair).
+  size_t max_signature_hamming = 64;
+  /// Safety cap on candidate pairs examined per block.
+  size_t max_pairs_per_block = 4096;
+};
+
+/// Finds near-duplicate rows across the corpus. Rows are blocked on shared
+/// cell values (rows with no cell in common are never candidates), then the
+/// XASH super-key Hamming prefilter cheaply discards dissimilar candidate
+/// pairs before the exact Jaccard verification — the §1 "prefilter for
+/// finding similar records" application.
+class DuplicateRowFinder {
+ public:
+  DuplicateRowFinder(const Corpus* corpus, const RowHashFunction* hash)
+      : corpus_(corpus), hash_(hash) {}
+
+  /// Scans all live rows; returns verified pairs, deduplicated, ordered by
+  /// (left table, left row, right table, right row).
+  std::vector<DuplicateRowPair> FindDuplicates(
+      const DuplicateFinderOptions& options) const;
+
+ private:
+  const Corpus* corpus_;
+  const RowHashFunction* hash_;
+};
+
+/// Verified Jaccard overlap of two rows' normalized non-empty cell sets.
+double RowOverlap(const Table& left, RowId lr, const Table& right, RowId rr);
+
+}  // namespace mate
+
+#endif  // MATE_CORE_SIMILARITY_H_

@@ -1,0 +1,157 @@
+#include "core/union_search.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace mate {
+
+namespace {
+
+// Deterministic sample of up to `limit` distinct normalized column values.
+std::vector<std::string> SampleColumnValues(const Table& table, ColumnId c,
+                                            size_t limit) {
+  std::vector<std::string> sample;
+  std::unordered_set<std::string> seen;
+  for (RowId r = 0; r < table.NumRows() && sample.size() < limit; ++r) {
+    if (table.IsRowDeleted(r)) continue;
+    std::string norm = NormalizeValue(table.cell(r, c));
+    if (norm.empty()) continue;
+    if (seen.insert(norm).second) sample.push_back(std::move(norm));
+  }
+  return sample;
+}
+
+}  // namespace
+
+UnionIndex UnionIndex::Build(const Corpus& corpus,
+                             const RowHashFunction* hash,
+                             size_t sample_size) {
+  UnionIndex index;
+  index.hash_ = hash;
+  index.sample_size_ = sample_size;
+  for (TableId t = 0; t < corpus.NumTables(); ++t) {
+    const Table& table = corpus.table(t);
+    size_t begin = index.sketches_.size();
+    for (ColumnId c = 0; c < table.NumColumns(); ++c) {
+      std::vector<std::string> sample =
+          SampleColumnValues(table, c, sample_size);
+      if (sample.empty()) continue;
+      ColumnSketch sketch;
+      sketch.table_id = t;
+      sketch.column_id = c;
+      sketch.bits = hash->MakeSuperKey(sample);
+      sketch.sampled_values = static_cast<uint32_t>(sample.size());
+      index.sketches_.push_back(std::move(sketch));
+    }
+    if (index.sketches_.size() > begin) {
+      index.table_ranges_.push_back({t, {begin, index.sketches_.size()}});
+    }
+  }
+  return index;
+}
+
+std::vector<UnionResult> UnionIndex::Discover(
+    const Table& query, const UnionSearchOptions& options,
+    const std::vector<TableId>& exclude) const {
+  std::unordered_set<TableId> excluded(exclude.begin(), exclude.end());
+
+  // Per query column: sampled values + their signatures.
+  struct QueryColumn {
+    ColumnId column;
+    std::vector<BitVector> signatures;
+  };
+  std::vector<QueryColumn> query_columns;
+  for (ColumnId c = 0; c < query.NumColumns(); ++c) {
+    std::vector<std::string> sample =
+        SampleColumnValues(query, c, options.sample_size);
+    if (sample.empty()) continue;
+    QueryColumn qc;
+    qc.column = c;
+    qc.signatures.reserve(sample.size());
+    for (const std::string& value : sample) {
+      qc.signatures.push_back(hash_->HashValue(value));
+    }
+    query_columns.push_back(std::move(qc));
+  }
+  if (query_columns.empty()) return {};
+
+  std::vector<UnionResult> results;
+  for (const auto& [table_id, range] : table_ranges_) {
+    if (excluded.count(table_id)) continue;
+    const auto [begin, end] = range;
+
+    // Score every (query column, candidate column) pair.
+    struct Pair {
+      double score;
+      size_t q;  // index into query_columns
+      size_t s;  // sketch index
+    };
+    std::vector<Pair> pairs;
+    for (size_t q = 0; q < query_columns.size(); ++q) {
+      for (size_t s = begin; s < end; ++s) {
+        size_t masked = 0;
+        for (const BitVector& sig : query_columns[q].signatures) {
+          if (sig.IsSubsetOf(sketches_[s].bits)) ++masked;
+        }
+        double score = static_cast<double>(masked) /
+                       static_cast<double>(query_columns[q].signatures.size());
+        if (score >= options.min_column_score) pairs.push_back({score, q, s});
+      }
+    }
+    // Greedy one-to-one alignment, best pairs first (deterministic
+    // tie-break on column ids).
+    std::sort(pairs.begin(), pairs.end(), [&](const Pair& a, const Pair& b) {
+      if (a.score != b.score) return a.score > b.score;
+      if (a.q != b.q) return a.q < b.q;
+      return a.s < b.s;
+    });
+    std::vector<char> q_used(query_columns.size(), 0);
+    std::unordered_set<size_t> s_used;
+    UnionResult result;
+    result.table_id = table_id;
+    double score_sum = 0.0;
+    for (const Pair& pair : pairs) {
+      if (q_used[pair.q] || s_used.count(pair.s)) continue;
+      q_used[pair.q] = 1;
+      s_used.insert(pair.s);
+      result.alignment.push_back({query_columns[pair.q].column,
+                                  sketches_[pair.s].column_id, pair.score});
+      score_sum += pair.score;
+    }
+    double aligned_fraction =
+        static_cast<double>(result.alignment.size()) /
+        static_cast<double>(query_columns.size());
+    if (aligned_fraction < options.min_aligned_fraction) continue;
+    if (result.alignment.empty()) continue;
+    result.score = score_sum /
+                   static_cast<double>(result.alignment.size()) *
+                   aligned_fraction;
+    std::sort(result.alignment.begin(), result.alignment.end(),
+              [](const ColumnAlignment& a, const ColumnAlignment& b) {
+                return a.query_column < b.query_column;
+              });
+    results.push_back(std::move(result));
+  }
+
+  std::sort(results.begin(), results.end(),
+            [](const UnionResult& a, const UnionResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.table_id < b.table_id;
+            });
+  if (results.size() > static_cast<size_t>(options.k)) {
+    results.resize(static_cast<size_t>(options.k));
+  }
+  return results;
+}
+
+size_t UnionIndex::MemoryBytes() const {
+  size_t bytes = table_ranges_.size() * sizeof(table_ranges_[0]);
+  for (const ColumnSketch& sketch : sketches_) {
+    bytes += sizeof(ColumnSketch) + sketch.bits.num_words() * 8;
+  }
+  return bytes;
+}
+
+}  // namespace mate

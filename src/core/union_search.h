@@ -1,0 +1,85 @@
+// Table union search via XASH column sketches — the §1/§8 extension: "for
+// table union search, the hash function could be applied in the same spirit
+// as for joins."
+//
+// A column sketch is the OR of the XASH signatures of a bounded sample of
+// the column's distinct values. Because signatures have no false negatives,
+// a query value whose signature is NOT masked by a candidate column's
+// sketch is guaranteed absent from the sampled portion; the masked fraction
+// of a query column's sampled values therefore upper-bounds (and in
+// practice tracks) domain overlap. Unionability of a table = the best
+// one-to-one greedy alignment of query columns to candidate columns by
+// sketch containment.
+
+#ifndef MATE_CORE_UNION_SEARCH_H_
+#define MATE_CORE_UNION_SEARCH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hash/hash_function.h"
+#include "storage/corpus.h"
+#include "storage/types.h"
+
+namespace mate {
+
+struct UnionSearchOptions {
+  int k = 10;
+  /// Distinct values sketched per column (larger = sharper sketches).
+  size_t sample_size = 64;
+  /// Minimum per-column containment score for a column pair to count as
+  /// aligned.
+  double min_column_score = 0.5;
+  /// Fraction of query columns that must align for a table to be reported.
+  double min_aligned_fraction = 0.5;
+};
+
+struct ColumnAlignment {
+  ColumnId query_column;
+  ColumnId candidate_column;
+  double score;  // fraction of sampled query values masked by the sketch
+};
+
+struct UnionResult {
+  TableId table_id = kInvalidTableId;
+  double score = 0.0;  // mean score of aligned columns * aligned fraction
+  std::vector<ColumnAlignment> alignment;
+};
+
+/// Offline structure: one sketch per corpus column.
+class UnionIndex {
+ public:
+  /// Builds sketches for every column of `corpus` with `hash` (the same
+  /// XASH used for join discovery works unchanged). The hash must outlive
+  /// the index.
+  static UnionIndex Build(const Corpus& corpus, const RowHashFunction* hash,
+                          size_t sample_size);
+
+  /// Top-k tables unionable with `query` under `options` (score desc,
+  /// table id asc). Tables in `exclude` are skipped.
+  std::vector<UnionResult> Discover(const Table& query,
+                                    const UnionSearchOptions& options,
+                                    const std::vector<TableId>& exclude = {}) const;
+
+  size_t NumSketches() const { return sketches_.size(); }
+  size_t MemoryBytes() const;
+
+ private:
+  struct ColumnSketch {
+    TableId table_id;
+    ColumnId column_id;
+    BitVector bits;
+    uint32_t sampled_values;
+  };
+
+  const RowHashFunction* hash_ = nullptr;
+  size_t sample_size_ = 0;
+  std::vector<ColumnSketch> sketches_;
+  // First sketch index per table (sketches are grouped by table).
+  std::vector<std::pair<TableId, std::pair<size_t, size_t>>> table_ranges_;
+};
+
+}  // namespace mate
+
+#endif  // MATE_CORE_UNION_SEARCH_H_

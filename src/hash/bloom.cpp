@@ -1,0 +1,54 @@
+#include "hash/bloom.h"
+
+#include <cmath>
+
+#include "hash/murmur3.h"
+
+namespace mate {
+
+int OptimalBloomHashCount(size_t hash_bits, double avg_values_per_key) {
+  if (avg_values_per_key <= 0) return 1;
+  double h = static_cast<double>(hash_bits) / avg_values_per_key *
+             std::log(2.0);
+  int rounded = static_cast<int>(std::lround(h));
+  return rounded < 1 ? 1 : rounded;
+}
+
+BloomRowHash::BloomRowHash(size_t hash_bits, int num_hashes)
+    : RowHashFunction(hash_bits),
+      num_hashes_(num_hashes > 0
+                      ? num_hashes
+                      : OptimalBloomHashCount(hash_bits, /*V=*/5.0)) {}
+
+void BloomRowHash::AddValue(std::string_view normalized_value,
+                            BitVector* sig) const {
+  for (int i = 0; i < num_hashes_; ++i) {
+    uint64_t h = Murmur3_64(normalized_value, static_cast<uint64_t>(i));
+    sig->SetBit(h % hash_bits_);
+  }
+}
+
+LessHashingBloomRowHash::LessHashingBloomRowHash(size_t hash_bits,
+                                                 int num_hashes)
+    : RowHashFunction(hash_bits),
+      num_hashes_(num_hashes > 0
+                      ? num_hashes
+                      : OptimalBloomHashCount(hash_bits, /*V=*/5.0)) {}
+
+void LessHashingBloomRowHash::AddValue(std::string_view normalized_value,
+                                       BitVector* sig) const {
+  auto [h1, h2] = Murmur3_128(normalized_value, /*seed=*/0x1757);
+  // h2 must be non-zero mod |a| or every probe collapses onto h1.
+  if (h2 % hash_bits_ == 0) h2 += 1;
+  for (int i = 0; i < num_hashes_; ++i) {
+    uint64_t g = h1 + static_cast<uint64_t>(i) * h2;
+    sig->SetBit(g % hash_bits_);
+  }
+}
+
+void HashTableRowHash::AddValue(std::string_view normalized_value,
+                                BitVector* sig) const {
+  sig->SetBit(Murmur3_64(normalized_value, /*seed=*/0x417) % hash_bits_);
+}
+
+}  // namespace mate

@@ -1,0 +1,62 @@
+// Filter-style super-key baselines of §7.1.2:
+//   BF   — standard Bloom filter with H independent Murmur3 hash functions,
+//          H sized from the corpus's average column count V (H = |a|/V·ln2).
+//   LHBF — "Less Hashing, Same Performance" Bloom filter (Kirsch &
+//          Mitzenmacher): H probe positions derived from two base hashes,
+//          g_i(x) = h1(x) + i·h2(x).
+//   HT   — degenerate hash table: a single hash function, one bit per value.
+
+#ifndef MATE_HASH_BLOOM_H_
+#define MATE_HASH_BLOOM_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "hash/hash_function.h"
+
+namespace mate {
+
+/// The paper's Bloom sizing rule (§7.1.2): H = (|a| / V) · ln 2, at least 1,
+/// where V is the expected number of values OR-ed into one super key (the
+/// corpus's average column count).
+int OptimalBloomHashCount(size_t hash_bits, double avg_values_per_key);
+
+class BloomRowHash : public RowHashFunction {
+ public:
+  /// `num_hashes` <= 0 selects OptimalBloomHashCount for V = 5 columns.
+  BloomRowHash(size_t hash_bits, int num_hashes);
+
+  std::string Name() const override { return "BF"; }
+  int num_hashes() const { return num_hashes_; }
+  void AddValue(std::string_view normalized_value,
+                BitVector* sig) const override;
+
+ private:
+  int num_hashes_;
+};
+
+class LessHashingBloomRowHash : public RowHashFunction {
+ public:
+  LessHashingBloomRowHash(size_t hash_bits, int num_hashes);
+
+  std::string Name() const override { return "LHBF"; }
+  int num_hashes() const { return num_hashes_; }
+  void AddValue(std::string_view normalized_value,
+                BitVector* sig) const override;
+
+ private:
+  int num_hashes_;
+};
+
+class HashTableRowHash : public RowHashFunction {
+ public:
+  explicit HashTableRowHash(size_t hash_bits) : RowHashFunction(hash_bits) {}
+
+  std::string Name() const override { return "HT"; }
+  void AddValue(std::string_view normalized_value,
+                BitVector* sig) const override;
+};
+
+}  // namespace mate
+
+#endif  // MATE_HASH_BLOOM_H_

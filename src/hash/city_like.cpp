@@ -1,0 +1,94 @@
+#include "hash/city_like.h"
+
+#include <cstring>
+
+#include "util/rng.h"
+
+namespace mate {
+
+namespace {
+
+constexpr uint64_t kMul0 = 0xC3A5C85C97CB3127ULL;
+constexpr uint64_t kMul1 = 0xB492B66FBE98F273ULL;
+constexpr uint64_t kMul2 = 0x9AE16A3B2F90404FULL;
+
+uint64_t Load64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+uint64_t LoadTail(const char* p, size_t len) {
+  // Up to 8 bytes, little-endian, zero-padded.
+  uint64_t v = 0;
+  for (size_t i = 0; i < len; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t RotateRight64(uint64_t x, int r) {
+  return (x >> r) | (x << (64 - r));
+}
+
+// Strong 2-to-1 mixer in the City finalizer style.
+uint64_t HashLen16(uint64_t u, uint64_t v) {
+  uint64_t a = (u ^ v) * kMul0;
+  a ^= a >> 47;
+  uint64_t b = (v ^ a) * kMul1;
+  b ^= b >> 47;
+  return b * kMul2;
+}
+
+}  // namespace
+
+uint64_t CityLikeHash64(std::string_view data) {
+  const char* p = data.data();
+  const size_t len = data.size();
+  uint64_t h = kMul2 + len * 9;
+  size_t i = 0;
+  while (i + 8 <= len) {
+    h = HashLen16(h, Load64(p + i) + kMul1 * (i + 1));
+    i += 8;
+  }
+  if (i < len) {
+    h = HashLen16(h, LoadTail(p + i, len - i) + kMul0 * (len - i));
+  }
+  return SplitMix64(h);
+}
+
+std::pair<uint64_t, uint64_t> CityLikeHash128(std::string_view data) {
+  uint64_t lo = CityLikeHash64(data);
+  // Second lane: same walk with rotated lanes and different multipliers so
+  // the two words are effectively independent.
+  const char* p = data.data();
+  const size_t len = data.size();
+  uint64_t h = kMul0 ^ (len * kMul1);
+  size_t i = 0;
+  while (i + 8 <= len) {
+    h = HashLen16(RotateRight64(h, 29), Load64(p + i) * kMul2 + (i + 3));
+    i += 8;
+  }
+  if (i < len) {
+    h = HashLen16(RotateRight64(h, 29), LoadTail(p + i, len - i) + kMul2);
+  }
+  return {lo, SplitMix64(h ^ lo)};
+}
+
+void CityRowHash::AddValue(std::string_view normalized_value,
+                           BitVector* sig) const {
+  auto [lo, hi] = CityLikeHash128(normalized_value);
+  for (size_t w = 0; w < sig->num_words(); ++w) {
+    uint64_t word;
+    if (w == 0) {
+      word = lo;
+    } else if (w == 1) {
+      word = hi;
+    } else {
+      word = SplitMix64(lo + 0x9E3779B97F4A7C15ULL * w) ^ hi;
+    }
+    sig->set_word(w, sig->word(w) | word);
+  }
+}
+
+}  // namespace mate

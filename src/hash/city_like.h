@@ -1,0 +1,37 @@
+// City-style 64/128-bit string hash. The paper benchmarks Google's CityHash
+// as one of its "standard hash function" baselines; since CityHash is not
+// available offline, this is a from-scratch hash in the same construction
+// style (length-dependent block mixing with strong 64-bit finalizers). The
+// baseline only requires a well-mixed uniform digest — see DESIGN.md §2 for
+// the substitution note.
+
+#ifndef MATE_HASH_CITY_LIKE_H_
+#define MATE_HASH_CITY_LIKE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+#include "hash/hash_function.h"
+
+namespace mate {
+
+/// 64-bit city-style digest.
+uint64_t CityLikeHash64(std::string_view data);
+
+/// 128-bit city-style digest as a (low, high) pair.
+std::pair<uint64_t, uint64_t> CityLikeHash128(std::string_view data);
+
+/// Raw-digest super-key baseline ("City" in Table 2).
+class CityRowHash : public RowHashFunction {
+ public:
+  explicit CityRowHash(size_t hash_bits) : RowHashFunction(hash_bits) {}
+
+  std::string Name() const override { return "City"; }
+  void AddValue(std::string_view normalized_value,
+                BitVector* sig) const override;
+};
+
+}  // namespace mate
+
+#endif  // MATE_HASH_CITY_LIKE_H_

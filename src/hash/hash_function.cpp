@@ -1,0 +1,18 @@
+#include "hash/hash_function.h"
+
+namespace mate {
+
+BitVector RowHashFunction::HashValue(std::string_view normalized_value) const {
+  BitVector sig(hash_bits_);
+  AddValue(normalized_value, &sig);
+  return sig;
+}
+
+BitVector RowHashFunction::MakeSuperKey(
+    const std::vector<std::string>& values) const {
+  BitVector key(hash_bits_);
+  for (const std::string& v : values) AddValue(v, &key);
+  return key;
+}
+
+}  // namespace mate

@@ -1,0 +1,48 @@
+// RowHashFunction: the interface every super-key hash implements (§5.1).
+// A hash maps one normalized cell value to a fixed-width bit signature; the
+// super key of a row is the bitwise OR of the signatures of its cells, and a
+// composite key K is *possibly present* in a row iff OR of K's signatures is
+// a subset of the row's super key (never a false negative, §6.3).
+
+#ifndef MATE_HASH_HASH_FUNCTION_H_
+#define MATE_HASH_HASH_FUNCTION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bitvector.h"
+
+namespace mate {
+
+class RowHashFunction {
+ public:
+  virtual ~RowHashFunction() = default;
+
+  /// Width of signatures and super keys produced by this function.
+  size_t hash_bits() const { return hash_bits_; }
+
+  /// Short display name used in bench tables ("Xash", "BF", "MD5", ...).
+  virtual std::string Name() const = 0;
+
+  /// ORs the signature of `normalized_value` into `*sig`.
+  /// Precondition: sig->num_bits() == hash_bits().
+  virtual void AddValue(std::string_view normalized_value,
+                        BitVector* sig) const = 0;
+
+  /// Signature of a single value.
+  BitVector HashValue(std::string_view normalized_value) const;
+
+  /// Super key of a value set: OR-aggregation of all signatures (§5.1).
+  BitVector MakeSuperKey(const std::vector<std::string>& values) const;
+
+ protected:
+  explicit RowHashFunction(size_t hash_bits) : hash_bits_(hash_bits) {}
+
+  size_t hash_bits_;
+};
+
+}  // namespace mate
+
+#endif  // MATE_HASH_HASH_FUNCTION_H_

@@ -1,0 +1,76 @@
+#include "hash/hash_registry.h"
+
+#include "hash/bloom.h"
+#include "hash/city_like.h"
+#include "hash/md5.h"
+#include "hash/murmur3.h"
+#include "hash/simhash.h"
+#include "hash/xash.h"
+
+namespace mate {
+
+std::string_view HashFamilyName(HashFamily family) {
+  switch (family) {
+    case HashFamily::kXash: return "Xash";
+    case HashFamily::kBloom: return "BF";
+    case HashFamily::kLessHashingBloom: return "LHBF";
+    case HashFamily::kHashTable: return "HT";
+    case HashFamily::kMd5: return "MD5";
+    case HashFamily::kMurmur: return "Murmur";
+    case HashFamily::kCity: return "City";
+    case HashFamily::kSimHash: return "SimHash";
+  }
+  return "?";
+}
+
+Result<HashFamily> ParseHashFamily(std::string_view name) {
+  for (HashFamily family : AllHashFamilies()) {
+    if (HashFamilyName(family) == name) return family;
+  }
+  return Status::NotFound("unknown hash family: " + std::string(name));
+}
+
+const std::vector<HashFamily>& AllHashFamilies() {
+  static const std::vector<HashFamily> kAll = {
+      HashFamily::kMd5,       HashFamily::kMurmur,
+      HashFamily::kCity,      HashFamily::kSimHash,
+      HashFamily::kHashTable, HashFamily::kBloom,
+      HashFamily::kLessHashingBloom, HashFamily::kXash};
+  return kAll;
+}
+
+std::unique_ptr<RowHashFunction> MakeRowHash(HashFamily family,
+                                             size_t hash_bits,
+                                             const CorpusStats* stats) {
+  const double avg_cols =
+      (stats != nullptr && stats->avg_columns_per_table > 0)
+          ? stats->avg_columns_per_table
+          : 5.0;  // the paper's webtable default V
+  switch (family) {
+    case HashFamily::kXash: {
+      if (stats != nullptr) return Xash::FromCorpusStats(hash_bits, *stats);
+      XashOptions opts;
+      opts.hash_bits = hash_bits;
+      return std::make_unique<Xash>(opts);
+    }
+    case HashFamily::kBloom:
+      return std::make_unique<BloomRowHash>(
+          hash_bits, OptimalBloomHashCount(hash_bits, avg_cols));
+    case HashFamily::kLessHashingBloom:
+      return std::make_unique<LessHashingBloomRowHash>(
+          hash_bits, OptimalBloomHashCount(hash_bits, avg_cols));
+    case HashFamily::kHashTable:
+      return std::make_unique<HashTableRowHash>(hash_bits);
+    case HashFamily::kMd5:
+      return std::make_unique<Md5RowHash>(hash_bits);
+    case HashFamily::kMurmur:
+      return std::make_unique<MurmurRowHash>(hash_bits);
+    case HashFamily::kCity:
+      return std::make_unique<CityRowHash>(hash_bits);
+    case HashFamily::kSimHash:
+      return std::make_unique<SimHashRowHash>(hash_bits);
+  }
+  return nullptr;
+}
+
+}  // namespace mate

@@ -1,0 +1,48 @@
+// Factory for every super-key hash family the paper benchmarks, so benches
+// and tests can sweep families × hash sizes uniformly.
+
+#ifndef MATE_HASH_HASH_REGISTRY_H_
+#define MATE_HASH_HASH_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hash/hash_function.h"
+#include "storage/corpus.h"
+#include "util/status.h"
+
+namespace mate {
+
+enum class HashFamily {
+  kXash,
+  kBloom,
+  kLessHashingBloom,
+  kHashTable,
+  kMd5,
+  kMurmur,
+  kCity,
+  kSimHash,
+};
+
+/// Display name used in bench tables ("Xash", "BF", "LHBF", "HT", ...).
+std::string_view HashFamilyName(HashFamily family);
+
+/// Parses a display name; case-sensitive.
+Result<HashFamily> ParseHashFamily(std::string_view name);
+
+/// All families, in the column order of Table 2.
+const std::vector<HashFamily>& AllHashFamilies();
+
+/// Builds a hash of `family` at `hash_bits` width. When `stats` is non-null
+/// it parameterizes XASH (Eq. 5 alpha, measured character frequencies) and
+/// the Bloom variants (H from the average column count); otherwise the
+/// paper's DWTC defaults apply.
+std::unique_ptr<RowHashFunction> MakeRowHash(HashFamily family,
+                                             size_t hash_bits,
+                                             const CorpusStats* stats);
+
+}  // namespace mate
+
+#endif  // MATE_HASH_HASH_REGISTRY_H_

@@ -1,0 +1,153 @@
+#include "hash/md5.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/rng.h"
+
+namespace mate {
+
+namespace {
+
+// Per-round left-rotation amounts (RFC 1321 §3.4).
+constexpr uint32_t kShifts[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// K[i] = floor(|sin(i+1)| * 2^32), computed once.
+const std::array<uint32_t, 64>& SineTable() {
+  static const std::array<uint32_t, 64> kTable = [] {
+    std::array<uint32_t, 64> t{};
+    for (int i = 0; i < 64; ++i) {
+      t[i] = static_cast<uint32_t>(
+          std::floor(std::fabs(std::sin(static_cast<double>(i) + 1.0)) *
+                     4294967296.0));
+    }
+    return t;
+  }();
+  return kTable;
+}
+
+uint32_t RotateLeft32(uint32_t x, uint32_t n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+void ProcessBlock(const uint8_t* block, uint32_t state[4]) {
+  uint32_t m[16];
+  for (int i = 0; i < 16; ++i) {
+    m[i] = static_cast<uint32_t>(block[4 * i]) |
+           (static_cast<uint32_t>(block[4 * i + 1]) << 8) |
+           (static_cast<uint32_t>(block[4 * i + 2]) << 16) |
+           (static_cast<uint32_t>(block[4 * i + 3]) << 24);
+  }
+  uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  const auto& k = SineTable();
+  for (int i = 0; i < 64; ++i) {
+    uint32_t f;
+    int g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    uint32_t temp = d;
+    d = c;
+    c = b;
+    b = b + RotateLeft32(a + f + k[i] + m[g], kShifts[i]);
+    a = temp;
+  }
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+}
+
+}  // namespace
+
+Md5Digest Md5(std::string_view data) {
+  uint32_t state[4] = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u};
+
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(data.data());
+  size_t full_blocks = data.size() / 64;
+  for (size_t i = 0; i < full_blocks; ++i) ProcessBlock(bytes + 64 * i, state);
+
+  // Padding: 0x80, zeros, then the 64-bit little-endian bit length.
+  uint8_t tail[128] = {};
+  size_t rem = data.size() % 64;
+  std::memcpy(tail, bytes + 64 * full_blocks, rem);
+  tail[rem] = 0x80;
+  size_t tail_len = (rem < 56) ? 64 : 128;
+  uint64_t bit_len = static_cast<uint64_t>(data.size()) * 8;
+  for (int i = 0; i < 8; ++i) {
+    tail[tail_len - 8 + i] = static_cast<uint8_t>((bit_len >> (8 * i)) & 0xFF);
+  }
+  ProcessBlock(tail, state);
+  if (tail_len == 128) ProcessBlock(tail + 64, state);
+
+  Md5Digest digest;
+  for (int i = 0; i < 4; ++i) {
+    digest.bytes[4 * i] = static_cast<uint8_t>(state[i] & 0xFF);
+    digest.bytes[4 * i + 1] = static_cast<uint8_t>((state[i] >> 8) & 0xFF);
+    digest.bytes[4 * i + 2] = static_cast<uint8_t>((state[i] >> 16) & 0xFF);
+    digest.bytes[4 * i + 3] = static_cast<uint8_t>((state[i] >> 24) & 0xFF);
+  }
+  return digest;
+}
+
+std::string Md5Digest::ToHexString() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (uint8_t b : bytes) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+uint64_t Md5Digest::low64() const {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(bytes[i]) << (8 * i);
+  return v;
+}
+
+uint64_t Md5Digest::high64() const {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(bytes[8 + i]) << (8 * i);
+  }
+  return v;
+}
+
+void Md5RowHash::AddValue(std::string_view normalized_value,
+                          BitVector* sig) const {
+  Md5Digest digest = Md5(normalized_value);
+  size_t words = sig->num_words();
+  uint64_t lo = digest.low64();
+  uint64_t hi = digest.high64();
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t word;
+    if (w == 0) {
+      word = lo;
+    } else if (w == 1) {
+      word = hi;
+    } else {
+      // Widths beyond the native 128 bits: extend by mixing the digest with
+      // the word index.
+      word = SplitMix64(lo ^ (hi + 0x9E3779B97F4A7C15ULL * w));
+    }
+    sig->set_word(w, sig->word(w) | word);
+  }
+}
+
+}  // namespace mate

@@ -1,0 +1,44 @@
+// MD5 (RFC 1321), implemented from scratch. Used as the "standard
+// cryptographic digest" baseline of Table 2/3. The round constants are
+// derived at first use from their definition K[i] = floor(|sin(i+1)| * 2^32)
+// rather than being hardcoded.
+
+#ifndef MATE_HASH_MD5_H_
+#define MATE_HASH_MD5_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "hash/hash_function.h"
+
+namespace mate {
+
+struct Md5Digest {
+  std::array<uint8_t, 16> bytes{};
+
+  std::string ToHexString() const;
+  uint64_t low64() const;
+  uint64_t high64() const;
+};
+
+/// Computes the MD5 digest of `data`.
+Md5Digest Md5(std::string_view data);
+
+/// Super-key hash that uses the raw MD5 digest bits as the signature
+/// (extended with seeded re-hashes for widths beyond 128 bits). Roughly half
+/// the bits are 1, which is exactly why the paper finds digest-style hashes
+/// poor super keys.
+class Md5RowHash : public RowHashFunction {
+ public:
+  explicit Md5RowHash(size_t hash_bits) : RowHashFunction(hash_bits) {}
+
+  std::string Name() const override { return "MD5"; }
+  void AddValue(std::string_view normalized_value,
+                BitVector* sig) const override;
+};
+
+}  // namespace mate
+
+#endif  // MATE_HASH_MD5_H_

@@ -1,0 +1,172 @@
+#include "hash/murmur3.h"
+
+#include <cstring>
+
+namespace mate {
+
+namespace {
+
+uint32_t RotateLeft32(uint32_t x, int r) { return (x << r) | (x >> (32 - r)); }
+uint64_t RotateLeft64(uint64_t x, int r) { return (x << r) | (x >> (64 - r)); }
+
+uint32_t FMix32(uint32_t h) {
+  h ^= h >> 16;
+  h *= 0x85EBCA6Bu;
+  h ^= h >> 13;
+  h *= 0xC2B2AE35u;
+  h ^= h >> 16;
+  return h;
+}
+
+uint64_t FMix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xFF51AFD7ED558CCDULL;
+  k ^= k >> 33;
+  k *= 0xC4CEB9FE1A85EC53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+uint32_t Load32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;  // little-endian host assumed (x86/ARM64)
+}
+
+uint64_t Load64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+uint32_t Murmur3_32(std::string_view data, uint32_t seed) {
+  constexpr uint32_t c1 = 0xCC9E2D51u;
+  constexpr uint32_t c2 = 0x1B873593u;
+  const size_t nblocks = data.size() / 4;
+  uint32_t h1 = seed;
+
+  for (size_t i = 0; i < nblocks; ++i) {
+    uint32_t k1 = Load32(data.data() + 4 * i);
+    k1 *= c1;
+    k1 = RotateLeft32(k1, 15);
+    k1 *= c2;
+    h1 ^= k1;
+    h1 = RotateLeft32(h1, 13);
+    h1 = h1 * 5 + 0xE6546B64u;
+  }
+
+  const char* tail = data.data() + 4 * nblocks;
+  uint32_t k1 = 0;
+  switch (data.size() & 3) {
+    case 3:
+      k1 ^= static_cast<uint32_t>(static_cast<unsigned char>(tail[2])) << 16;
+      [[fallthrough]];
+    case 2:
+      k1 ^= static_cast<uint32_t>(static_cast<unsigned char>(tail[1])) << 8;
+      [[fallthrough]];
+    case 1:
+      k1 ^= static_cast<uint32_t>(static_cast<unsigned char>(tail[0]));
+      k1 *= c1;
+      k1 = RotateLeft32(k1, 15);
+      k1 *= c2;
+      h1 ^= k1;
+  }
+
+  h1 ^= static_cast<uint32_t>(data.size());
+  return FMix32(h1);
+}
+
+std::pair<uint64_t, uint64_t> Murmur3_128(std::string_view data,
+                                          uint64_t seed) {
+  constexpr uint64_t c1 = 0x87C37B91114253D5ULL;
+  constexpr uint64_t c2 = 0x4CF5AD432745937FULL;
+  const size_t nblocks = data.size() / 16;
+  uint64_t h1 = seed;
+  uint64_t h2 = seed;
+
+  for (size_t i = 0; i < nblocks; ++i) {
+    uint64_t k1 = Load64(data.data() + 16 * i);
+    uint64_t k2 = Load64(data.data() + 16 * i + 8);
+    k1 *= c1;
+    k1 = RotateLeft64(k1, 31);
+    k1 *= c2;
+    h1 ^= k1;
+    h1 = RotateLeft64(h1, 27);
+    h1 += h2;
+    h1 = h1 * 5 + 0x52DCE729u;
+    k2 *= c2;
+    k2 = RotateLeft64(k2, 33);
+    k2 *= c1;
+    h2 ^= k2;
+    h2 = RotateLeft64(h2, 31);
+    h2 += h1;
+    h2 = h2 * 5 + 0x38495AB5u;
+  }
+
+  const unsigned char* tail = reinterpret_cast<const unsigned char*>(
+      data.data() + 16 * nblocks);
+  uint64_t k1 = 0;
+  uint64_t k2 = 0;
+  switch (data.size() & 15) {
+    case 15: k2 ^= static_cast<uint64_t>(tail[14]) << 48; [[fallthrough]];
+    case 14: k2 ^= static_cast<uint64_t>(tail[13]) << 40; [[fallthrough]];
+    case 13: k2 ^= static_cast<uint64_t>(tail[12]) << 32; [[fallthrough]];
+    case 12: k2 ^= static_cast<uint64_t>(tail[11]) << 24; [[fallthrough]];
+    case 11: k2 ^= static_cast<uint64_t>(tail[10]) << 16; [[fallthrough]];
+    case 10: k2 ^= static_cast<uint64_t>(tail[9]) << 8; [[fallthrough]];
+    case 9:
+      k2 ^= static_cast<uint64_t>(tail[8]);
+      k2 *= c2;
+      k2 = RotateLeft64(k2, 33);
+      k2 *= c1;
+      h2 ^= k2;
+      [[fallthrough]];
+    case 8: k1 ^= static_cast<uint64_t>(tail[7]) << 56; [[fallthrough]];
+    case 7: k1 ^= static_cast<uint64_t>(tail[6]) << 48; [[fallthrough]];
+    case 6: k1 ^= static_cast<uint64_t>(tail[5]) << 40; [[fallthrough]];
+    case 5: k1 ^= static_cast<uint64_t>(tail[4]) << 32; [[fallthrough]];
+    case 4: k1 ^= static_cast<uint64_t>(tail[3]) << 24; [[fallthrough]];
+    case 3: k1 ^= static_cast<uint64_t>(tail[2]) << 16; [[fallthrough]];
+    case 2: k1 ^= static_cast<uint64_t>(tail[1]) << 8; [[fallthrough]];
+    case 1:
+      k1 ^= static_cast<uint64_t>(tail[0]);
+      k1 *= c1;
+      k1 = RotateLeft64(k1, 31);
+      k1 *= c2;
+      h1 ^= k1;
+  }
+
+  h1 ^= static_cast<uint64_t>(data.size());
+  h2 ^= static_cast<uint64_t>(data.size());
+  h1 += h2;
+  h2 += h1;
+  h1 = FMix64(h1);
+  h2 = FMix64(h2);
+  h1 += h2;
+  h2 += h1;
+  return {h1, h2};
+}
+
+uint64_t Murmur3_64(std::string_view data, uint64_t seed) {
+  return Murmur3_128(data, seed).first;
+}
+
+void MurmurRowHash::AddValue(std::string_view normalized_value,
+                             BitVector* sig) const {
+  auto [lo, hi] = Murmur3_128(normalized_value, /*seed=*/0);
+  for (size_t w = 0; w < sig->num_words(); ++w) {
+    uint64_t word;
+    if (w == 0) {
+      word = lo;
+    } else if (w == 1) {
+      word = hi;
+    } else {
+      word = Murmur3_64(normalized_value, /*seed=*/w);
+    }
+    sig->set_word(w, sig->word(w) | word);
+  }
+}
+
+}  // namespace mate

@@ -1,0 +1,38 @@
+// MurmurHash3 (x86_32 and x64_128 variants), implemented from scratch.
+// Murmur3 is both a Table 2/3 baseline in its own right and the base hash
+// family inside the Bloom-filter and LHBF super keys (§7.1.2).
+
+#ifndef MATE_HASH_MURMUR3_H_
+#define MATE_HASH_MURMUR3_H_
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+#include "hash/hash_function.h"
+
+namespace mate {
+
+/// 32-bit MurmurHash3 (x86_32).
+uint32_t Murmur3_32(std::string_view data, uint32_t seed);
+
+/// 128-bit MurmurHash3 (x64_128) as a (low, high) pair.
+std::pair<uint64_t, uint64_t> Murmur3_128(std::string_view data,
+                                          uint64_t seed);
+
+/// Convenience 64-bit variant: low word of the 128-bit digest.
+uint64_t Murmur3_64(std::string_view data, uint64_t seed);
+
+/// Raw-digest super-key baseline ("Murmur" in Table 2).
+class MurmurRowHash : public RowHashFunction {
+ public:
+  explicit MurmurRowHash(size_t hash_bits) : RowHashFunction(hash_bits) {}
+
+  std::string Name() const override { return "Murmur"; }
+  void AddValue(std::string_view normalized_value,
+                BitVector* sig) const override;
+};
+
+}  // namespace mate
+
+#endif  // MATE_HASH_MURMUR3_H_

@@ -1,0 +1,42 @@
+#include "hash/simhash.h"
+
+#include <array>
+#include <vector>
+
+#include "hash/murmur3.h"
+
+namespace mate {
+
+void SimHashRowHash::AddValue(std::string_view normalized_value,
+                              BitVector* sig) const {
+  const size_t bits = hash_bits_;
+  std::vector<int32_t> votes(bits, 0);
+
+  // Features: the value's character bigrams (with sentinel padding so
+  // 1-character values still produce two features) plus the whole value.
+  auto vote_feature = [&](std::string_view feature) {
+    for (size_t block = 0; block * 64 < bits; ++block) {
+      uint64_t h = Murmur3_64(feature, /*seed=*/block);
+      size_t upper = std::min<size_t>(64, bits - block * 64);
+      for (size_t b = 0; b < upper; ++b) {
+        votes[block * 64 + b] += ((h >> b) & 1) ? 1 : -1;
+      }
+    }
+  };
+
+  std::string padded;
+  padded.reserve(normalized_value.size() + 2);
+  padded.push_back('\x01');
+  padded.append(normalized_value);
+  padded.push_back('\x02');
+  for (size_t i = 0; i + 1 < padded.size(); ++i) {
+    vote_feature(std::string_view(padded).substr(i, 2));
+  }
+  vote_feature(normalized_value);
+
+  for (size_t b = 0; b < bits; ++b) {
+    if (votes[b] > 0) sig->SetBit(b);
+  }
+}
+
+}  // namespace mate

@@ -1,0 +1,27 @@
+// SimHash (Charikar similarity hashing) over character bigrams, a Table 2/3
+// baseline. Each feature votes +1/-1 per output bit; the sign of the total
+// decides the bit, so similar strings get similar signatures — and, like the
+// other digest baselines, roughly half of all bits are set.
+
+#ifndef MATE_HASH_SIMHASH_H_
+#define MATE_HASH_SIMHASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "hash/hash_function.h"
+
+namespace mate {
+
+class SimHashRowHash : public RowHashFunction {
+ public:
+  explicit SimHashRowHash(size_t hash_bits) : RowHashFunction(hash_bits) {}
+
+  std::string Name() const override { return "SimHash"; }
+  void AddValue(std::string_view normalized_value,
+                BitVector* sig) const override;
+};
+
+}  // namespace mate
+
+#endif  // MATE_HASH_SIMHASH_H_

@@ -1,0 +1,122 @@
+#include "hash/xash.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace mate {
+
+Xash::Xash(const XashOptions& options)
+    : RowHashFunction(options.hash_bits),
+      options_(options),
+      frequencies_(options.frequencies != nullptr
+                       ? options.frequencies
+                       : &CharFrequencyTable::English()) {
+  assert(options.hash_bits >= 64 && options.hash_bits <= BitVector::kMaxBits);
+  beta_ = XashBeta(options.hash_bits, kAlphabetSize);
+  length_bits_ = options.hash_bits - kAlphabetSize * beta_;
+  assert(length_bits_ >= 1);
+  alpha_ = options.alpha > 0
+               ? options.alpha
+               : std::max(options.min_alpha,
+                          OptimalOnesCount(options.hash_bits,
+                                           options.corpus_unique_values));
+}
+
+std::unique_ptr<Xash> Xash::FromCorpusStats(size_t hash_bits,
+                                            const CorpusStats& stats) {
+  XashOptions opts;
+  opts.hash_bits = hash_bits;
+  opts.corpus_unique_values =
+      stats.num_unique_values > 0 ? stats.num_unique_values : 1;
+  auto owned = std::make_shared<CharFrequencyTable>(
+      CharFrequencyTable::FromCounts(stats.char_counts));
+  opts.frequencies = owned.get();
+  auto xash = std::make_unique<Xash>(opts);
+  xash->owned_frequencies_ = std::move(owned);
+  return xash;
+}
+
+void Xash::AddValue(std::string_view v, BitVector* sig) const {
+  assert(sig->num_bits() == hash_bits_);
+  const size_t len = v.size();
+
+  if (options_.use_length) {
+    sig->SetBit(len % length_bits_);
+  }
+  if (!options_.use_chars || len == 0) return;
+
+  // Character bits accumulate in a scratch signature first: the final
+  // rotation applies to *this value's* bits only, never to bits already
+  // OR-ed into `sig` by other row values.
+  BitVector scratch(hash_bits_);
+
+  // Distinct characters with occurrence count and position sum (1-based), to
+  // compute the average location lambda (§5.3.3).
+  struct CharInfo {
+    int id;
+    uint32_t count;
+    uint64_t position_sum;
+    uint32_t first_pos;  // order of first appearance, for the no-rare mode
+  };
+  std::array<int, kAlphabetSize> slot;
+  slot.fill(-1);
+  std::array<CharInfo, kAlphabetSize> infos;
+  int distinct = 0;
+  for (size_t i = 0; i < len; ++i) {
+    int id = NormalizeChar(v[i]);
+    if (slot[id] < 0) {
+      slot[id] = distinct;
+      infos[distinct] = {id, 1, i + 1, static_cast<uint32_t>(i)};
+      ++distinct;
+    } else {
+      CharInfo& info = infos[slot[id]];
+      ++info.count;
+      info.position_sum += i + 1;
+    }
+  }
+
+  // Order of selection: least frequent first (paper lemma), ties on smaller
+  // alphabet id; or first-appearance order in the ablation mode.
+  std::array<int, kAlphabetSize> order;
+  for (int i = 0; i < distinct; ++i) order[i] = i;
+  if (options_.use_rare_chars) {
+    std::sort(order.begin(), order.begin() + distinct, [&](int a, int b) {
+      return frequencies_->Rarer(infos[a].id, infos[b].id);
+    });
+  } else {
+    std::sort(order.begin(), order.begin() + distinct, [&](int a, int b) {
+      return infos[a].first_pos < infos[b].first_pos;
+    });
+  }
+
+  const int chars_to_encode =
+      std::min<int>(distinct, std::max(1, alpha_ - (options_.use_length ? 1 : 0)));
+  const size_t region_begin = char_region_begin();
+  for (int i = 0; i < chars_to_encode; ++i) {
+    const CharInfo& info = infos[order[i]];
+    size_t offset = 0;
+    if (options_.use_location && beta_ > 1) {
+      // x = ceil(lambda * beta / len), clamped to [1, beta].
+      double lambda = static_cast<double>(info.position_sum) / info.count;
+      size_t x = static_cast<size_t>(
+          std::ceil(lambda * static_cast<double>(beta_) /
+                    static_cast<double>(len)));
+      if (x < 1) x = 1;
+      if (x > beta_) x = beta_;
+      offset = x - 1;
+    }
+    scratch.SetBit(region_begin + static_cast<size_t>(info.id) * beta_ +
+                   offset);
+  }
+
+  if (options_.use_rotation) {
+    scratch.RotateRangeLeft(region_begin, char_region_bits(), len);
+  }
+  sig->OrWith(scratch);
+}
+
+}  // namespace mate

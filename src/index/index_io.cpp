@@ -1,0 +1,202 @@
+#include "index/index_io.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "storage/corpus_io.h"
+#include "util/coding.h"
+
+namespace mate {
+
+namespace {
+constexpr char kMagic[] = "MATEINDX";
+constexpr size_t kMagicLen = 8;
+constexpr uint32_t kVersion = 1;
+
+void PutDouble(std::string* out, double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  PutFixed64(out, bits);
+}
+
+bool GetDouble(std::string_view* input, double* d) {
+  uint64_t bits = 0;
+  if (!GetFixed64(input, &bits)) return false;
+  std::memcpy(d, &bits, sizeof(bits));
+  return true;
+}
+
+void PutStats(std::string* out, const CorpusStats& stats) {
+  PutVarint64(out, stats.num_tables);
+  PutVarint64(out, stats.num_columns);
+  PutVarint64(out, stats.num_rows);
+  PutVarint64(out, stats.num_cells);
+  PutVarint64(out, stats.num_unique_values);
+  PutDouble(out, stats.avg_columns_per_table);
+  PutDouble(out, stats.avg_rows_per_table);
+  for (uint64_t count : stats.char_counts) PutVarint64(out, count);
+}
+
+bool GetStats(std::string_view* input, CorpusStats* stats) {
+  if (!GetVarint64(input, &stats->num_tables)) return false;
+  if (!GetVarint64(input, &stats->num_columns)) return false;
+  if (!GetVarint64(input, &stats->num_rows)) return false;
+  if (!GetVarint64(input, &stats->num_cells)) return false;
+  if (!GetVarint64(input, &stats->num_unique_values)) return false;
+  if (!GetDouble(input, &stats->avg_columns_per_table)) return false;
+  if (!GetDouble(input, &stats->avg_rows_per_table)) return false;
+  for (uint64_t& count : stats->char_counts) {
+    if (!GetVarint64(input, &count)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// Friend of InvertedIndex: fills internals on load.
+class IndexLoader {
+ public:
+  static Result<std::unique_ptr<InvertedIndex>> Load(std::string_view data) {
+    if (data.size() < kMagicLen + 4 ||
+        data.substr(0, kMagicLen) != std::string_view(kMagic, kMagicLen)) {
+      return Status::Corruption("index: bad magic");
+    }
+    data.remove_prefix(kMagicLen);
+    uint32_t version = 0;
+    if (!GetFixed32(&data, &version) || version != kVersion) {
+      return Status::Corruption("index: unsupported version");
+    }
+    std::string_view family_name;
+    if (!GetLengthPrefixed(&data, &family_name)) {
+      return Status::Corruption("index: bad hash family");
+    }
+    uint64_t hash_bits = 0;
+    if (!GetVarint64(&data, &hash_bits)) {
+      return Status::Corruption("index: bad hash width");
+    }
+    uint8_t used_stats = 0;
+    if (data.empty()) return Status::Corruption("index: truncated");
+    used_stats = static_cast<uint8_t>(data[0]);
+    data.remove_prefix(1);
+    CorpusStats stats;
+    if (!GetStats(&data, &stats)) {
+      return Status::Corruption("index: bad corpus stats");
+    }
+
+    MATE_ASSIGN_OR_RETURN(HashFamily family, ParseHashFamily(family_name));
+    std::unique_ptr<RowHashFunction> hash =
+        MakeRowHash(family, static_cast<size_t>(hash_bits),
+                    used_stats ? &stats : nullptr);
+    if (hash == nullptr) return Status::Corruption("index: bad hash config");
+    auto index = std::make_unique<InvertedIndex>(std::move(hash));
+
+    // Dictionary, in id order.
+    uint64_t dict_size = 0;
+    if (!GetVarint64(&data, &dict_size)) {
+      return Status::Corruption("index: bad dictionary size");
+    }
+    for (uint64_t i = 0; i < dict_size; ++i) {
+      std::string_view value;
+      if (!GetLengthPrefixed(&data, &value)) {
+        return Status::Corruption("index: truncated dictionary");
+      }
+      ValueId id = index->dictionary_.GetOrAdd(value);
+      if (id != i) return Status::Corruption("index: dictionary id skew");
+    }
+
+    // Posting lists.
+    uint64_t num_lists = 0;
+    if (!GetVarint64(&data, &num_lists)) {
+      return Status::Corruption("index: bad posting list count");
+    }
+    for (uint64_t i = 0; i < num_lists; ++i) {
+      uint64_t value_id = 0, list_len = 0;
+      if (!GetVarint64(&data, &value_id) || !GetVarint64(&data, &list_len)) {
+        return Status::Corruption("index: bad posting list header");
+      }
+      if (value_id >= dict_size) {
+        return Status::Corruption("index: posting for unknown value");
+      }
+      PostingList list;
+      list.reserve(list_len);
+      for (uint64_t e = 0; e < list_len; ++e) {
+        uint32_t t = 0, c = 0, r = 0;
+        if (!GetVarint32(&data, &t) || !GetVarint32(&data, &c) ||
+            !GetVarint32(&data, &r)) {
+          return Status::Corruption("index: truncated posting entry");
+        }
+        list.push_back(PostingEntry{t, c, r});
+      }
+      index->num_posting_entries_ += list.size();
+      index->postings_.emplace(value_id, std::move(list));
+    }
+
+    // Super keys.
+    MATE_ASSIGN_OR_RETURN(SuperKeyStore store,
+                          SuperKeyStore::ParseFrom(&data));
+    if (store.hash_bits() != index->hash_bits()) {
+      return Status::Corruption("index: super key width mismatch");
+    }
+    index->superkeys_ = std::move(store);
+    return index;
+  }
+};
+
+void SerializeIndex(const InvertedIndex& index, HashFamily family,
+                    const CorpusStats& stats, std::string* out) {
+  out->clear();
+  out->append(kMagic, kMagicLen);
+  PutFixed32(out, kVersion);
+  PutLengthPrefixed(out, HashFamilyName(family));
+  PutVarint64(out, index.hash_bits());
+  // Heuristic: stats were "used" iff they are non-empty.
+  out->push_back(stats.num_cells > 0 ? '\x01' : '\x00');
+  PutStats(out, stats);
+
+  const ValueDictionary& dict = index.dictionary();
+  PutVarint64(out, dict.size());
+  for (ValueId id = 0; id < dict.size(); ++id) {
+    PutLengthPrefixed(out, dict.ValueOf(id));
+  }
+
+  // Posting lists in value-id order for deterministic bytes.
+  std::vector<std::pair<ValueId, const PostingList*>> lists;
+  index.ForEachPostingList([&](ValueId id, const PostingList& list) {
+    lists.emplace_back(id, &list);
+  });
+  std::sort(lists.begin(), lists.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  PutVarint64(out, lists.size());
+  for (const auto& [id, list] : lists) {
+    PutVarint64(out, id);
+    PutVarint64(out, list->size());
+    for (const PostingEntry& entry : *list) {
+      PutVarint32(out, entry.table_id);
+      PutVarint32(out, entry.column_id);
+      PutVarint32(out, entry.row_id);
+    }
+  }
+
+  index.superkeys().AppendToString(out);
+}
+
+Result<std::unique_ptr<InvertedIndex>> DeserializeIndex(
+    std::string_view data) {
+  return IndexLoader::Load(data);
+}
+
+Status SaveIndex(const InvertedIndex& index, HashFamily family,
+                 const CorpusStats& stats, const std::string& path) {
+  std::string buffer;
+  SerializeIndex(index, family, stats, &buffer);
+  return WriteFileAtomic(path, buffer);
+}
+
+Result<std::unique_ptr<InvertedIndex>> LoadIndex(const std::string& path) {
+  MATE_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  return DeserializeIndex(data);
+}
+
+}  // namespace mate

@@ -1,0 +1,33 @@
+// Index persistence. The on-disk image carries the hash configuration
+// (family, width, corpus statistics) so a loaded index reconstructs a
+// bit-identical hash function, plus the dictionary, posting lists, and the
+// per-row super keys (which are the expensive part to recompute).
+
+#ifndef MATE_INDEX_INDEX_IO_H_
+#define MATE_INDEX_INDEX_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "hash/hash_registry.h"
+#include "index/inverted_index.h"
+#include "util/status.h"
+
+namespace mate {
+
+/// Serializes `index` into `out` (replacing its contents). `family` and
+/// `stats` must be the values the index was built with (BuildIndexWithReport
+/// exposes the stats).
+void SerializeIndex(const InvertedIndex& index, HashFamily family,
+                    const CorpusStats& stats, std::string* out);
+
+/// Parses an index serialized by SerializeIndex.
+Result<std::unique_ptr<InvertedIndex>> DeserializeIndex(std::string_view data);
+
+Status SaveIndex(const InvertedIndex& index, HashFamily family,
+                 const CorpusStats& stats, const std::string& path);
+Result<std::unique_ptr<InvertedIndex>> LoadIndex(const std::string& path);
+
+}  // namespace mate
+
+#endif  // MATE_INDEX_INDEX_IO_H_

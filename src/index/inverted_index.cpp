@@ -1,0 +1,236 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/string_util.h"
+
+namespace mate {
+
+InvertedIndex::InvertedIndex(std::unique_ptr<RowHashFunction> hash)
+    : hash_(std::move(hash)), superkeys_(hash_->hash_bits()) {}
+
+const PostingList* InvertedIndex::Lookup(std::string_view normalized) const {
+  ValueId id = dictionary_.Find(normalized);
+  if (id == kInvalidValueId) return nullptr;
+  auto it = postings_.find(id);
+  if (it == postings_.end() || it->second.empty()) return nullptr;
+  return &it->second;
+}
+
+size_t InvertedIndex::MemoryBytes() const {
+  return PostingBytes() + dictionary_.MemoryBytes() + SuperKeyBytes();
+}
+
+void InvertedIndex::AddPosting(std::string_view normalized,
+                               PostingEntry entry) {
+  ValueId id = dictionary_.GetOrAdd(normalized);
+  PostingList& list = postings_[id];
+  auto pos = std::lower_bound(list.begin(), list.end(), entry);
+  if (pos != list.end() && *pos == entry) return;  // duplicates collapse
+  list.insert(pos, entry);
+  ++num_posting_entries_;
+}
+
+void InvertedIndex::RemovePosting(std::string_view normalized,
+                                  const PostingEntry& entry) {
+  ValueId id = dictionary_.Find(normalized);
+  if (id == kInvalidValueId) return;
+  auto it = postings_.find(id);
+  if (it == postings_.end()) return;
+  PostingList& list = it->second;
+  auto pos = std::lower_bound(list.begin(), list.end(), entry);
+  if (pos != list.end() && *pos == entry) {
+    list.erase(pos);
+    --num_posting_entries_;
+  }
+}
+
+void InvertedIndex::RehashRow(const Corpus& corpus, TableId t, RowId r) {
+  const Table& table = corpus.table(t);
+  superkeys_.Reset(t, r);
+  BitVector key(hash_->hash_bits());
+  for (ColumnId c = 0; c < table.NumColumns(); ++c) {
+    hash_->AddValue(NormalizeValue(table.cell(r, c)), &key);
+  }
+  superkeys_.Set(t, r, key);
+}
+
+void InvertedIndex::RehashTableRange(const Corpus& corpus, TableId begin,
+                                     TableId end) {
+  for (TableId t = begin; t < end && t < corpus.NumTables(); ++t) {
+    const Table& table = corpus.table(t);
+    for (RowId r = 0; r < table.NumRows(); ++r) {
+      if (table.IsRowDeleted(r)) continue;
+      RehashRow(corpus, t, r);
+    }
+  }
+}
+
+Status InvertedIndex::RebuildSuperKeys(const Corpus& corpus,
+                                       unsigned num_threads) {
+  superkeys_ = SuperKeyStore(hash_->hash_bits());
+  // Pre-size every table so worker threads touch disjoint, stable storage.
+  for (TableId t = 0; t < corpus.NumTables(); ++t) {
+    superkeys_.EnsureTable(t, corpus.table(t).NumRows());
+  }
+  if (num_threads == 0) num_threads = std::thread::hardware_concurrency();
+  if (num_threads <= 1 || corpus.NumTables() < 2) {
+    RehashTableRange(corpus, 0, static_cast<TableId>(corpus.NumTables()));
+    return Status::OK();
+  }
+  const TableId total = static_cast<TableId>(corpus.NumTables());
+  const TableId stride = (total + num_threads - 1) / num_threads;
+  std::vector<std::thread> workers;
+  for (unsigned w = 0; w < num_threads; ++w) {
+    TableId begin = static_cast<TableId>(w) * stride;
+    if (begin >= total) break;
+    TableId end = std::min<TableId>(total, begin + stride);
+    workers.emplace_back(
+        [this, &corpus, begin, end] { RehashTableRange(corpus, begin, end); });
+  }
+  for (std::thread& worker : workers) worker.join();
+  return Status::OK();
+}
+
+Status InvertedIndex::ResetHash(const Corpus& corpus,
+                                std::unique_ptr<RowHashFunction> new_hash,
+                                unsigned num_threads) {
+  if (new_hash == nullptr) return Status::InvalidArgument("null hash");
+  hash_ = std::move(new_hash);
+  return RebuildSuperKeys(corpus, num_threads);
+}
+
+Status InvertedIndex::InsertTablePostingsOnly(const Corpus& corpus,
+                                              TableId t) {
+  if (t >= corpus.NumTables()) return Status::OutOfRange("no such table");
+  const Table& table = corpus.table(t);
+  for (RowId r = 0; r < table.NumRows(); ++r) {
+    if (table.IsRowDeleted(r)) continue;
+    for (ColumnId c = 0; c < table.NumColumns(); ++c) {
+      AddPosting(NormalizeValue(table.cell(r, c)), PostingEntry{t, c, r});
+    }
+  }
+  return Status::OK();
+}
+
+Status InvertedIndex::InsertTable(const Corpus& corpus, TableId t) {
+  if (t >= corpus.NumTables()) return Status::OutOfRange("no such table");
+  const Table& table = corpus.table(t);
+  superkeys_.EnsureTable(t, table.NumRows());
+  for (RowId r = 0; r < table.NumRows(); ++r) {
+    if (table.IsRowDeleted(r)) continue;
+    BitVector key(hash_->hash_bits());
+    for (ColumnId c = 0; c < table.NumColumns(); ++c) {
+      std::string norm = NormalizeValue(table.cell(r, c));
+      AddPosting(norm, PostingEntry{t, c, r});
+      hash_->AddValue(norm, &key);
+    }
+    superkeys_.Set(t, r, key);
+  }
+  return Status::OK();
+}
+
+Status InvertedIndex::InsertRow(const Corpus& corpus, TableId t, RowId r) {
+  if (t >= corpus.NumTables()) return Status::OutOfRange("no such table");
+  const Table& table = corpus.table(t);
+  if (r >= table.NumRows()) return Status::OutOfRange("no such row");
+  superkeys_.EnsureTable(t, table.NumRows());
+  BitVector key(hash_->hash_bits());
+  for (ColumnId c = 0; c < table.NumColumns(); ++c) {
+    std::string norm = NormalizeValue(table.cell(r, c));
+    AddPosting(norm, PostingEntry{t, c, r});
+    hash_->AddValue(norm, &key);
+  }
+  superkeys_.Set(t, r, key);
+  return Status::OK();
+}
+
+Status InvertedIndex::AddAppendedColumn(const Corpus& corpus, TableId t) {
+  if (t >= corpus.NumTables()) return Status::OutOfRange("no such table");
+  const Table& table = corpus.table(t);
+  if (table.NumColumns() == 0) return Status::InvalidArgument("no columns");
+  const ColumnId c = static_cast<ColumnId>(table.NumColumns() - 1);
+  superkeys_.EnsureTable(t, table.NumRows());
+  for (RowId r = 0; r < table.NumRows(); ++r) {
+    if (table.IsRowDeleted(r)) continue;
+    std::string norm = NormalizeValue(table.cell(r, c));
+    AddPosting(norm, PostingEntry{t, c, r});
+    // §5.4: OR the new column's Xash result into the existing super key.
+    superkeys_.OrInto(t, r, hash_->HashValue(norm));
+  }
+  return Status::OK();
+}
+
+Status InvertedIndex::UpdateCell(const Corpus& corpus, TableId t, RowId r,
+                                 ColumnId c, std::string_view old_normalized) {
+  if (t >= corpus.NumTables()) return Status::OutOfRange("no such table");
+  const Table& table = corpus.table(t);
+  if (r >= table.NumRows() || c >= table.NumColumns()) {
+    return Status::OutOfRange("no such cell");
+  }
+  RemovePosting(old_normalized, PostingEntry{t, c, r});
+  AddPosting(NormalizeValue(table.cell(r, c)), PostingEntry{t, c, r});
+  // §5.4: a cell update requires a complete re-hash of the row's super key
+  // (bits of the old value cannot be un-ORed).
+  RehashRow(corpus, t, r);
+  return Status::OK();
+}
+
+Status InvertedIndex::DeleteRow(const Corpus& corpus, TableId t, RowId r) {
+  if (t >= corpus.NumTables()) return Status::OutOfRange("no such table");
+  const Table& table = corpus.table(t);
+  if (r >= table.NumRows()) return Status::OutOfRange("no such row");
+  for (ColumnId c = 0; c < table.NumColumns(); ++c) {
+    RemovePosting(NormalizeValue(table.cell(r, c)), PostingEntry{t, c, r});
+  }
+  superkeys_.Reset(t, r);
+  return Status::OK();
+}
+
+Status InvertedIndex::DeleteTable(const Corpus& corpus, TableId t) {
+  if (t >= corpus.NumTables()) return Status::OutOfRange("no such table");
+  const Table& table = corpus.table(t);
+  for (RowId r = 0; r < table.NumRows(); ++r) {
+    if (table.IsRowDeleted(r)) continue;
+    MATE_RETURN_IF_ERROR(DeleteRow(corpus, t, r));
+  }
+  return Status::OK();
+}
+
+Status InvertedIndex::DropColumn(const Corpus& corpus, TableId t,
+                                 ColumnId dropped,
+                                 const std::vector<std::string>& removed_cells) {
+  if (t >= corpus.NumTables()) return Status::OutOfRange("no such table");
+  const Table& table = corpus.table(t);
+  if (removed_cells.size() != table.NumRows()) {
+    return Status::InvalidArgument("removed_cells size mismatch");
+  }
+  // Remove the old PL items: the dropped column itself, plus every column
+  // that used to sit to its right (their ids have shifted down by one).
+  for (RowId r = 0; r < table.NumRows(); ++r) {
+    RemovePosting(NormalizeValue(removed_cells[r]),
+                  PostingEntry{t, dropped, r});
+  }
+  for (ColumnId c = dropped; c < table.NumColumns(); ++c) {
+    for (RowId r = 0; r < table.NumRows(); ++r) {
+      RemovePosting(NormalizeValue(table.cell(r, c)),
+                    PostingEntry{t, static_cast<ColumnId>(c + 1), r});
+    }
+  }
+  // Re-add the shifted columns under their new ids and rehash every live
+  // row's super key (the dropped value's bits cannot be un-ORed).
+  for (ColumnId c = dropped; c < table.NumColumns(); ++c) {
+    for (RowId r = 0; r < table.NumRows(); ++r) {
+      if (table.IsRowDeleted(r)) continue;
+      AddPosting(NormalizeValue(table.cell(r, c)), PostingEntry{t, c, r});
+    }
+  }
+  for (RowId r = 0; r < table.NumRows(); ++r) {
+    if (table.IsRowDeleted(r)) continue;
+    RehashRow(corpus, t, r);
+  }
+  return Status::OK();
+}
+
+}  // namespace mate

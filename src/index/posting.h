@@ -1,0 +1,33 @@
+// Posting-list types for the single-attribute inverted index (Eq. 4):
+// a normalized value maps to the (table, column, row) triplets containing it.
+
+#ifndef MATE_INDEX_POSTING_H_
+#define MATE_INDEX_POSTING_H_
+
+#include <vector>
+
+#include "storage/types.h"
+
+namespace mate {
+
+struct PostingEntry {
+  TableId table_id;
+  ColumnId column_id;
+  RowId row_id;
+
+  bool operator==(const PostingEntry& other) const {
+    return table_id == other.table_id && column_id == other.column_id &&
+           row_id == other.row_id;
+  }
+  bool operator<(const PostingEntry& other) const {
+    if (table_id != other.table_id) return table_id < other.table_id;
+    if (row_id != other.row_id) return row_id < other.row_id;
+    return column_id < other.column_id;
+  }
+};
+
+using PostingList = std::vector<PostingEntry>;
+
+}  // namespace mate
+
+#endif  // MATE_INDEX_POSTING_H_

@@ -1,0 +1,84 @@
+// Per-row super-key storage (§5.1). The paper discusses two layouts: super
+// keys duplicated per PL item, or the space-efficient per-row layout (one
+// super key per table row, joined with the PLs at probe time). This store
+// implements the per-row layout: a flat word array per table, indexed by
+// row id, so a probe is one pointer computation.
+
+#ifndef MATE_INDEX_SUPERKEY_STORE_H_
+#define MATE_INDEX_SUPERKEY_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/types.h"
+#include "util/bitvector.h"
+#include "util/status.h"
+
+namespace mate {
+
+class SuperKeyStore {
+ public:
+  /// `hash_bits` must be a positive multiple of 64 (the store keeps whole
+  /// words per row).
+  explicit SuperKeyStore(size_t hash_bits);
+
+  size_t hash_bits() const { return hash_bits_; }
+  size_t words_per_key() const { return words_per_key_; }
+  size_t num_tables() const { return tables_.size(); }
+
+  /// Ensures table `t` exists with room for `num_rows` rows (zero keys).
+  void EnsureTable(TableId t, size_t num_rows);
+
+  /// Appends one row slot to table `t`; returns its row id.
+  RowId AppendRow(TableId t);
+
+  /// Overwrites the super key of (t, r). Precondition: key width matches.
+  void Set(TableId t, RowId r, const BitVector& key);
+
+  /// ORs `signature` into the stored key of (t, r) — the §5.4 column-add
+  /// update path.
+  void OrInto(TableId t, RowId r, const BitVector& signature);
+
+  /// Zeroes the key of (t, r) (used before a §5.4 rehash).
+  void Reset(TableId t, RowId r);
+
+  /// Borrowed pointer to the words of (t, r)'s key; valid until the table
+  /// is resized.
+  const uint64_t* RowWords(TableId t, RowId r) const {
+    return tables_[t].data() + static_cast<size_t>(r) * words_per_key_;
+  }
+
+  /// Copies the key of (t, r) into a BitVector.
+  BitVector Get(TableId t, RowId r) const;
+
+  /// True iff every set bit of `query` is set in the stored key of (t, r) —
+  /// the row-filter probe of §6.3, walking words upward so the XASH length
+  /// segment short-circuits first.
+  bool Covers(TableId t, RowId r, const BitVector& query) const {
+    const uint64_t* row = RowWords(t, r);
+    for (size_t w = 0; w < words_per_key_; ++w) {
+      if ((query.word(w) & ~row[w]) != 0) return false;
+    }
+    return true;
+  }
+
+  size_t NumRows(TableId t) const {
+    return tables_[t].size() / words_per_key_;
+  }
+
+  /// Total bytes of key payload (for the §7.1 index-size stats).
+  size_t MemoryBytes() const;
+
+  /// Serialization for index_io.
+  void AppendToString(std::string* out) const;
+  static Result<SuperKeyStore> ParseFrom(std::string_view* input);
+
+ private:
+  size_t hash_bits_;
+  size_t words_per_key_;
+  std::vector<std::vector<uint64_t>> tables_;
+};
+
+}  // namespace mate
+
+#endif  // MATE_INDEX_SUPERKEY_STORE_H_

@@ -1,0 +1,52 @@
+#include "storage/corpus.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace mate {
+
+std::string CorpusStats::ToString() const {
+  std::ostringstream os;
+  os << "tables=" << num_tables << " columns=" << num_columns
+     << " rows=" << num_rows << " cells=" << num_cells
+     << " unique_values=" << num_unique_values
+     << " avg_cols=" << avg_columns_per_table
+     << " avg_rows=" << avg_rows_per_table;
+  return os.str();
+}
+
+TableId Corpus::AddTable(Table table) {
+  tables_.push_back(std::move(table));
+  return static_cast<TableId>(tables_.size() - 1);
+}
+
+CorpusStats Corpus::ComputeStats() const {
+  CorpusStats stats;
+  std::unordered_set<std::string> uniques;
+  stats.num_tables = tables_.size();
+  for (const Table& t : tables_) {
+    stats.num_columns += t.NumColumns();
+    stats.num_rows += t.NumLiveRows();
+    for (RowId r = 0; r < t.NumRows(); ++r) {
+      if (t.IsRowDeleted(r)) continue;
+      for (ColumnId c = 0; c < t.NumColumns(); ++c) {
+        std::string norm = NormalizeValue(t.cell(r, c));
+        CharFrequencyTable::CountCharacters(norm, &stats.char_counts);
+        uniques.insert(std::move(norm));
+        ++stats.num_cells;
+      }
+    }
+  }
+  stats.num_unique_values = uniques.size();
+  if (stats.num_tables > 0) {
+    stats.avg_columns_per_table =
+        static_cast<double>(stats.num_columns) / stats.num_tables;
+    stats.avg_rows_per_table =
+        static_cast<double>(stats.num_rows) / stats.num_tables;
+  }
+  return stats;
+}
+
+}  // namespace mate

@@ -1,0 +1,60 @@
+// A corpus is the data lake: the collection of candidate tables that join
+// discovery searches over (§2). It owns the tables and exposes the corpus
+// statistics that parameterize XASH (unique-value count for Eq. 5, character
+// frequencies for §5.3.2, average column count for the Bloom baseline).
+
+#ifndef MATE_STORAGE_CORPUS_H_
+#define MATE_STORAGE_CORPUS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "storage/types.h"
+#include "util/char_frequency.h"
+
+namespace mate {
+
+/// Corpus-wide statistics (cf. §7.1's corpus descriptions).
+struct CorpusStats {
+  uint64_t num_tables = 0;
+  uint64_t num_columns = 0;
+  uint64_t num_rows = 0;          // live rows
+  uint64_t num_cells = 0;         // live cells
+  uint64_t num_unique_values = 0; // distinct normalized values
+  double avg_columns_per_table = 0.0;
+  double avg_rows_per_table = 0.0;
+  std::array<uint64_t, kAlphabetSize> char_counts{};
+
+  std::string ToString() const;
+};
+
+class Corpus {
+ public:
+  Corpus() = default;
+
+  Corpus(const Corpus&) = delete;
+  Corpus& operator=(const Corpus&) = delete;
+  Corpus(Corpus&&) = default;
+  Corpus& operator=(Corpus&&) = default;
+
+  /// Adds a table and returns its id.
+  TableId AddTable(Table table);
+
+  size_t NumTables() const { return tables_.size(); }
+
+  const Table& table(TableId t) const { return tables_[t]; }
+  Table* mutable_table(TableId t) { return &tables_[t]; }
+
+  /// Full scan computing the statistics above (normalizes every cell).
+  CorpusStats ComputeStats() const;
+
+ private:
+  std::vector<Table> tables_;
+};
+
+}  // namespace mate
+
+#endif  // MATE_STORAGE_CORPUS_H_

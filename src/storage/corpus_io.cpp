@@ -1,0 +1,146 @@
+#include "storage/corpus_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/coding.h"
+
+namespace mate {
+
+namespace {
+constexpr char kMagic[] = "MATECORP";
+constexpr size_t kMagicLen = 8;
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+void SerializeCorpus(const Corpus& corpus, std::string* out) {
+  out->clear();
+  out->append(kMagic, kMagicLen);
+  PutFixed32(out, kVersion);
+  PutVarint64(out, corpus.NumTables());
+  for (TableId t = 0; t < corpus.NumTables(); ++t) {
+    const Table& table = corpus.table(t);
+    PutLengthPrefixed(out, table.name());
+    PutVarint64(out, table.NumColumns());
+    for (ColumnId c = 0; c < table.NumColumns(); ++c) {
+      PutLengthPrefixed(out, table.column_name(c));
+    }
+    PutVarint64(out, table.NumRows());
+    // Deleted-row bitmap, bit r of byte r/8.
+    std::string bitmap((table.NumRows() + 7) / 8, '\0');
+    for (RowId r = 0; r < table.NumRows(); ++r) {
+      if (table.IsRowDeleted(r)) bitmap[r / 8] |= static_cast<char>(1 << (r % 8));
+    }
+    PutLengthPrefixed(out, bitmap);
+    for (ColumnId c = 0; c < table.NumColumns(); ++c) {
+      for (RowId r = 0; r < table.NumRows(); ++r) {
+        PutLengthPrefixed(out, table.cell(r, c));
+      }
+    }
+  }
+}
+
+Result<Corpus> DeserializeCorpus(std::string_view data) {
+  if (data.size() < kMagicLen + 4 ||
+      data.substr(0, kMagicLen) != std::string_view(kMagic, kMagicLen)) {
+    return Status::Corruption("corpus: bad magic");
+  }
+  data.remove_prefix(kMagicLen);
+  uint32_t version = 0;
+  if (!GetFixed32(&data, &version) || version != kVersion) {
+    return Status::Corruption("corpus: unsupported version");
+  }
+  uint64_t num_tables = 0;
+  if (!GetVarint64(&data, &num_tables)) {
+    return Status::Corruption("corpus: bad table count");
+  }
+  Corpus corpus;
+  for (uint64_t t = 0; t < num_tables; ++t) {
+    std::string_view name;
+    if (!GetLengthPrefixed(&data, &name)) {
+      return Status::Corruption("corpus: bad table name");
+    }
+    Table table{std::string(name)};
+    uint64_t num_cols = 0;
+    if (!GetVarint64(&data, &num_cols)) {
+      return Status::Corruption("corpus: bad column count");
+    }
+    for (uint64_t c = 0; c < num_cols; ++c) {
+      std::string_view col_name;
+      if (!GetLengthPrefixed(&data, &col_name)) {
+        return Status::Corruption("corpus: bad column name");
+      }
+      table.AddColumn(std::string(col_name));
+    }
+    uint64_t num_rows = 0;
+    if (!GetVarint64(&data, &num_rows)) {
+      return Status::Corruption("corpus: bad row count");
+    }
+    std::string_view bitmap;
+    if (!GetLengthPrefixed(&data, &bitmap) ||
+        bitmap.size() != (num_rows + 7) / 8) {
+      return Status::Corruption("corpus: bad deleted bitmap");
+    }
+    // Cells are column-major on disk; gather them row-wise to append.
+    std::vector<std::vector<std::string>> cols(num_cols);
+    for (uint64_t c = 0; c < num_cols; ++c) {
+      cols[c].reserve(num_rows);
+      for (uint64_t r = 0; r < num_rows; ++r) {
+        std::string_view cell;
+        if (!GetLengthPrefixed(&data, &cell)) {
+          return Status::Corruption("corpus: truncated cells");
+        }
+        cols[c].emplace_back(cell);
+      }
+    }
+    for (uint64_t r = 0; r < num_rows; ++r) {
+      std::vector<std::string> row;
+      row.reserve(num_cols);
+      for (uint64_t c = 0; c < num_cols; ++c) row.push_back(std::move(cols[c][r]));
+      Result<RowId> row_id = table.AppendRow(std::move(row));
+      if (!row_id.ok()) return row_id.status();
+      if ((bitmap[r / 8] >> (r % 8)) & 1) {
+        MATE_RETURN_IF_ERROR(table.DeleteRow(*row_id));
+      }
+    }
+    corpus.AddTable(std::move(table));
+  }
+  return corpus;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + tmp);
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    if (!out) return Status::IOError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("rename failed for " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (!in.good() && !in.eof()) return Status::IOError("read failed: " + path);
+  return ss.str();
+}
+
+Status SaveCorpus(const Corpus& corpus, const std::string& path) {
+  std::string buffer;
+  SerializeCorpus(corpus, &buffer);
+  return WriteFileAtomic(path, buffer);
+}
+
+Result<Corpus> LoadCorpus(const std::string& path) {
+  MATE_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  return DeserializeCorpus(data);
+}
+
+}  // namespace mate

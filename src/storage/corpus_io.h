@@ -1,0 +1,38 @@
+// Binary corpus persistence. The format is versioned and length-prefixed so
+// readers can detect truncation and corruption.
+//
+//   [magic "MATECORP"] [version u32]
+//   [num_tables varint]
+//   per table: [name lp] [num_cols varint] [col names lp...]
+//              [num_rows varint] [deleted bitmap bytes]
+//              cells column-major, each length-prefixed
+
+#ifndef MATE_STORAGE_CORPUS_IO_H_
+#define MATE_STORAGE_CORPUS_IO_H_
+
+#include <string>
+
+#include "storage/corpus.h"
+#include "util/status.h"
+
+namespace mate {
+
+/// Serializes `corpus` into `out` (replacing its contents).
+void SerializeCorpus(const Corpus& corpus, std::string* out);
+
+/// Parses a corpus serialized by SerializeCorpus.
+Result<Corpus> DeserializeCorpus(std::string_view data);
+
+/// Writes the serialized corpus to `path` (atomically via rename).
+Status SaveCorpus(const Corpus& corpus, const std::string& path);
+
+/// Reads a corpus written by SaveCorpus.
+Result<Corpus> LoadCorpus(const std::string& path);
+
+/// Reads/writes a whole file (shared with index_io).
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace mate
+
+#endif  // MATE_STORAGE_CORPUS_IO_H_

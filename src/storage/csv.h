@@ -1,0 +1,27 @@
+// Minimal RFC-4180 CSV reader/writer so examples and users can ingest real
+// tables (quoted fields, embedded commas/newlines, doubled quotes).
+
+#ifndef MATE_STORAGE_CSV_H_
+#define MATE_STORAGE_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace mate {
+
+/// Parses CSV text into a Table; the first record is the header row.
+Result<Table> ParseCsv(std::string_view content, std::string table_name);
+
+/// Loads a CSV file; the table is named after `table_name` (or the path if
+/// empty).
+Result<Table> LoadCsvFile(const std::string& path, std::string table_name = "");
+
+/// Renders a table (including header) as CSV.
+std::string ToCsv(const Table& table);
+
+}  // namespace mate
+
+#endif  // MATE_STORAGE_CSV_H_

@@ -1,0 +1,25 @@
+// Identifier types shared by the storage, index, and discovery layers.
+
+#ifndef MATE_STORAGE_TYPES_H_
+#define MATE_STORAGE_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace mate {
+
+using TableId = uint32_t;
+using ColumnId = uint32_t;
+using RowId = uint32_t;
+using ValueId = uint64_t;
+
+inline constexpr TableId kInvalidTableId = std::numeric_limits<TableId>::max();
+inline constexpr ColumnId kInvalidColumnId =
+    std::numeric_limits<ColumnId>::max();
+inline constexpr RowId kInvalidRowId = std::numeric_limits<RowId>::max();
+inline constexpr ValueId kInvalidValueId =
+    std::numeric_limits<ValueId>::max();
+
+}  // namespace mate
+
+#endif  // MATE_STORAGE_TYPES_H_

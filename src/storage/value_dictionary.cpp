@@ -1,0 +1,29 @@
+#include "storage/value_dictionary.h"
+
+namespace mate {
+
+ValueId ValueDictionary::GetOrAdd(std::string_view normalized) {
+  auto it = ids_.find(normalized);
+  if (it != ids_.end()) return it->second;
+  ValueId id = static_cast<ValueId>(by_id_.size());
+  auto [inserted, _] = ids_.emplace(std::string(normalized), id);
+  by_id_.push_back(&inserted->first);
+  return id;
+}
+
+ValueId ValueDictionary::Find(std::string_view normalized) const {
+  auto it = ids_.find(normalized);
+  return it == ids_.end() ? kInvalidValueId : it->second;
+}
+
+size_t ValueDictionary::MemoryBytes() const {
+  size_t bytes = by_id_.size() * sizeof(const std::string*);
+  for (const auto& [value, id] : ids_) {
+    (void)id;
+    bytes += sizeof(std::string) + value.capacity() + sizeof(ValueId) +
+             2 * sizeof(void*);  // rough node overhead
+  }
+  return bytes;
+}
+
+}  // namespace mate

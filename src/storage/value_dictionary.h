@@ -1,0 +1,63 @@
+// Interns normalized cell values to dense ValueIds. The inverted index keys
+// posting lists by ValueId rather than by string, and the discovery phase
+// resolves query values through the same dictionary.
+
+#ifndef MATE_STORAGE_VALUE_DICTIONARY_H_
+#define MATE_STORAGE_VALUE_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace mate {
+
+class ValueDictionary {
+ public:
+  ValueDictionary() = default;
+
+  // The by-id table holds pointers into the node-stable map; copying would
+  // dangle them, so the dictionary is move-only.
+  ValueDictionary(const ValueDictionary&) = delete;
+  ValueDictionary& operator=(const ValueDictionary&) = delete;
+  ValueDictionary(ValueDictionary&&) = default;
+  ValueDictionary& operator=(ValueDictionary&&) = default;
+
+  /// Interns `normalized` (callers must pre-normalize) and returns its id.
+  ValueId GetOrAdd(std::string_view normalized);
+
+  /// Id of `normalized`, or kInvalidValueId if never interned.
+  ValueId Find(std::string_view normalized) const;
+
+  /// The string for `id`. Precondition: id < size().
+  const std::string& ValueOf(ValueId id) const { return *by_id_[id]; }
+
+  size_t size() const { return by_id_.size(); }
+
+  /// Approximate heap footprint, for index sizing stats.
+  size_t MemoryBytes() const;
+
+ private:
+  // Transparent hashing so Find(string_view) avoids a temporary string.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct StringEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  std::unordered_map<std::string, ValueId, StringHash, StringEq> ids_;
+  std::vector<const std::string*> by_id_;
+};
+
+}  // namespace mate
+
+#endif  // MATE_STORAGE_VALUE_DICTIONARY_H_

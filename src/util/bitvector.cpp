@@ -1,0 +1,105 @@
+#include "util/bitvector.h"
+
+#include <algorithm>
+
+#include "util/coding.h"
+
+namespace mate {
+
+namespace {
+
+// Extracts `len` bits starting at `start` into a word array aligned at bit 0.
+void ExtractRange(const BitVector& v, size_t start, size_t len,
+                  std::array<uint64_t, BitVector::kMaxWords>* out) {
+  out->fill(0);
+  for (size_t i = 0; i < len; ++i) {
+    if (v.TestBit(start + i)) {
+      (*out)[i / 64] |= uint64_t{1} << (i % 64);
+    }
+  }
+}
+
+}  // namespace
+
+void BitVector::RotateRangeLeft(size_t start, size_t len, size_t k) {
+  assert(start + len <= num_bits_);
+  if (len == 0) return;
+  k %= len;
+  if (k == 0) return;
+
+  // The range is small (at most 512 bits) and rotation happens once per
+  // hashed value, so a bit-at-a-time extract/write keeps this obviously
+  // correct; the hot path (IsSubsetOf) never rotates.
+  std::array<uint64_t, kMaxWords> src;
+  ExtractRange(*this, start, len, &src);
+  for (size_t i = 0; i < len; ++i) {
+    size_t from = (i + k) % len;
+    bool bit = (src[from / 64] >> (from % 64)) & 1;
+    if (bit) {
+      SetBit(start + i);
+    } else {
+      ClearBit(start + i);
+    }
+  }
+}
+
+std::string BitVector::ToBinaryString() const {
+  std::string out;
+  out.reserve(num_bits_);
+  for (size_t i = 0; i < num_bits_; ++i) out.push_back(TestBit(i) ? '1' : '0');
+  return out;
+}
+
+std::string BitVector::ToHexString() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(num_words_ * 16);
+  for (size_t w = 0; w < num_words_; ++w) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      out.push_back(kHex[(words_[w] >> shift) & 0xF]);
+    }
+  }
+  return out;
+}
+
+Result<BitVector> BitVector::FromBinaryString(std::string_view bits) {
+  if (bits.size() > kMaxBits) {
+    return Status::InvalidArgument("bit string longer than kMaxBits");
+  }
+  BitVector v(bits.size());
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] == '1') {
+      v.SetBit(i);
+    } else if (bits[i] != '0') {
+      return Status::InvalidArgument("bit string may contain only 0 and 1");
+    }
+  }
+  return v;
+}
+
+void BitVector::AppendToString(std::string* out) const {
+  PutVarint64(out, num_bits_);
+  for (size_t w = 0; w < num_words_; ++w) PutFixed64(out, words_[w]);
+}
+
+Result<BitVector> BitVector::ParseFrom(std::string_view* input) {
+  uint64_t num_bits = 0;
+  if (!GetVarint64(input, &num_bits)) {
+    return Status::Corruption("BitVector: bad width varint");
+  }
+  if (num_bits > kMaxBits) {
+    return Status::Corruption("BitVector: width exceeds kMaxBits");
+  }
+  BitVector v(static_cast<size_t>(num_bits));
+  for (size_t w = 0; w < v.num_words(); ++w) {
+    uint64_t word = 0;
+    if (!GetFixed64(input, &word)) {
+      return Status::Corruption("BitVector: truncated words");
+    }
+    v.words_[w] = word;
+  }
+  v.MaskTail();
+  return v;
+}
+
+}  // namespace mate

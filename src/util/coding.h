@@ -1,0 +1,36 @@
+// Little-endian fixed-width and varint encoding (RocksDB-style coding.h),
+// used by the corpus and index serialization layers.
+
+#ifndef MATE_UTIL_CODING_H_
+#define MATE_UTIL_CODING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mate {
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+
+/// Appends an LEB128 varint (1-5 bytes for 32-bit, 1-10 for 64-bit).
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Appends varint32 length followed by the bytes.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+
+/// Each Get* consumes bytes from the front of `*input` on success and
+/// returns false (leaving `*input` unspecified) on underflow/overflow.
+bool GetFixed32(std::string_view* input, uint32_t* value);
+bool GetFixed64(std::string_view* input, uint64_t* value);
+bool GetVarint32(std::string_view* input, uint32_t* value);
+bool GetVarint64(std::string_view* input, uint64_t* value);
+bool GetLengthPrefixed(std::string_view* input, std::string_view* value);
+
+/// Number of bytes PutVarint64 would append.
+size_t VarintLength(uint64_t value);
+
+}  // namespace mate
+
+#endif  // MATE_UTIL_CODING_H_

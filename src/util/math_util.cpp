@@ -1,0 +1,46 @@
+#include "util/math_util.h"
+
+#include <cmath>
+#include <limits>
+
+namespace mate {
+
+double LogBinomial(size_t n, size_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  if (k == 0 || k == n) return 0.0;
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+int OptimalOnesCount(size_t hash_bits, uint64_t unique_values) {
+  const double log_uniques =
+      std::log(static_cast<double>(unique_values > 0 ? unique_values : 1));
+  for (size_t alpha = 2; alpha <= hash_bits; ++alpha) {
+    if (LogBinomial(hash_bits, alpha) > log_uniques) {
+      return static_cast<int>(alpha);
+    }
+  }
+  return static_cast<int>(hash_bits);
+}
+
+size_t XashBeta(size_t hash_bits, size_t alphabet_size) {
+  if (alphabet_size == 0 || hash_bits <= alphabet_size) return 1;
+  size_t beta = (hash_bits - 1) / alphabet_size;
+  return beta == 0 ? 1 : beta;
+}
+
+uint64_t PermutationCount(size_t n, size_t k) {
+  if (k > n) return 0;
+  uint64_t result = 1;
+  for (size_t i = 0; i < k; ++i) {
+    uint64_t factor = static_cast<uint64_t>(n - i);
+    if (result > std::numeric_limits<uint64_t>::max() / factor) {
+      return std::numeric_limits<uint64_t>::max();
+    }
+    result *= factor;
+  }
+  return result;
+}
+
+}  // namespace mate

@@ -1,0 +1,31 @@
+// Combinatorics used by the XASH parameterization (Equations 5 and 6) and by
+// the joinability analysis (Equation 3).
+
+#ifndef MATE_UTIL_MATH_UTIL_H_
+#define MATE_UTIL_MATH_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mate {
+
+/// ln C(n, k); 0 when k == 0 or k == n, -inf when k > n.
+double LogBinomial(size_t n, size_t k);
+
+/// Equation 5: the minimum number of 1-bits alpha such that
+/// C(hash_bits, alpha) > unique_values. For 128 bits and 700M uniques this
+/// is 6, matching §5.3.1. Returns at least 2 (one length bit plus one
+/// character bit) and at most hash_bits.
+int OptimalOnesCount(size_t hash_bits, uint64_t unique_values);
+
+/// Equation 6: the largest beta with alphabet_size * beta < hash_bits
+/// (128 -> 3, 256 -> 6, 512 -> 13 for the 37-symbol alphabet).
+size_t XashBeta(size_t hash_bits, size_t alphabet_size = 37);
+
+/// Equation 3: number of size-k ordered column mappings out of n columns,
+/// n!/(n-k)!, saturating at UINT64_MAX.
+uint64_t PermutationCount(size_t n, size_t k);
+
+}  // namespace mate
+
+#endif  // MATE_UTIL_MATH_UTIL_H_

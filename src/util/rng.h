@@ -1,0 +1,72 @@
+// Deterministic random number generation. Every workload generator and bench
+// seeds an Rng explicitly so that experiment outputs are reproducible.
+
+#ifndef MATE_UTIL_RNG_H_
+#define MATE_UTIL_RNG_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace mate {
+
+/// SplitMix64 single-step mixer; used both as a seed expander and as the
+/// cheap integer mixer inside hash adapters.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// A seeded PRNG with convenience draws. Thin wrapper over mt19937_64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(SplitMix64(seed)) {}
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Raw 64 random bits.
+  uint64_t NextUint64() { return engine_(); }
+
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), engine_);
+  }
+
+  /// A reference to an element chosen uniformly. Precondition: !v.empty().
+  template <typename T>
+  const T& PickOne(const std::vector<T>& v) {
+    assert(!v.empty());
+    return v[Uniform(v.size())];
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mate
+
+#endif  // MATE_UTIL_RNG_H_

@@ -1,0 +1,36 @@
+// Monotonic wall-clock stopwatch for the bench harness and stats counters.
+
+#ifndef MATE_UTIL_STOPWATCH_H_
+#define MATE_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace mate {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mate
+
+#endif  // MATE_UTIL_STOPWATCH_H_

@@ -1,0 +1,78 @@
+#include "util/string_util.h"
+
+#include <cctype>
+
+namespace mate {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::string NormalizeValue(std::string_view raw) { return ToLower(Trim(raw)); }
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(s.substr(start));
+      break;
+    }
+    parts.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool IsAllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+bool NormalizedEquals(std::string_view normalized, std::string_view raw) {
+  std::string_view trimmed = Trim(raw);
+  if (trimmed.size() != normalized.size()) return false;
+  for (size_t i = 0; i < trimmed.size(); ++i) {
+    char c = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(trimmed[i])));
+    if (c != normalized[i]) return false;
+  }
+  return true;
+}
+
+std::string FormatKeyCombo(const std::vector<std::string>& values) {
+  return Join(values, "|");
+}
+
+}  // namespace mate

@@ -1,0 +1,43 @@
+// String helpers shared across the storage, hash, and workload layers.
+// NormalizeValue defines the canonical cell-value form used both at indexing
+// time and at query time, so equi-join semantics are consistent everywhere.
+
+#ifndef MATE_UTIL_STRING_UTIL_H_
+#define MATE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mate {
+
+/// ASCII-lowercases a copy of `s`.
+std::string ToLower(std::string_view s);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Canonical form of a cell value for indexing and joining: trimmed and
+/// ASCII-lowercased (the paper's corpora are case-folded the same way).
+std::string NormalizeValue(std::string_view raw);
+
+/// Splits on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` consists only of ASCII digits (and is non-empty).
+bool IsAllDigits(std::string_view s);
+
+/// True iff NormalizeValue(raw) == normalized, computed without allocating.
+/// `normalized` must already be in canonical form. This is the exact-match
+/// predicate of the joinability verification hot path.
+bool NormalizedEquals(std::string_view normalized, std::string_view raw);
+
+/// Printable "a|b|c" rendering of a composite key, used in examples/benches.
+std::string FormatKeyCombo(const std::vector<std::string>& values);
+
+}  // namespace mate
+
+#endif  // MATE_UTIL_STRING_UTIL_H_

@@ -1,0 +1,81 @@
+// Bounded top-k collector keyed by a score (higher is better). Ties break
+// toward the smaller id so that discovery results are deterministic across
+// systems and runs. This is the TOPK heap of Algorithm 1.
+
+#ifndef MATE_UTIL_TOPK_HEAP_H_
+#define MATE_UTIL_TOPK_HEAP_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mate {
+
+template <typename Id>
+class TopKHeap {
+ public:
+  struct Entry {
+    Id id;
+    int64_t score;
+  };
+
+  explicit TopKHeap(size_t k) : k_(k) { assert(k > 0); }
+
+  /// Offers (id, score); keeps it iff it beats the current k-th entry.
+  /// Returns true if the entry was kept.
+  bool Add(Id id, int64_t score) {
+    if (entries_.size() < k_) {
+      entries_.push_back({id, score});
+      std::push_heap(entries_.begin(), entries_.end(), WorseOnTop);
+      return true;
+    }
+    if (!Beats({id, score}, entries_.front())) return false;
+    std::pop_heap(entries_.begin(), entries_.end(), WorseOnTop);
+    entries_.back() = {id, score};
+    std::push_heap(entries_.begin(), entries_.end(), WorseOnTop);
+    return true;
+  }
+
+  bool Full() const { return entries_.size() >= k_; }
+  size_t size() const { return entries_.size(); }
+  size_t k() const { return k_; }
+
+  /// Joinability of the worst kept table (the paper's j_k). The table-filter
+  /// rules of §6.2 only apply once the heap is full; callers must check
+  /// Full() first.
+  int64_t KthScore() const {
+    assert(Full());
+    return entries_.front().score;
+  }
+
+  /// Entries ordered best-first (score desc, id asc).
+  std::vector<Entry> SortedDesc() const {
+    std::vector<Entry> sorted = entries_;
+    std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.id < b.id;
+    });
+    return sorted;
+  }
+
+ private:
+  // True iff `a` ranks strictly better than `b`.
+  static bool Beats(const Entry& a, const Entry& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  }
+
+  // Heap comparator keeping the *worst* entry on top.
+  static bool WorseOnTop(const Entry& a, const Entry& b) {
+    return Beats(a, b);
+  }
+
+  size_t k_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace mate
+
+#endif  // MATE_UTIL_TOPK_HEAP_H_

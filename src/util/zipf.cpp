@@ -1,0 +1,35 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mate {
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) : n_(n), s_(s) {
+  assert(n > 0);
+  assert(s >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (size_t k = 0; k < n; ++k) cdf_[k] /= total;
+  cdf_[n - 1] = 1.0;  // guard against rounding
+}
+
+size_t ZipfDistribution::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(size_t rank) const {
+  assert(rank < n_);
+  if (rank == 0) return cdf_[0];
+  return cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace mate

@@ -1,0 +1,38 @@
+// Zipfian sampling over ranks 0..n-1: P(rank k) proportional to 1/(k+1)^s.
+// Web-table value reuse is heavy-tailed (§7.5.4: "the number of PL items per
+// cell value follows the power-law distribution"), so workload generators
+// draw vocabulary ranks from this distribution.
+
+#ifndef MATE_UTIL_ZIPF_H_
+#define MATE_UTIL_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mate {
+
+class ZipfDistribution {
+ public:
+  /// Precondition: n > 0, s >= 0 (s == 0 degenerates to uniform).
+  ZipfDistribution(size_t n, double s);
+
+  /// Draws a rank in [0, n); rank 0 is the most frequent.
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return n_; }
+  double s() const { return s_; }
+
+  /// Probability mass of `rank`.
+  double Pmf(size_t rank) const;
+
+ private:
+  size_t n_;
+  double s_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+};
+
+}  // namespace mate
+
+#endif  // MATE_UTIL_ZIPF_H_

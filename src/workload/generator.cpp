@@ -1,0 +1,49 @@
+#include "workload/generator.h"
+
+#include <cmath>
+
+#include "util/zipf.h"
+
+namespace mate {
+
+namespace {
+
+size_t SampleColumns(Rng* rng, const CorpusSpec& spec) {
+  const size_t span = spec.max_columns - spec.min_columns;
+  if (spec.column_tail_exponent <= 0.0) {
+    return spec.min_columns + rng->Uniform(span + 1);
+  }
+  double u = std::pow(rng->NextDouble(), spec.column_tail_exponent);
+  size_t extra = static_cast<size_t>(
+      std::floor(u * static_cast<double>(span + 1)));
+  if (extra > span) extra = span;
+  return spec.min_columns + extra;
+}
+
+}  // namespace
+
+Corpus GenerateCorpus(const CorpusSpec& spec, const Vocabulary& vocab) {
+  Rng rng(spec.seed);
+  ZipfDistribution zipf(vocab.size(), spec.zipf_s);
+  Corpus corpus;
+  for (size_t t = 0; t < spec.num_tables; ++t) {
+    Table table("table_" + std::to_string(t));
+    size_t cols = SampleColumns(&rng, spec);
+    size_t rows = spec.min_rows + rng.Uniform(spec.max_rows - spec.min_rows + 1);
+    for (size_t c = 0; c < cols; ++c) {
+      table.AddColumn("col_" + std::to_string(c));
+    }
+    for (size_t r = 0; r < rows; ++r) {
+      std::vector<std::string> cells;
+      cells.reserve(cols);
+      for (size_t c = 0; c < cols; ++c) {
+        cells.push_back(vocab.word(zipf.Sample(&rng)));
+      }
+      (void)table.AppendRow(std::move(cells));
+    }
+    corpus.AddTable(std::move(table));
+  }
+  return corpus;
+}
+
+}  // namespace mate

@@ -1,0 +1,39 @@
+// Synthetic corpus generation: tables whose cells are Zipf-sampled from a
+// shared vocabulary. Shapes (table counts, widths, heights) are chosen per
+// scenario to mirror the §7.1 corpora; see scenarios.h.
+
+#ifndef MATE_WORKLOAD_GENERATOR_H_
+#define MATE_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+
+#include "storage/corpus.h"
+#include "workload/vocabulary.h"
+
+namespace mate {
+
+struct CorpusSpec {
+  size_t num_tables = 1000;
+  size_t min_columns = 3;
+  size_t max_columns = 8;
+  size_t min_rows = 5;
+  size_t max_rows = 30;
+  /// Zipf skew of value reuse; ~1.05 gives the heavy-tailed posting lists
+  /// real web tables show.
+  double zipf_s = 1.05;
+  /// Table-width skew. 0 samples widths uniformly in [min, max]; larger
+  /// values concentrate mass near min_columns with a fat tail of wide
+  /// tables (width = min + (max-min)*u^exponent). Real corpora have this
+  /// tail, and it is what makes average-tuned Bloom super keys collapse on
+  /// wide tables (§7.3) while XASH degrades gracefully.
+  double column_tail_exponent = 0.0;
+  uint64_t seed = 42;
+};
+
+/// Generates a corpus drawing cells from `vocab`; deterministic in
+/// spec.seed.
+Corpus GenerateCorpus(const CorpusSpec& spec, const Vocabulary& vocab);
+
+}  // namespace mate
+
+#endif  // MATE_WORKLOAD_GENERATOR_H_

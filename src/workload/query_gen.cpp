@@ -1,0 +1,177 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/string_util.h"
+#include "util/zipf.h"
+
+namespace mate {
+
+namespace {
+
+// Real composite keys mix columns of very different cardinalities (a
+// country column repeats heavily; an address column barely repeats). Each
+// key position draws from its own pool of vocabulary ranks whose size is
+// log-uniform in [rows/16, 2*rows] — this is what gives the §7.5.4
+// init-column strategies something to choose between.
+std::vector<std::vector<size_t>> SampleKeyPools(Rng* rng,
+                                                const ZipfDistribution& zipf,
+                                                size_t vocab_size,
+                                                size_t rows,
+                                                size_t key_size) {
+  std::vector<std::vector<size_t>> pools(key_size);
+  for (size_t i = 0; i < key_size; ++i) {
+    double lo = std::log(std::max<double>(4.0, static_cast<double>(rows) / 16));
+    double hi = std::log(std::max<double>(8.0, 2.0 * static_cast<double>(rows)));
+    size_t pool_size = static_cast<size_t>(
+        std::exp(lo + rng->NextDouble() * (hi - lo)));
+    // §7.5.4 observes that PL length per value is power-law distributed:
+    // "most of the values lead to a similar number of PL items (average
+    // 12)" with a small head of huge lists. Query values therefore come
+    // mostly from the *populated mid-range* of the vocabulary (ranks the
+    // Zipf corpus actually reuses a handful of times), plus a few Zipf-head
+    // outliers — the outliers are what the worst init column trips over.
+    const size_t mid_range = std::max<size_t>(8, vocab_size / 8);
+    pools[i].reserve(pool_size);
+    for (size_t j = 0; j < pool_size; ++j) {
+      pools[i].push_back(rng->Bernoulli(0.03) ? zipf.Sample(rng)
+                                              : rng->Uniform(mid_range));
+    }
+  }
+  return pools;
+}
+
+// Distinct key combos for one query, each position sampled from its pool.
+std::vector<std::vector<std::string>> SampleCombos(
+    Rng* rng, const Vocabulary& vocab,
+    const std::vector<std::vector<size_t>>& pools, size_t count,
+    size_t key_size) {
+  std::vector<std::vector<std::string>> combos;
+  std::unordered_set<std::string> seen;
+  size_t attempts = 0;
+  while (combos.size() < count && attempts < count * 20) {
+    ++attempts;
+    std::vector<std::string> combo;
+    combo.reserve(key_size);
+    std::string joined;
+    for (size_t i = 0; i < key_size; ++i) {
+      combo.push_back(vocab.word(rng->PickOne(pools[i])));
+      joined += combo.back();
+      joined.push_back('\x1F');
+    }
+    if (seen.insert(joined).second) combos.push_back(std::move(combo));
+  }
+  return combos;
+}
+
+}  // namespace
+
+std::vector<QueryCase> GenerateQueries(Corpus* corpus,
+                                       const Vocabulary& vocab,
+                                       const QuerySetSpec& spec) {
+  Rng rng(spec.seed);
+  ZipfDistribution key_zipf(vocab.size(), spec.key_zipf_s);
+  ZipfDistribution payload_zipf(vocab.size(), 1.0);
+  std::vector<QueryCase> cases;
+  cases.reserve(spec.num_queries);
+
+  // Corpus tables wide enough to host a planted mapping.
+  std::vector<TableId> plantable;
+  for (TableId t = 0; t < corpus->NumTables(); ++t) {
+    if (corpus->table(t).NumColumns() >= spec.key_size) plantable.push_back(t);
+  }
+
+  for (size_t q = 0; q < spec.num_queries; ++q) {
+    QueryCase qc;
+    qc.query.set_name("query_" + std::to_string(q));
+
+    // Key columns at random distinct positions.
+    std::vector<ColumnId> positions(spec.query_columns);
+    for (size_t c = 0; c < spec.query_columns; ++c) {
+      positions[c] = static_cast<ColumnId>(c);
+    }
+    rng.Shuffle(&positions);
+    qc.key_columns.assign(positions.begin(), positions.begin() + spec.key_size);
+    std::sort(qc.key_columns.begin(), qc.key_columns.end());
+
+    for (size_t c = 0; c < spec.query_columns; ++c) {
+      qc.query.AddColumn("q_col_" + std::to_string(c));
+    }
+
+    const size_t rows =
+        std::max<size_t>(2, spec.query_rows / 3 +
+                                rng.Uniform(spec.query_rows -
+                                            spec.query_rows / 3 + 1));
+    std::vector<std::vector<size_t>> pools =
+        SampleKeyPools(&rng, key_zipf, vocab.size(), rows, spec.key_size);
+    std::vector<std::vector<std::string>> combos =
+        SampleCombos(&rng, vocab, pools, rows, spec.key_size);
+
+    // Build the query rows: key values at key positions, Zipf payload
+    // elsewhere.
+    for (const auto& combo : combos) {
+      std::vector<std::string> cells(spec.query_columns);
+      for (size_t i = 0; i < spec.key_size; ++i) {
+        cells[qc.key_columns[i]] = combo[i];
+      }
+      for (size_t c = 0; c < spec.query_columns; ++c) {
+        if (cells[c].empty()) {
+          cells[c] = vocab.word(payload_zipf.Sample(&rng));
+        }
+      }
+      (void)qc.query.AppendRow(std::move(cells));
+    }
+
+    // Plant decaying fractions of the combos into target tables.
+    if (!plantable.empty() && !combos.empty()) {
+      const size_t num_targets = std::min(spec.planted_tables,
+                                          plantable.size());
+      std::unordered_set<TableId> used_targets;
+      for (size_t i = 0; i < num_targets; ++i) {
+        TableId target = plantable[rng.Uniform(plantable.size())];
+        if (!used_targets.insert(target).second) continue;
+        Table* table = corpus->mutable_table(target);
+
+        // One consistent mapping per (query, target): key position ->
+        // distinct target column.
+        std::vector<ColumnId> cols(table->NumColumns());
+        for (size_t c = 0; c < cols.size(); ++c) {
+          cols[c] = static_cast<ColumnId>(c);
+        }
+        rng.Shuffle(&cols);
+        std::vector<ColumnId> mapping(cols.begin(),
+                                      cols.begin() + spec.key_size);
+
+        double fraction = spec.plant_fraction *
+                          (1.0 - static_cast<double>(i) /
+                                     (2.0 * static_cast<double>(num_targets)));
+        size_t plant_count = std::max<size_t>(
+            1, static_cast<size_t>(fraction *
+                                   static_cast<double>(combos.size())));
+        plant_count = std::min(plant_count, combos.size());
+
+        for (size_t p = 0; p < plant_count; ++p) {
+          std::vector<std::string> cells(table->NumColumns());
+          for (size_t c = 0; c < cells.size(); ++c) {
+            cells[c] = vocab.word(payload_zipf.Sample(&rng));
+          }
+          for (size_t kpos = 0; kpos < spec.key_size; ++kpos) {
+            cells[mapping[kpos]] = combos[p][kpos];
+          }
+          (void)table->AppendRow(std::move(cells));
+        }
+        qc.planted.emplace_back(target, plant_count);
+      }
+      std::sort(qc.planted.begin(), qc.planted.end(),
+                [](const auto& a, const auto& b) {
+                  return a.second > b.second;
+                });
+    }
+    cases.push_back(std::move(qc));
+  }
+  return cases;
+}
+
+}  // namespace mate

@@ -1,0 +1,59 @@
+// Query-table generation with *planted* joins: each query gets a composite
+// key whose value combinations are copied, under a consistent column
+// mapping, into a chosen set of corpus tables. Planting gives every query a
+// known lower bound on the joinability of its target tables, while Zipf
+// reuse of individual values creates exactly the single-value false-positive
+// pressure MATE's row filter exists to kill.
+
+#ifndef MATE_WORKLOAD_QUERY_GEN_H_
+#define MATE_WORKLOAD_QUERY_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/corpus.h"
+#include "workload/vocabulary.h"
+
+namespace mate {
+
+struct QueryCase {
+  Table query;
+  std::vector<ColumnId> key_columns;
+
+  /// Tables that received planted rows, with the number of distinct combos
+  /// planted (a lower bound on their true joinability).
+  std::vector<std::pair<TableId, size_t>> planted;
+};
+
+struct QuerySetSpec {
+  size_t num_queries = 10;
+  /// Rows per query table (the paper's "cardinality" knob: WT(10) ~ 10,
+  /// OD(10k) ~ 10000). Actual row counts are sampled in
+  /// [query_rows/3, query_rows].
+  size_t query_rows = 100;
+  size_t query_columns = 5;  // total columns (key + payload)
+  size_t key_size = 2;       // |Q|
+
+  size_t planted_tables = 12;
+  /// Fraction of query combos planted into the best target table; later
+  /// targets decay linearly so the top-k ranking has spread.
+  double plant_fraction = 0.5;
+
+  /// Zipf skew for sampling key values from the vocabulary (lighter than
+  /// the corpus's so keys are not dominated by stopword-like tokens).
+  double key_zipf_s = 0.7;
+
+  uint64_t seed = 1;
+};
+
+/// Generates queries and plants their keys into `corpus` (mutating it).
+/// Must run before the corpus is indexed. Deterministic in spec.seed.
+std::vector<QueryCase> GenerateQueries(Corpus* corpus,
+                                       const Vocabulary& vocab,
+                                       const QuerySetSpec& spec);
+
+}  // namespace mate
+
+#endif  // MATE_WORKLOAD_QUERY_GEN_H_

@@ -1,0 +1,180 @@
+#include "workload/scenarios.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/generator.h"
+
+namespace mate {
+
+namespace {
+
+size_t Scaled(size_t base, double scale, size_t floor_value) {
+  return std::max<size_t>(
+      floor_value,
+      static_cast<size_t>(std::llround(static_cast<double>(base) * scale)));
+}
+
+}  // namespace
+
+Workload MakeWebTablesWorkload(const WorkloadConfig& config) {
+  Workload w;
+  w.corpus_name = "WT";
+  Vocabulary vocab = Vocabulary::Generate(Scaled(40000, config.scale, 4000),
+                                          Vocabulary::Style::kMixed,
+                                          config.seed ^ 0x5741ULL);
+  CorpusSpec corpus_spec;
+  corpus_spec.num_tables = Scaled(6000, config.scale, 200);
+  // DWTC-like widths: most tables are 2-8 columns, with a fat tail of wide
+  // entity tables that average-tuned Bloom filters mis-size for.
+  corpus_spec.min_columns = 2;
+  corpus_spec.max_columns = 30;
+  corpus_spec.column_tail_exponent = 4.0;
+  corpus_spec.min_rows = 4;
+  corpus_spec.max_rows = 25;
+  corpus_spec.seed = config.seed;
+  w.corpus = GenerateCorpus(corpus_spec, vocab);
+
+  const size_t cardinalities[3] = {10, 100, 1000};
+  const char* names[3] = {"WT (10)", "WT (100)", "WT (1000)"};
+  for (int i = 0; i < 3; ++i) {
+    QuerySetSpec spec;
+    spec.num_queries = config.queries_per_set;
+    spec.query_rows = Scaled(cardinalities[i], config.scale, 6);
+    spec.query_columns = 5;
+    spec.key_size = 2;
+    spec.planted_tables = 12;
+    spec.plant_fraction = 0.5;
+    spec.seed = config.seed + 100 + static_cast<uint64_t>(i);
+    w.query_sets.emplace_back(names[i],
+                              GenerateQueries(&w.corpus, vocab, spec));
+  }
+  return w;
+}
+
+Workload MakeOpenDataWorkload(const WorkloadConfig& config) {
+  Workload w;
+  w.corpus_name = "OD";
+  // Vocabulary scaled so cells/uniques stays near real open data's ratio
+  // (~3-20x reuse), keeping posting lists short on average.
+  Vocabulary vocab = Vocabulary::Generate(Scaled(150000, config.scale, 8000),
+                                          Vocabulary::Style::kMixed,
+                                          config.seed ^ 0x4F44ULL);
+  CorpusSpec corpus_spec;
+  corpus_spec.num_tables = Scaled(800, config.scale, 60);
+  // Open-data widths: ~26 columns on average with a tail of very wide
+  // statistical tables.
+  corpus_spec.min_columns = 4;
+  corpus_spec.max_columns = 60;
+  corpus_spec.column_tail_exponent = 1.4;
+  corpus_spec.min_rows = 30;
+  corpus_spec.max_rows = 250;
+  corpus_spec.seed = config.seed + 1;
+  w.corpus = GenerateCorpus(corpus_spec, vocab);
+
+  const size_t cardinalities[3] = {100, 1000, 10000};
+  const char* names[3] = {"OD (100)", "OD (1000)", "OD (10000)"};
+  for (int i = 0; i < 3; ++i) {
+    QuerySetSpec spec;
+    spec.num_queries = config.queries_per_set;
+    spec.query_rows = Scaled(cardinalities[i], config.scale, 8);
+    spec.query_columns = 8;
+    spec.key_size = 2;
+    spec.planted_tables = 10;
+    spec.plant_fraction = 0.6;
+    spec.seed = config.seed + 200 + static_cast<uint64_t>(i);
+    w.query_sets.emplace_back(names[i],
+                              GenerateQueries(&w.corpus, vocab, spec));
+  }
+  return w;
+}
+
+Workload MakeSchoolWorkload(const WorkloadConfig& config) {
+  Workload w;
+  w.corpus_name = "School";
+  Vocabulary vocab = Vocabulary::Generate(Scaled(90000, config.scale, 6000),
+                                          Vocabulary::Style::kMixed,
+                                          config.seed ^ 0x5343ULL);
+  CorpusSpec corpus_spec;
+  corpus_spec.num_tables = Scaled(50, config.scale, 10);
+  corpus_spec.min_columns = 22;
+  corpus_spec.max_columns = 30;
+  corpus_spec.min_rows = Scaled(800, config.scale, 100);
+  corpus_spec.max_rows = Scaled(2000, config.scale, 200);
+  corpus_spec.seed = config.seed + 2;
+  w.corpus = GenerateCorpus(corpus_spec, vocab);
+
+  QuerySetSpec spec;
+  spec.num_queries = std::max<size_t>(2, config.queries_per_set / 2);
+  spec.query_rows = Scaled(2500, config.scale, 50);
+  spec.query_columns = 6;
+  spec.key_size = 2;
+  spec.planted_tables = 8;
+  spec.plant_fraction = 0.35;
+  spec.seed = config.seed + 300;
+  w.query_sets.emplace_back("School", GenerateQueries(&w.corpus, vocab, spec));
+  return w;
+}
+
+Workload MakeKaggleWorkload(const WorkloadConfig& config) {
+  Workload w;
+  w.corpus_name = "Kaggle/WT";
+  Vocabulary vocab = Vocabulary::Generate(Scaled(40000, config.scale, 4000),
+                                          Vocabulary::Style::kMixed,
+                                          config.seed ^ 0x4B41ULL);
+  CorpusSpec corpus_spec;
+  corpus_spec.num_tables = Scaled(6000, config.scale, 200);
+  corpus_spec.min_columns = 2;
+  corpus_spec.max_columns = 30;
+  corpus_spec.column_tail_exponent = 4.0;
+  corpus_spec.min_rows = 4;
+  corpus_spec.max_rows = 25;
+  corpus_spec.seed = config.seed + 3;
+  w.corpus = GenerateCorpus(corpus_spec, vocab);
+
+  QuerySetSpec spec;
+  spec.num_queries = std::max<size_t>(2, config.queries_per_set / 2);
+  spec.query_rows = Scaled(3000, config.scale, 60);
+  spec.query_columns = 10;
+  spec.key_size = 2;
+  spec.planted_tables = 12;
+  spec.plant_fraction = 0.4;
+  spec.key_zipf_s = 0.5;  // ML feature tables: flatter key distribution
+  spec.seed = config.seed + 400;
+  w.query_sets.emplace_back("Kaggle", GenerateQueries(&w.corpus, vocab, spec));
+  return w;
+}
+
+Workload MakeKeySizeWorkload(const WorkloadConfig& config,
+                             const std::vector<size_t>& key_sizes) {
+  Workload w;
+  w.corpus_name = "OD/keysize";
+  Vocabulary vocab = Vocabulary::Generate(Scaled(80000, config.scale, 6000),
+                                          Vocabulary::Style::kMixed,
+                                          config.seed ^ 0x4B53ULL);
+  CorpusSpec corpus_spec;
+  corpus_spec.num_tables = Scaled(600, config.scale, 50);
+  // §7.5.3 uses a dataset with 33 columns, 10 of which can form the key.
+  corpus_spec.min_columns = 12;
+  corpus_spec.max_columns = 33;
+  corpus_spec.min_rows = 30;
+  corpus_spec.max_rows = 200;
+  corpus_spec.seed = config.seed + 4;
+  w.corpus = GenerateCorpus(corpus_spec, vocab);
+
+  for (size_t m : key_sizes) {
+    QuerySetSpec spec;
+    spec.num_queries = config.queries_per_set;
+    spec.query_rows = Scaled(400, config.scale, 20);
+    spec.query_columns = std::max<size_t>(12, m + 2);
+    spec.key_size = m;
+    spec.planted_tables = 8;
+    spec.plant_fraction = 0.5;
+    spec.seed = config.seed + 500 + static_cast<uint64_t>(m);
+    w.query_sets.emplace_back("|Q|=" + std::to_string(m),
+                              GenerateQueries(&w.corpus, vocab, spec));
+  }
+  return w;
+}
+
+}  // namespace mate

@@ -1,0 +1,58 @@
+// The paper's evaluation workloads (§7.1, Table 1), rebuilt as synthetic
+// analogues: a web-table-like corpus (DWTC stand-in), an open-data-like
+// corpus (govdata stand-in), the School corpus of few-but-huge tables, and
+// Kaggle-style high-cardinality queries. Every maker is deterministic in
+// (scale, seed). See DESIGN.md §2 for the substitution rationale.
+
+#ifndef MATE_WORKLOAD_SCENARIOS_H_
+#define MATE_WORKLOAD_SCENARIOS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/corpus.h"
+#include "workload/query_gen.h"
+
+namespace mate {
+
+struct WorkloadConfig {
+  /// Scales corpus table counts and query cardinalities together. 1.0 is
+  /// sized so a full bench binary finishes in tens of seconds on a laptop.
+  double scale = 1.0;
+  size_t queries_per_set = 5;
+  uint64_t seed = 42;
+};
+
+struct Workload {
+  std::string corpus_name;
+  Corpus corpus;
+  /// Query sets in paper order, e.g. ("WT (10)", cases...).
+  std::vector<std::pair<std::string, std::vector<QueryCase>>> query_sets;
+};
+
+/// DWTC stand-in: many small narrow tables; sets WT (10), WT (100),
+/// WT (1000).
+Workload MakeWebTablesWorkload(const WorkloadConfig& config);
+
+/// German-open-data stand-in: fewer, wider, taller tables; sets OD (100),
+/// OD (1000), OD (10000).
+Workload MakeOpenDataWorkload(const WorkloadConfig& config);
+
+/// School corpus stand-in (§7.1: 335 tables, ~27 columns, ~30k rows): one
+/// "School" set of large queries against few huge tables.
+Workload MakeSchoolWorkload(const WorkloadConfig& config);
+
+/// Kaggle stand-in: high-cardinality ML-style query tables against the
+/// web-table corpus; one "Kaggle" set.
+Workload MakeKaggleWorkload(const WorkloadConfig& config);
+
+/// Figure 6 workload: an open-data-like corpus whose plantable tables are
+/// wide enough for 10-column composite keys, plus one query set per key
+/// size in `key_sizes`.
+Workload MakeKeySizeWorkload(const WorkloadConfig& config,
+                             const std::vector<size_t>& key_sizes);
+
+}  // namespace mate
+
+#endif  // MATE_WORKLOAD_SCENARIOS_H_

@@ -1,0 +1,110 @@
+#include "workload/vocabulary.h"
+
+#include <array>
+#include <unordered_set>
+
+#include "util/char_frequency.h"
+
+namespace mate {
+
+namespace {
+
+// Cumulative distribution over the 26 letters from the English table.
+const std::array<double, 26>& LetterCdf() {
+  static const std::array<double, 26> kCdf = [] {
+    const CharFrequencyTable& table = CharFrequencyTable::English();
+    std::array<double, 26> cdf{};
+    double total = 0.0;
+    for (int i = 0; i < 26; ++i) total += table.frequency(i);
+    double acc = 0.0;
+    for (int i = 0; i < 26; ++i) {
+      acc += table.frequency(i) / total;
+      cdf[i] = acc;
+    }
+    cdf[25] = 1.0;
+    return cdf;
+  }();
+  return kCdf;
+}
+
+char SampleLetter(Rng* rng) {
+  double u = rng->NextDouble();
+  const auto& cdf = LetterCdf();
+  for (int i = 0; i < 26; ++i) {
+    if (u <= cdf[i]) return static_cast<char>('a' + i);
+  }
+  return 'z';
+}
+
+std::string GenerateNumericCode(Rng* rng) {
+  size_t len = 1 + rng->Uniform(8);
+  std::string code;
+  code.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    code.push_back(static_cast<char>('0' + rng->Uniform(10)));
+  }
+  return code;
+}
+
+std::string GenerateDate(Rng* rng) {
+  int year = 1990 + static_cast<int>(rng->Uniform(35));
+  int month = 1 + static_cast<int>(rng->Uniform(12));
+  int day = 1 + static_cast<int>(rng->Uniform(28));
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+  return buf;
+}
+
+std::string GeneratePhrase(Rng* rng, size_t words) {
+  std::string phrase;
+  for (size_t w = 0; w < words; ++w) {
+    if (w > 0) phrase.push_back(' ');
+    phrase.append(GenerateWord(rng, 3, 9));
+  }
+  return phrase;
+}
+
+}  // namespace
+
+std::string GenerateWord(Rng* rng, size_t min_len, size_t max_len) {
+  size_t len = min_len + rng->Uniform(max_len - min_len + 1);
+  std::string word;
+  word.reserve(len);
+  for (size_t i = 0; i < len; ++i) word.push_back(SampleLetter(rng));
+  return word;
+}
+
+Vocabulary Vocabulary::Generate(size_t size, Style style, uint64_t seed) {
+  Rng rng(seed);
+  Vocabulary vocab;
+  vocab.words_.reserve(size);
+  std::unordered_set<std::string> seen;
+  while (vocab.words_.size() < size) {
+    std::string token;
+    switch (style) {
+      case Style::kWords:
+        token = GenerateWord(&rng, 2, 12);
+        break;
+      case Style::kMixed: {
+        uint64_t pick = rng.Uniform(10);
+        if (pick < 6) {
+          token = GenerateWord(&rng, 2, 12);
+        } else if (pick < 8) {
+          token = GenerateNumericCode(&rng);
+        } else if (pick < 9) {
+          token = GenerateDate(&rng);
+        } else {
+          token = GeneratePhrase(&rng, 2);
+        }
+        break;
+      }
+      case Style::kEntities:
+        token = GeneratePhrase(&rng, 1 + rng.Uniform(3));
+        break;
+    }
+    if (seen.insert(token).second) vocab.words_.push_back(std::move(token));
+  }
+  return vocab;
+}
+
+}  // namespace mate

@@ -1,0 +1,40 @@
+// Synthetic vocabularies with web-table-like character statistics. Cell
+// values are drawn from these via Zipf ranks so that posting-list lengths
+// are heavy-tailed, as §7.5.4 observes for real corpora.
+
+#ifndef MATE_WORKLOAD_VOCABULARY_H_
+#define MATE_WORKLOAD_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mate {
+
+class Vocabulary {
+ public:
+  enum class Style {
+    kWords,     // English-like letter strings
+    kMixed,     // words + numeric codes + dates (web-table flavor)
+    kEntities,  // person/city/country-like phrases (Kaggle flavor)
+  };
+
+  /// Generates `size` distinct tokens; deterministic in `seed`.
+  static Vocabulary Generate(size_t size, Style style, uint64_t seed);
+
+  const std::string& word(size_t rank) const { return words_[rank]; }
+  size_t size() const { return words_.size(); }
+
+ private:
+  std::vector<std::string> words_;
+};
+
+/// One English-like word of length in [min_len, max_len], letters sampled
+/// from English frequencies.
+std::string GenerateWord(Rng* rng, size_t min_len, size_t max_len);
+
+}  // namespace mate
+
+#endif  // MATE_WORKLOAD_VOCABULARY_H_

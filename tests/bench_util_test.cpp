@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "bench_util/report.h"
+#include "bench_util/runner.h"
+
+namespace mate {
+namespace {
+
+TEST(ReportTableTest, AlignsColumns) {
+  ReportTable table({"Name", "Value"});
+  table.AddRow({"short", "1"});
+  table.AddRow({"a much longer name", "12345"});
+  std::string rendered = table.ToString();
+  // Header present, borders present, all rows rendered.
+  EXPECT_NE(rendered.find("| Name"), std::string::npos);
+  EXPECT_NE(rendered.find("| a much longer name |"), std::string::npos);
+  EXPECT_NE(rendered.find("+--"), std::string::npos);
+  // Every line has identical width.
+  size_t width = rendered.find('\n');
+  size_t pos = 0;
+  while (pos < rendered.size()) {
+    size_t next = rendered.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, width);
+    pos = next + 1;
+  }
+}
+
+TEST(ReportTableTest, ShortRowsPadWithEmptyCells) {
+  ReportTable table({"A", "B", "C"});
+  table.AddRow({"only-one"});
+  std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("only-one"), std::string::npos);
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 0), "3");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(FormatTest, FormatSecondsAdaptiveUnits) {
+  EXPECT_EQ(FormatSeconds(2.5), "2.50s");
+  EXPECT_EQ(FormatSeconds(0.0025), "2.50ms");
+  EXPECT_EQ(FormatSeconds(0.0000005), "0.5us");
+}
+
+TEST(FormatTest, FormatBytesAdaptiveUnits) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KB");
+  EXPECT_EQ(FormatBytes(3 << 20), "3.00 MB");
+  EXPECT_EQ(FormatBytes(uint64_t{5} << 30), "5.00 GB");
+}
+
+TEST(FormatTest, FormatMeanStd) {
+  EXPECT_EQ(FormatMeanStd(0.876, 0.251), "0.88 ±0.25");
+}
+
+TEST(SystemKindTest, Names) {
+  EXPECT_EQ(SystemKindName(SystemKind::kMate), "Mate");
+  EXPECT_EQ(SystemKindName(SystemKind::kScr), "SCR");
+  EXPECT_EQ(SystemKindName(SystemKind::kMcr), "MCR");
+  EXPECT_EQ(SystemKindName(SystemKind::kScrJosie), "SCR Josie");
+  EXPECT_EQ(SystemKindName(SystemKind::kMcrJosie), "MCR Josie");
+}
+
+TEST(ParseBenchArgsTest, DefaultsAndOverrides) {
+  BenchArgs defaults;
+  defaults.scale = 0.5;
+  defaults.queries = 7;
+  {
+    char prog[] = "bench";
+    char* argv[] = {prog};
+    BenchArgs args = ParseBenchArgs(1, argv, "t", defaults);
+    EXPECT_DOUBLE_EQ(args.scale, 0.5);
+    EXPECT_EQ(args.queries, 7u);
+    EXPECT_EQ(args.k, 10);
+  }
+  {
+    char prog[] = "bench";
+    char scale[] = "--scale=0.25";
+    char seed[] = "--seed=99";
+    char queries[] = "--queries=3";
+    char k[] = "--k=5";
+    char* argv[] = {prog, scale, seed, queries, k};
+    BenchArgs args = ParseBenchArgs(5, argv, "t", defaults);
+    EXPECT_DOUBLE_EQ(args.scale, 0.25);
+    EXPECT_EQ(args.seed, 99u);
+    EXPECT_EQ(args.queries, 3u);
+    EXPECT_EQ(args.k, 5);
+  }
+}
+
+}  // namespace
+}  // namespace mate

@@ -1,0 +1,96 @@
+#include "util/char_frequency.h"
+
+#include <gtest/gtest.h>
+
+namespace mate {
+namespace {
+
+TEST(NormalizeCharTest, LettersFoldCase) {
+  EXPECT_EQ(NormalizeChar('a'), 0);
+  EXPECT_EQ(NormalizeChar('A'), 0);
+  EXPECT_EQ(NormalizeChar('z'), 25);
+  EXPECT_EQ(NormalizeChar('Z'), 25);
+}
+
+TEST(NormalizeCharTest, Digits) {
+  EXPECT_EQ(NormalizeChar('0'), 26);
+  EXPECT_EQ(NormalizeChar('9'), 35);
+}
+
+TEST(NormalizeCharTest, EverythingElseIsTheBucket) {
+  for (char c : {' ', '-', '.', '_', '\t', '\xC3'}) {
+    EXPECT_EQ(NormalizeChar(c), kOtherCharId) << static_cast<int>(c);
+  }
+}
+
+TEST(NormalizeCharTest, AlphabetSymbolRoundTrip) {
+  for (int id = 0; id < kAlphabetSize; ++id) {
+    if (id == kOtherCharId) {
+      EXPECT_EQ(AlphabetSymbol(id), '*');
+    } else {
+      EXPECT_EQ(NormalizeChar(AlphabetSymbol(id)), id);
+    }
+  }
+}
+
+TEST(CharFrequencyTest, EnglishRanksCommonLettersFirst) {
+  const CharFrequencyTable& t = CharFrequencyTable::English();
+  // 'e' is the most frequent letter; 'z' among the rarest.
+  EXPECT_EQ(t.rank(NormalizeChar('e')), 0);
+  EXPECT_GT(t.rank(NormalizeChar('z')), t.rank(NormalizeChar('e')));
+  EXPECT_GT(t.rank(NormalizeChar('q')), t.rank(NormalizeChar('t')));
+}
+
+TEST(CharFrequencyTest, RarerPrefersLowFrequency) {
+  const CharFrequencyTable& t = CharFrequencyTable::English();
+  EXPECT_TRUE(t.Rarer(NormalizeChar('z'), NormalizeChar('e')));
+  EXPECT_FALSE(t.Rarer(NormalizeChar('e'), NormalizeChar('z')));
+}
+
+TEST(CharFrequencyTest, RarerBreaksTiesLexicographically) {
+  // All digits share one frequency in the English table; smaller id wins.
+  const CharFrequencyTable& t = CharFrequencyTable::English();
+  EXPECT_TRUE(t.Rarer(NormalizeChar('3'), NormalizeChar('7')));
+  EXPECT_FALSE(t.Rarer(NormalizeChar('7'), NormalizeChar('3')));
+}
+
+TEST(CharFrequencyTest, CountCharacters) {
+  std::array<uint64_t, kAlphabetSize> counts{};
+  CharFrequencyTable::CountCharacters("ab1 a", &counts);
+  EXPECT_EQ(counts[NormalizeChar('a')], 2u);
+  EXPECT_EQ(counts[NormalizeChar('b')], 1u);
+  EXPECT_EQ(counts[NormalizeChar('1')], 1u);
+  EXPECT_EQ(counts[kOtherCharId], 1u);
+}
+
+TEST(CharFrequencyTest, FromCountsRanksByObservedFrequency) {
+  std::array<uint64_t, kAlphabetSize> counts{};
+  counts[NormalizeChar('x')] = 1000;  // x is common in this "corpus"
+  counts[NormalizeChar('e')] = 1;     // e is rare
+  CharFrequencyTable t = CharFrequencyTable::FromCounts(counts);
+  EXPECT_EQ(t.rank(NormalizeChar('x')), 0);
+  EXPECT_TRUE(t.Rarer(NormalizeChar('e'), NormalizeChar('x')));
+}
+
+TEST(CharFrequencyTest, FromCountsHandlesZeroTotal) {
+  std::array<uint64_t, kAlphabetSize> counts{};
+  CharFrequencyTable t = CharFrequencyTable::FromCounts(counts);
+  // All symbols equally (epsilon) frequent; ranks are total via id order.
+  EXPECT_TRUE(t.Rarer(0, 1));
+  EXPECT_FALSE(t.Rarer(1, 0));
+}
+
+TEST(CharFrequencyTest, RanksAreAPermutation) {
+  const CharFrequencyTable& t = CharFrequencyTable::English();
+  std::array<bool, kAlphabetSize> seen{};
+  for (int id = 0; id < kAlphabetSize; ++id) {
+    int r = t.rank(id);
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, kAlphabetSize);
+    EXPECT_FALSE(seen[r]);
+    seen[r] = true;
+  }
+}
+
+}  // namespace
+}  // namespace mate

@@ -1,0 +1,139 @@
+#include "util/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace mate {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0);
+  PutFixed32(&buf, 0xDEADBEEFu);
+  PutFixed32(&buf, std::numeric_limits<uint32_t>::max());
+  EXPECT_EQ(buf.size(), 12u);
+  std::string_view cursor = buf;
+  uint32_t v = 1;
+  ASSERT_TRUE(GetFixed32(&cursor, &v));
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(GetFixed32(&cursor, &v));
+  EXPECT_EQ(v, 0xDEADBEEFu);
+  ASSERT_TRUE(GetFixed32(&cursor, &v));
+  EXPECT_EQ(v, std::numeric_limits<uint32_t>::max());
+  EXPECT_TRUE(cursor.empty());
+}
+
+TEST(CodingTest, Fixed32IsLittleEndian) {
+  std::string buf;
+  PutFixed32(&buf, 0x01020304u);
+  EXPECT_EQ(static_cast<unsigned char>(buf[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(buf[3]), 0x01);
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, 0x0123456789ABCDEFULL);
+  std::string_view cursor = buf;
+  uint64_t v = 0;
+  ASSERT_TRUE(GetFixed64(&cursor, &v));
+  EXPECT_EQ(v, 0x0123456789ABCDEFULL);
+}
+
+TEST(CodingTest, VarintSmallValuesAreOneByte) {
+  for (uint64_t v : {0ULL, 1ULL, 127ULL}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(buf.size(), 1u) << v;
+    EXPECT_EQ(VarintLength(v), 1u);
+  }
+}
+
+TEST(CodingTest, VarintBoundaries) {
+  const uint64_t cases[] = {127,
+                            128,
+                            16383,
+                            16384,
+                            (uint64_t{1} << 32) - 1,
+                            uint64_t{1} << 32,
+                            std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : cases) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(buf.size(), VarintLength(v)) << v;
+    std::string_view cursor = buf;
+    uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint64(&cursor, &decoded)) << v;
+    EXPECT_EQ(decoded, v);
+    EXPECT_TRUE(cursor.empty());
+  }
+}
+
+TEST(CodingTest, Varint32RejectsOverflow) {
+  std::string buf;
+  PutVarint64(&buf, uint64_t{1} << 40);
+  std::string_view cursor = buf;
+  uint32_t v = 0;
+  EXPECT_FALSE(GetVarint32(&cursor, &v));
+}
+
+TEST(CodingTest, VarintRejectsTruncation) {
+  std::string buf;
+  PutVarint64(&buf, 1ULL << 40);
+  std::string_view cursor = std::string_view(buf).substr(0, 2);
+  uint64_t v = 0;
+  EXPECT_FALSE(GetVarint64(&cursor, &v));
+}
+
+TEST(CodingTest, GetFixedRejectsShortInput) {
+  std::string buf = "abc";
+  std::string_view cursor = buf;
+  uint32_t v32 = 0;
+  EXPECT_FALSE(GetFixed32(&cursor, &v32));
+  uint64_t v64 = 0;
+  EXPECT_FALSE(GetFixed64(&cursor, &v64));
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  std::string_view cursor = buf;
+  std::string_view v;
+  ASSERT_TRUE(GetLengthPrefixed(&cursor, &v));
+  EXPECT_EQ(v, "");
+  ASSERT_TRUE(GetLengthPrefixed(&cursor, &v));
+  EXPECT_EQ(v, "hello");
+  ASSERT_TRUE(GetLengthPrefixed(&cursor, &v));
+  EXPECT_EQ(v.size(), 1000u);
+  EXPECT_TRUE(cursor.empty());
+}
+
+TEST(CodingTest, LengthPrefixedRejectsShortPayload) {
+  std::string buf;
+  PutVarint64(&buf, 100);  // claims 100 bytes
+  buf += "short";
+  std::string_view cursor = buf;
+  std::string_view v;
+  EXPECT_FALSE(GetLengthPrefixed(&cursor, &v));
+}
+
+TEST(CodingTest, MixedStreamRoundTrip) {
+  std::string buf;
+  PutVarint64(&buf, 42);
+  PutLengthPrefixed(&buf, "value");
+  PutFixed64(&buf, 7);
+  std::string_view cursor = buf;
+  uint64_t a = 0, c = 0;
+  std::string_view b;
+  ASSERT_TRUE(GetVarint64(&cursor, &a));
+  ASSERT_TRUE(GetLengthPrefixed(&cursor, &b));
+  ASSERT_TRUE(GetFixed64(&cursor, &c));
+  EXPECT_EQ(a, 42u);
+  EXPECT_EQ(b, "value");
+  EXPECT_EQ(c, 7u);
+}
+
+}  // namespace
+}  // namespace mate

@@ -1,0 +1,78 @@
+#include "storage/corpus.h"
+
+#include <gtest/gtest.h>
+
+namespace mate {
+namespace {
+
+Corpus MakeSmallCorpus() {
+  Corpus corpus;
+  Table t1("t1");
+  t1.AddColumn("a");
+  t1.AddColumn("b");
+  (void)t1.AppendRow({"x", "y"});
+  (void)t1.AppendRow({"x", "z"});
+  corpus.AddTable(std::move(t1));
+  Table t2("t2");
+  t2.AddColumn("c");
+  (void)t2.AppendRow({"X"});  // same normalized value as "x"
+  corpus.AddTable(std::move(t2));
+  return corpus;
+}
+
+TEST(CorpusTest, AddTableAssignsSequentialIds) {
+  Corpus corpus = MakeSmallCorpus();
+  EXPECT_EQ(corpus.NumTables(), 2u);
+  EXPECT_EQ(corpus.table(0).name(), "t1");
+  EXPECT_EQ(corpus.table(1).name(), "t2");
+}
+
+TEST(CorpusTest, StatsCountShapes) {
+  CorpusStats stats = MakeSmallCorpus().ComputeStats();
+  EXPECT_EQ(stats.num_tables, 2u);
+  EXPECT_EQ(stats.num_columns, 3u);
+  EXPECT_EQ(stats.num_rows, 3u);
+  EXPECT_EQ(stats.num_cells, 5u);
+  EXPECT_DOUBLE_EQ(stats.avg_columns_per_table, 1.5);
+  EXPECT_DOUBLE_EQ(stats.avg_rows_per_table, 1.5);
+}
+
+TEST(CorpusTest, StatsUniquesAreNormalized) {
+  CorpusStats stats = MakeSmallCorpus().ComputeStats();
+  // Distinct normalized values: x, y, z ("X" folds into "x").
+  EXPECT_EQ(stats.num_unique_values, 3u);
+}
+
+TEST(CorpusTest, StatsCharCounts) {
+  CorpusStats stats = MakeSmallCorpus().ComputeStats();
+  // 'x' appears in three cells.
+  EXPECT_EQ(stats.char_counts[NormalizeChar('x')], 3u);
+  EXPECT_EQ(stats.char_counts[NormalizeChar('y')], 1u);
+  EXPECT_EQ(stats.char_counts[NormalizeChar('q')], 0u);
+}
+
+TEST(CorpusTest, StatsSkipDeletedRows) {
+  Corpus corpus = MakeSmallCorpus();
+  ASSERT_TRUE(corpus.mutable_table(0)->DeleteRow(1).ok());
+  CorpusStats stats = corpus.ComputeStats();
+  EXPECT_EQ(stats.num_rows, 2u);
+  EXPECT_EQ(stats.num_cells, 3u);
+  EXPECT_EQ(stats.num_unique_values, 2u);  // z gone
+}
+
+TEST(CorpusTest, EmptyCorpusStats) {
+  Corpus corpus;
+  CorpusStats stats = corpus.ComputeStats();
+  EXPECT_EQ(stats.num_tables, 0u);
+  EXPECT_EQ(stats.num_unique_values, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_columns_per_table, 0.0);
+}
+
+TEST(CorpusTest, StatsToStringMentionsCounts) {
+  std::string s = MakeSmallCorpus().ComputeStats().ToString();
+  EXPECT_NE(s.find("tables=2"), std::string::npos);
+  EXPECT_NE(s.find("unique_values=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mate

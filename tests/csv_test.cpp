@@ -1,0 +1,92 @@
+#include "storage/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace mate {
+namespace {
+
+TEST(CsvTest, ParsesHeaderAndRows) {
+  auto table = ParseCsv("a,b,c\n1,2,3\n4,5,6\n", "t");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->NumColumns(), 3u);
+  EXPECT_EQ(table->NumRows(), 2u);
+  EXPECT_EQ(table->column_name(0), "a");
+  EXPECT_EQ(table->cell(1, 2), "6");
+}
+
+TEST(CsvTest, QuotedFields) {
+  auto table = ParseCsv(
+      "name,notes\n"
+      "\"Lee, Muhammad\",\"said \"\"hi\"\"\"\n",
+      "t");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->cell(0, 0), "Lee, Muhammad");
+  EXPECT_EQ(table->cell(0, 1), "said \"hi\"");
+}
+
+TEST(CsvTest, QuotedNewlines) {
+  auto table = ParseCsv("a,b\n\"line1\nline2\",x\n", "t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->cell(0, 0), "line1\nline2");
+}
+
+TEST(CsvTest, CrLfLineEndings) {
+  auto table = ParseCsv("a,b\r\n1,2\r\n", "t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->NumRows(), 1u);
+  EXPECT_EQ(table->cell(0, 1), "2");
+}
+
+TEST(CsvTest, MissingFinalNewline) {
+  auto table = ParseCsv("a,b\n1,2", "t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->NumRows(), 1u);
+  EXPECT_EQ(table->cell(0, 1), "2");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto table = ParseCsv("a,b\n1,2,3\n", "t");
+  EXPECT_FALSE(table.ok());
+  EXPECT_TRUE(table.status().IsInvalidArgument());
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseCsv("", "t").ok());
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(ParseCsv("a\n\"unterminated\n", "t").ok());
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  auto table = ParseCsv("a,b\n1,2\n\n3,4\n", "t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->NumRows(), 2u);
+}
+
+TEST(CsvTest, RoundTripThroughToCsv) {
+  auto table = ParseCsv(
+      "name,notes\n"
+      "\"Lee, Muhammad\",plain\n"
+      "simple,\"with \"\"quotes\"\"\"\n",
+      "t");
+  ASSERT_TRUE(table.ok());
+  auto again = ParseCsv(ToCsv(*table), "t2");
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  ASSERT_EQ(again->NumRows(), table->NumRows());
+  for (RowId r = 0; r < table->NumRows(); ++r) {
+    for (ColumnId c = 0; c < table->NumColumns(); ++c) {
+      EXPECT_EQ(again->cell(r, c), table->cell(r, c));
+    }
+  }
+}
+
+TEST(CsvTest, ToCsvSkipsDeletedRows) {
+  auto table = ParseCsv("a\n1\n2\n", "t");
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(table->DeleteRow(0).ok());
+  EXPECT_EQ(ToCsv(*table), "a\n2\n");
+}
+
+}  // namespace
+}  // namespace mate

@@ -1,0 +1,195 @@
+// Tests for the "standard hash function" baselines: MD5 (against RFC 1321
+// vectors), Murmur3, the City-style hash, and SimHash.
+
+#include <gtest/gtest.h>
+
+#include "hash/city_like.h"
+#include "hash/md5.h"
+#include "hash/murmur3.h"
+#include "hash/simhash.h"
+
+namespace mate {
+namespace {
+
+// ---- MD5 ------------------------------------------------------------
+
+TEST(Md5Test, Rfc1321Vectors) {
+  EXPECT_EQ(Md5("").ToHexString(), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5("a").ToHexString(), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(Md5("abc").ToHexString(), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(Md5("message digest").ToHexString(),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(Md5("abcdefghijklmnopqrstuvwxyz").ToHexString(),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+}
+
+TEST(Md5Test, PaddingBoundaries) {
+  // 55, 56, 63, 64, 65 bytes cross the single/double-block padding edge;
+  // the digest must be deterministic and distinct.
+  std::vector<std::string> hexes;
+  for (size_t len : {55u, 56u, 63u, 64u, 65u, 128u}) {
+    std::string input(len, 'x');
+    std::string h1 = Md5(input).ToHexString();
+    std::string h2 = Md5(input).ToHexString();
+    EXPECT_EQ(h1, h2);
+    hexes.push_back(h1);
+  }
+  for (size_t i = 0; i < hexes.size(); ++i) {
+    for (size_t j = i + 1; j < hexes.size(); ++j) {
+      EXPECT_NE(hexes[i], hexes[j]);
+    }
+  }
+}
+
+TEST(Md5Test, Low64High64CoverDigest) {
+  Md5Digest d = Md5("abc");
+  uint64_t lo = d.low64();
+  uint64_t hi = d.high64();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ((lo >> (8 * i)) & 0xFF, d.bytes[i]);
+    EXPECT_EQ((hi >> (8 * i)) & 0xFF, d.bytes[8 + i]);
+  }
+}
+
+// ---- Murmur3 ----------------------------------------------------------
+
+TEST(Murmur3Test, KnownVectors32) {
+  EXPECT_EQ(Murmur3_32("", 0), 0u);
+  EXPECT_EQ(Murmur3_32("", 1), 0x514E28B7u);
+}
+
+TEST(Murmur3Test, Deterministic) {
+  EXPECT_EQ(Murmur3_32("hello", 42), Murmur3_32("hello", 42));
+  EXPECT_EQ(Murmur3_128("hello world", 7), Murmur3_128("hello world", 7));
+}
+
+TEST(Murmur3Test, SeedChangesOutput) {
+  EXPECT_NE(Murmur3_32("hello", 0), Murmur3_32("hello", 1));
+  EXPECT_NE(Murmur3_128("hello", 0).first, Murmur3_128("hello", 1).first);
+}
+
+TEST(Murmur3Test, TailLengthsAllDiffer) {
+  // Exercise every tail-switch case of both variants.
+  std::vector<uint32_t> h32;
+  std::vector<uint64_t> h128;
+  for (size_t len = 0; len <= 17; ++len) {
+    std::string s(len, 'a');
+    h32.push_back(Murmur3_32(s, 0));
+    h128.push_back(Murmur3_128(s, 0).first);
+  }
+  for (size_t i = 0; i < h32.size(); ++i) {
+    for (size_t j = i + 1; j < h32.size(); ++j) {
+      EXPECT_NE(h32[i], h32[j]) << i << " vs " << j;
+      EXPECT_NE(h128[i], h128[j]) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(Murmur3Test, AvalancheRoughlyHalfBitsFlip) {
+  // Flipping one input bit should flip ~64 of 128 output bits.
+  std::string a = "the quick brown fox";
+  std::string b = a;
+  b[0] ^= 1;
+  auto [a_lo, a_hi] = Murmur3_128(a, 0);
+  auto [b_lo, b_hi] = Murmur3_128(b, 0);
+  int flipped = __builtin_popcountll(a_lo ^ b_lo) +
+                __builtin_popcountll(a_hi ^ b_hi);
+  EXPECT_GT(flipped, 40);
+  EXPECT_LT(flipped, 88);
+}
+
+// ---- City-like --------------------------------------------------------
+
+TEST(CityLikeTest, DeterministicAndLengthSensitive) {
+  EXPECT_EQ(CityLikeHash64("data lake"), CityLikeHash64("data lake"));
+  std::vector<uint64_t> hashes;
+  for (size_t len = 0; len <= 24; ++len) {
+    hashes.push_back(CityLikeHash64(std::string(len, 'k')));
+  }
+  for (size_t i = 0; i < hashes.size(); ++i) {
+    for (size_t j = i + 1; j < hashes.size(); ++j) {
+      EXPECT_NE(hashes[i], hashes[j]);
+    }
+  }
+}
+
+TEST(CityLikeTest, LanesAreIndependent) {
+  auto [lo, hi] = CityLikeHash128("abcdefgh");
+  EXPECT_NE(lo, hi);
+  auto [lo2, hi2] = CityLikeHash128("abcdefgi");
+  EXPECT_NE(lo, lo2);
+  EXPECT_NE(hi, hi2);
+}
+
+TEST(CityLikeTest, AvalancheOnOneBitFlip) {
+  std::string a = "join discovery";
+  std::string b = a;
+  b[3] ^= 4;
+  int flipped = __builtin_popcountll(CityLikeHash64(a) ^ CityLikeHash64(b));
+  EXPECT_GT(flipped, 16);
+  EXPECT_LT(flipped, 48);
+}
+
+// ---- SimHash ----------------------------------------------------------
+
+TEST(SimHashTest, DeterministicSignature) {
+  SimHashRowHash sim(128);
+  EXPECT_EQ(sim.HashValue("hello world"), sim.HashValue("hello world"));
+}
+
+TEST(SimHashTest, SimilarStringsGetCloseSignatures) {
+  SimHashRowHash sim(128);
+  BitVector a = sim.HashValue("international business machines");
+  BitVector b = sim.HashValue("international business machine");  // 1 char off
+  BitVector c = sim.HashValue("zzq9");
+  auto hamming = [](const BitVector& x, const BitVector& y) {
+    BitVector d = x;
+    d.XorWith(y);
+    return d.CountOnes();
+  };
+  EXPECT_LT(hamming(a, b), hamming(a, c));
+}
+
+TEST(SimHashTest, RoughlyHalfBitsSet) {
+  // The paper's §7.3 point: digest-style hashes average ~50% ones, which is
+  // what makes them poor super keys.
+  SimHashRowHash sim(256);
+  size_t total = 0;
+  const char* inputs[] = {"alpha", "beta2024", "gamma delta", "x",
+                          "some longer string value"};
+  for (const char* s : inputs) total += sim.HashValue(s).CountOnes();
+  double avg_fraction = static_cast<double>(total) / (5 * 256.0);
+  EXPECT_GT(avg_fraction, 0.30);
+  EXPECT_LT(avg_fraction, 0.70);
+}
+
+TEST(DigestRowHashTest, RawDigestsFillAboutHalfTheBits) {
+  Md5RowHash md5(128);
+  MurmurRowHash murmur(128);
+  CityRowHash city(128);
+  for (const char* s : {"muhammad", "lee", "us", "1997-01-01"}) {
+    for (const RowHashFunction* h :
+         std::initializer_list<const RowHashFunction*>{&md5, &murmur, &city}) {
+      size_t ones = h->HashValue(s).CountOnes();
+      EXPECT_GT(ones, 128u / 4) << h->Name() << " " << s;
+      EXPECT_LT(ones, 3u * 128 / 4) << h->Name() << " " << s;
+    }
+  }
+}
+
+TEST(DigestRowHashTest, WideningKeepsDeterminism) {
+  for (size_t bits : {128u, 256u, 512u}) {
+    Md5RowHash md5(bits);
+    MurmurRowHash murmur(bits);
+    CityRowHash city(bits);
+    for (const RowHashFunction* h :
+         std::initializer_list<const RowHashFunction*>{&md5, &murmur, &city}) {
+      EXPECT_EQ(h->HashValue("value"), h->HashValue("value"))
+          << h->Name() << " bits=" << bits;
+      EXPECT_EQ(h->HashValue("value").num_bits(), bits);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mate

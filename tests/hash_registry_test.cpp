@@ -1,0 +1,73 @@
+#include "hash/hash_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "hash/bloom.h"
+#include "hash/xash.h"
+
+namespace mate {
+namespace {
+
+TEST(HashRegistryTest, AllFamiliesConstruct) {
+  for (HashFamily family : AllHashFamilies()) {
+    for (size_t bits : {size_t{128}, size_t{256}, size_t{512}}) {
+      auto hash = MakeRowHash(family, bits, nullptr);
+      ASSERT_NE(hash, nullptr) << HashFamilyName(family);
+      EXPECT_EQ(hash->hash_bits(), bits);
+      EXPECT_EQ(hash->Name(), HashFamilyName(family));
+    }
+  }
+}
+
+TEST(HashRegistryTest, NameParseRoundTrip) {
+  for (HashFamily family : AllHashFamilies()) {
+    auto parsed = ParseHashFamily(HashFamilyName(family));
+    ASSERT_TRUE(parsed.ok()) << HashFamilyName(family);
+    EXPECT_EQ(*parsed, family);
+  }
+}
+
+TEST(HashRegistryTest, ParseRejectsUnknown) {
+  EXPECT_FALSE(ParseHashFamily("NotAHash").ok());
+  EXPECT_FALSE(ParseHashFamily("").ok());
+  EXPECT_FALSE(ParseHashFamily("xash").ok());  // case-sensitive
+}
+
+TEST(HashRegistryTest, TableOrderMatchesPaperColumns) {
+  const auto& all = AllHashFamilies();
+  ASSERT_EQ(all.size(), 8u);
+  EXPECT_EQ(all.front(), HashFamily::kMd5);
+  EXPECT_EQ(all.back(), HashFamily::kXash);
+}
+
+TEST(HashRegistryTest, StatsParameterizeBloomAndXash) {
+  CorpusStats stats;
+  stats.num_unique_values = 1'000'000;
+  stats.avg_columns_per_table = 26.0;  // the paper's OD V
+  stats.num_cells = 10'000'000;
+
+  auto bloom = MakeRowHash(HashFamily::kBloom, 128, &stats);
+  auto* bf = dynamic_cast<BloomRowHash*>(bloom.get());
+  ASSERT_NE(bf, nullptr);
+  EXPECT_EQ(bf->num_hashes(), OptimalBloomHashCount(128, 26.0));
+
+  auto xash = MakeRowHash(HashFamily::kXash, 128, &stats);
+  auto* x = dynamic_cast<Xash*>(xash.get());
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(x->alpha(), 6);  // floored Eq. 5 at 1M uniques
+}
+
+TEST(HashRegistryTest, NoStatsUsesPaperDefaults) {
+  auto bloom = MakeRowHash(HashFamily::kBloom, 128, nullptr);
+  auto* bf = dynamic_cast<BloomRowHash*>(bloom.get());
+  ASSERT_NE(bf, nullptr);
+  EXPECT_EQ(bf->num_hashes(), OptimalBloomHashCount(128, 5.0));  // V=5
+
+  auto xash = MakeRowHash(HashFamily::kXash, 128, nullptr);
+  auto* x = dynamic_cast<Xash*>(xash.get());
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(x->alpha(), 6);  // 700M uniques default
+}
+
+}  // namespace
+}  // namespace mate

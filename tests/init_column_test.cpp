@@ -1,0 +1,128 @@
+#include "core/init_column.h"
+
+#include <gtest/gtest.h>
+
+#include "index/index_builder.h"
+
+namespace mate {
+namespace {
+
+// Corpus where "common" has a long posting list and "rare" a short one.
+Corpus MakeSkewedCorpus() {
+  Corpus corpus;
+  for (int t = 0; t < 10; ++t) {
+    Table table("t" + std::to_string(t));
+    table.AddColumn("a");
+    table.AddColumn("b");
+    for (int r = 0; r < 5; ++r) {
+      (void)table.AppendRow({"common", "filler" + std::to_string(t * 10 + r)});
+    }
+    corpus.AddTable(std::move(table));
+  }
+  Table rare_table("rare_t");
+  rare_table.AddColumn("a");
+  rare_table.AddColumn("b");
+  (void)rare_table.AppendRow({"rare", "common"});
+  corpus.AddTable(std::move(rare_table));
+  return corpus;
+}
+
+std::unique_ptr<InvertedIndex> Build(const Corpus& corpus) {
+  auto index = BuildIndex(corpus, IndexBuildOptions{});
+  EXPECT_TRUE(index.ok());
+  return std::move(*index);
+}
+
+Table MakeQuery() {
+  // Column 0: 2 distinct values, both common (big PLs).
+  // Column 1: 3 distinct values, rare (small PLs).
+  // Column 2: 1 distinct value with the longest strings.
+  Table q("q");
+  q.AddColumn("common_col");
+  q.AddColumn("rare_col");
+  q.AddColumn("long_col");
+  (void)q.AppendRow({"common", "rare", "averyveryverylongstringvalue"});
+  (void)q.AppendRow({"common", "rare2", "averyveryverylongstringvalue"});
+  (void)q.AppendRow({"common2", "rare3", "averyveryverylongstringvalue"});
+  return q;
+}
+
+TEST(InitColumnTest, CountPlItems) {
+  Corpus corpus = MakeSkewedCorpus();
+  auto index = Build(corpus);
+  Table q = MakeQuery();
+  // "common" appears 50x in column a plus 1x in rare_t.b; "common2" never.
+  EXPECT_EQ(CountPlItemsForColumn(q, 0, *index), 51u);
+  // "rare" appears once; rare2/rare3 never.
+  EXPECT_EQ(CountPlItemsForColumn(q, 1, *index), 1u);
+  EXPECT_EQ(CountPlItemsForColumn(q, 2, *index), 0u);
+}
+
+TEST(InitColumnTest, MinCardinalityPicksFewestDistinct) {
+  Table q = MakeQuery();
+  // Cardinalities: col0 = 2, col1 = 3, col2 = 1.
+  EXPECT_EQ(SelectInitColumn(q, {0, 1, 2},
+                             InitColumnStrategy::kMinCardinality, nullptr),
+            2u);
+  EXPECT_EQ(SelectInitColumn(q, {1, 0},
+                             InitColumnStrategy::kMinCardinality, nullptr),
+            1u);  // position of col 0 in the key list
+}
+
+TEST(InitColumnTest, ColumnOrderPicksFirst) {
+  Table q = MakeQuery();
+  EXPECT_EQ(SelectInitColumn(q, {2, 1}, InitColumnStrategy::kColumnOrder,
+                             nullptr),
+            0u);
+}
+
+TEST(InitColumnTest, LongestStringPicksLongCell) {
+  Table q = MakeQuery();
+  EXPECT_EQ(SelectInitColumn(q, {0, 1, 2},
+                             InitColumnStrategy::kLongestString, nullptr),
+            2u);
+}
+
+TEST(InitColumnTest, OraclesBracketTheHeuristics) {
+  Corpus corpus = MakeSkewedCorpus();
+  auto index = Build(corpus);
+  Table q = MakeQuery();
+  std::vector<ColumnId> key = {0, 1, 2};
+  size_t best = SelectInitColumn(q, key, InitColumnStrategy::kBestCase,
+                                 index.get());
+  size_t worst = SelectInitColumn(q, key, InitColumnStrategy::kWorstCase,
+                                  index.get());
+  EXPECT_EQ(best, 2u);   // 0 PL items
+  EXPECT_EQ(worst, 0u);  // 51 PL items
+  uint64_t best_cost = CountPlItemsForColumn(q, key[best], *index);
+  uint64_t worst_cost = CountPlItemsForColumn(q, key[worst], *index);
+  for (size_t i = 0; i < key.size(); ++i) {
+    uint64_t cost = CountPlItemsForColumn(q, key[i], *index);
+    EXPECT_GE(cost, best_cost);
+    EXPECT_LE(cost, worst_cost);
+  }
+}
+
+TEST(InitColumnTest, TieBreaksTowardEarlierColumn) {
+  Table q("q");
+  q.AddColumn("a");
+  q.AddColumn("b");
+  (void)q.AppendRow({"x", "y"});  // both cardinality 1
+  EXPECT_EQ(SelectInitColumn(q, {0, 1},
+                             InitColumnStrategy::kMinCardinality, nullptr),
+            0u);
+  EXPECT_EQ(SelectInitColumn(q, {1, 0},
+                             InitColumnStrategy::kMinCardinality, nullptr),
+            0u);
+}
+
+TEST(InitColumnTest, StrategyNames) {
+  EXPECT_EQ(InitColumnStrategyName(InitColumnStrategy::kMinCardinality),
+            "Cardinality");
+  EXPECT_EQ(InitColumnStrategyName(InitColumnStrategy::kLongestString),
+            "TLS");
+  EXPECT_EQ(InitColumnStrategyName(InitColumnStrategy::kBestCase), "Best");
+}
+
+}  // namespace
+}  // namespace mate

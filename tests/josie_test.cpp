@@ -1,0 +1,169 @@
+#include "baselines/josie.h"
+
+#include <gtest/gtest.h>
+
+#include "index/index_builder.h"
+#include "workload/generator.h"
+#include "workload/query_gen.h"
+
+namespace mate {
+namespace {
+
+Corpus MakeCorpus() {
+  Corpus corpus;
+  Table t1("high_overlap");
+  t1.AddColumn("name");
+  t1.AddColumn("country");
+  (void)t1.AppendRow({"alpha", "US"});
+  (void)t1.AppendRow({"beta", "UK"});
+  (void)t1.AppendRow({"gamma", "DE"});
+  (void)t1.AppendRow({"delta", "FR"});
+  corpus.AddTable(std::move(t1));
+
+  Table t2("low_overlap");
+  t2.AddColumn("name");
+  t2.AddColumn("country");
+  (void)t2.AppendRow({"alpha", "US"});
+  (void)t2.AppendRow({"zeta", "JP"});
+  corpus.AddTable(std::move(t2));
+
+  Table t3("no_overlap");
+  t3.AddColumn("x");
+  (void)t3.AppendRow({"unrelated"});
+  corpus.AddTable(std::move(t3));
+  return corpus;
+}
+
+TEST(JosieIndexTest, SetsAreDistinctValueColumns) {
+  Corpus corpus = MakeCorpus();
+  JosieIndex josie = JosieIndex::Build(corpus);
+  // 2 + 2 + 1 columns with non-empty distinct sets.
+  EXPECT_EQ(josie.NumSets(), 5u);
+  EXPECT_GT(josie.MemoryBytes(), 0u);
+}
+
+TEST(JosieIndexTest, TopSetsRanksByOverlap) {
+  Corpus corpus = MakeCorpus();
+  JosieIndex josie = JosieIndex::Build(corpus);
+  std::vector<std::string> tokens = {"alpha", "beta", "gamma"};
+  auto top = josie.TopSets(tokens, 10);
+  ASSERT_GE(top.size(), 2u);
+  // Best set: t1's name column with overlap 3.
+  EXPECT_EQ(josie.set(top[0].set_id).table_id, 0u);
+  EXPECT_EQ(josie.set(top[0].set_id).column_id, 0u);
+  EXPECT_EQ(top[0].overlap, 3);
+  // Second: t2's name column with overlap 1.
+  EXPECT_EQ(josie.set(top[1].set_id).table_id, 1u);
+  EXPECT_EQ(top[1].overlap, 1);
+}
+
+TEST(JosieIndexTest, DuplicateTokensCountOnce) {
+  Corpus corpus = MakeCorpus();
+  JosieIndex josie = JosieIndex::Build(corpus);
+  auto top = josie.TopSets({"alpha", "alpha", "alpha"}, 10);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].overlap, 1);
+}
+
+TEST(JosieIndexTest, ZeroOverlapSetsAreAbsent) {
+  Corpus corpus = MakeCorpus();
+  JosieIndex josie = JosieIndex::Build(corpus);
+  auto top = josie.TopSets({"alpha"}, 10);
+  for (const auto& scored : top) {
+    EXPECT_GT(scored.overlap, 0);
+  }
+  EXPECT_TRUE(josie.TopSets({"never-present"}, 10).empty());
+}
+
+TEST(JosieIndexTest, TopTablesDeduplicates) {
+  Corpus corpus = MakeCorpus();
+  JosieIndex josie = JosieIndex::Build(corpus);
+  // Tokens hitting both columns of t1: the table appears once.
+  auto tables = josie.TopTables({"alpha", "us", "uk"}, 10);
+  ASSERT_FALSE(tables.empty());
+  EXPECT_EQ(tables[0], 0u);
+  for (size_t i = 0; i < tables.size(); ++i) {
+    for (size_t j = i + 1; j < tables.size(); ++j) {
+      EXPECT_NE(tables[i], tables[j]);
+    }
+  }
+}
+
+class JosieSearchTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    Vocabulary vocab = Vocabulary::Generate(400, Vocabulary::Style::kMixed, 5);
+    CorpusSpec spec;
+    spec.num_tables = 40;
+    spec.seed = 17;
+    corpus_ = GenerateCorpus(spec, vocab);
+    QuerySetSpec qspec;
+    qspec.num_queries = 3;
+    qspec.query_rows = 30;
+    qspec.key_size = 2;
+    qspec.planted_tables = 6;
+    qspec.seed = 23;
+    queries_ = GenerateQueries(&corpus_, vocab, qspec);
+    auto index = BuildIndex(corpus_, IndexBuildOptions{});
+    ASSERT_TRUE(index.ok());
+    index_ = std::move(*index);
+    josie_ = std::make_unique<JosieIndex>(JosieIndex::Build(corpus_));
+  }
+
+  Corpus corpus_;
+  std::unique_ptr<InvertedIndex> index_;
+  std::unique_ptr<JosieIndex> josie_;
+  std::vector<QueryCase> queries_;
+};
+
+TEST_F(JosieSearchTest, ScrJosieFindsPlantedTables) {
+  ScrJosieSearch search(&corpus_, index_.get(), josie_.get());
+  JosieOptions options;
+  options.k = 5;
+  for (const QueryCase& qc : queries_) {
+    DiscoveryResult result = search.Discover(qc.query, qc.key_columns,
+                                             options);
+    ASSERT_FALSE(result.top_k.empty());
+    // The most-planted table must be discoverable with joinability at least
+    // its planted combo count.
+    ASSERT_FALSE(qc.planted.empty());
+    bool found = false;
+    for (const TableResult& tr : result.top_k) {
+      if (tr.table_id == qc.planted[0].first) {
+        found = true;
+        EXPECT_GE(tr.joinability,
+                  static_cast<int64_t>(qc.planted[0].second));
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(JosieSearchTest, McrJosieFindsPlantedTables) {
+  McrJosieSearch search(&corpus_, index_.get(), josie_.get());
+  JosieOptions options;
+  options.k = 5;
+  for (const QueryCase& qc : queries_) {
+    DiscoveryResult result = search.Discover(qc.query, qc.key_columns,
+                                             options);
+    ASSERT_FALSE(result.top_k.empty());
+    bool found = false;
+    for (const TableResult& tr : result.top_k) {
+      if (tr.table_id == qc.planted[0].first) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(JosieSearchTest, EmptyKeyReturnsNothing) {
+  ScrJosieSearch scr_josie(&corpus_, index_.get(), josie_.get());
+  McrJosieSearch mcr_josie(&corpus_, index_.get(), josie_.get());
+  JosieOptions options;
+  EXPECT_TRUE(
+      scr_josie.Discover(queries_[0].query, {}, options).top_k.empty());
+  EXPECT_TRUE(
+      mcr_josie.Discover(queries_[0].query, {}, options).top_k.empty());
+}
+
+}  // namespace
+}  // namespace mate

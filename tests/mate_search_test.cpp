@@ -1,0 +1,262 @@
+#include "core/mate.h"
+
+#include <gtest/gtest.h>
+
+#include "index/index_builder.h"
+#include "util/rng.h"
+#include "workload/vocabulary.h"
+
+namespace mate {
+namespace {
+
+Table MakeQueryD() {
+  Table d("d");
+  d.AddColumn("F. Name");
+  d.AddColumn("L. Name");
+  d.AddColumn("Country");
+  d.AddColumn("Salary");
+  (void)d.AppendRow({"Muhammad", "Lee", "US", "60k"});
+  (void)d.AppendRow({"Ansel", "Adams", "UK", "50k"});
+  (void)d.AppendRow({"Ansel", "Adams", "US", "400k"});
+  (void)d.AppendRow({"Muhammad", "Lee", "Germany", "90k"});
+  (void)d.AppendRow({"Helmut", "Newton", "Germany", "300k"});
+  return d;
+}
+
+Corpus MakeFigure1Corpus() {
+  Corpus corpus;
+  Table t1("T1");
+  t1.AddColumn("Vorname");
+  t1.AddColumn("Nachname");
+  t1.AddColumn("Land");
+  t1.AddColumn("Besetzung");
+  (void)t1.AppendRow({"Helmut", "Newton", "Germany", "Photographer"});
+  (void)t1.AppendRow({"Muhammad", "Lee", "US", "Dancer"});
+  (void)t1.AppendRow({"Ansel", "Adams", "UK", "Dancer"});
+  (void)t1.AppendRow({"Ansel", "Adams", "US", "Photographer"});
+  (void)t1.AppendRow({"Muhammad", "Ali", "US", "Boxer"});
+  (void)t1.AppendRow({"Muhammad", "Lee", "Germany", "Birder"});
+  (void)t1.AppendRow({"Gretchen", "Lee", "Germany", "Artist"});
+  (void)t1.AppendRow({"Adam", "Sandler", "US", "Actor"});
+  corpus.AddTable(std::move(t1));
+
+  // A partially joinable table (2 of the 5 combos).
+  Table t2("T2");
+  t2.AddColumn("first");
+  t2.AddColumn("last");
+  t2.AddColumn("country");
+  (void)t2.AppendRow({"Muhammad", "Lee", "US"});
+  (void)t2.AppendRow({"Helmut", "Newton", "Germany"});
+  (void)t2.AppendRow({"Nobody", "Else", "Nowhere"});
+  corpus.AddTable(std::move(t2));
+
+  // A table sharing single values but no combo.
+  Table t3("T3");
+  t3.AddColumn("a");
+  t3.AddColumn("b");
+  t3.AddColumn("c");
+  (void)t3.AppendRow({"Muhammad", "Newton", "UK"});
+  (void)t3.AppendRow({"Ansel", "Lee", "Germany"});
+  corpus.AddTable(std::move(t3));
+  return corpus;
+}
+
+std::unique_ptr<InvertedIndex> Build(const Corpus& corpus,
+                                     HashFamily family = HashFamily::kXash) {
+  IndexBuildOptions options;
+  options.hash_family = family;
+  auto index = BuildIndex(corpus, options);
+  EXPECT_TRUE(index.ok());
+  return std::move(*index);
+}
+
+TEST(MateSearchTest, Figure1TopTableIsT1WithJoinability5) {
+  Corpus corpus = MakeFigure1Corpus();
+  auto index = Build(corpus);
+  MateSearch mate(&corpus, index.get());
+  DiscoveryOptions options;
+  options.k = 3;
+  DiscoveryResult result = mate.Discover(MakeQueryD(), {0, 1, 2}, options);
+  ASSERT_GE(result.top_k.size(), 2u);
+  EXPECT_EQ(result.top_k[0].table_id, 0u);
+  EXPECT_EQ(result.top_k[0].joinability, 5);
+  EXPECT_EQ(result.top_k[0].best_mapping, (std::vector<ColumnId>{0, 1, 2}));
+  EXPECT_EQ(result.top_k[1].table_id, 1u);
+  EXPECT_EQ(result.top_k[1].joinability, 2);
+  // T3 shares values but no combos: never reported.
+  for (const TableResult& tr : result.top_k) {
+    EXPECT_NE(tr.table_id, 2u);
+  }
+}
+
+TEST(MateSearchTest, RowFilterNeverChangesResults) {
+  // The super key may only prune rows that cannot match (§6.3 lemma), so
+  // MATE with and without the row filter must return identical scores.
+  Corpus corpus = MakeFigure1Corpus();
+  auto index = Build(corpus);
+  MateSearch mate(&corpus, index.get());
+  DiscoveryOptions with, without;
+  with.k = without.k = 3;
+  without.use_row_filter = false;
+  DiscoveryResult a = mate.Discover(MakeQueryD(), {0, 1, 2}, with);
+  DiscoveryResult b = mate.Discover(MakeQueryD(), {0, 1, 2}, without);
+  ASSERT_EQ(a.top_k.size(), b.top_k.size());
+  for (size_t i = 0; i < a.top_k.size(); ++i) {
+    EXPECT_EQ(a.top_k[i].table_id, b.top_k[i].table_id);
+    EXPECT_EQ(a.top_k[i].joinability, b.top_k[i].joinability);
+  }
+  // And the filter must not pass more rows than SCR verifies.
+  EXPECT_LE(a.stats.rows_sent_to_verification,
+            b.stats.rows_sent_to_verification);
+}
+
+TEST(MateSearchTest, SwappedKeyColumnsStillFindT1) {
+  // Joinability is mapping-invariant (Eq. 2): permuting the query's key
+  // columns must not change the top score.
+  Corpus corpus = MakeFigure1Corpus();
+  auto index = Build(corpus);
+  MateSearch mate(&corpus, index.get());
+  DiscoveryOptions options;
+  options.k = 1;
+  DiscoveryResult result = mate.Discover(MakeQueryD(), {2, 0, 1}, options);
+  ASSERT_EQ(result.top_k.size(), 1u);
+  EXPECT_EQ(result.top_k[0].table_id, 0u);
+  EXPECT_EQ(result.top_k[0].joinability, 5);
+}
+
+TEST(MateSearchTest, KEqualsOneReturnsBestOnly) {
+  Corpus corpus = MakeFigure1Corpus();
+  auto index = Build(corpus);
+  MateSearch mate(&corpus, index.get());
+  DiscoveryOptions options;
+  options.k = 1;
+  DiscoveryResult result = mate.Discover(MakeQueryD(), {0, 1, 2}, options);
+  ASSERT_EQ(result.top_k.size(), 1u);
+  EXPECT_EQ(result.top_k[0].table_id, 0u);
+}
+
+TEST(MateSearchTest, ExcludeTablesDropsThem) {
+  Corpus corpus = MakeFigure1Corpus();
+  auto index = Build(corpus);
+  MateSearch mate(&corpus, index.get());
+  DiscoveryOptions options;
+  options.k = 3;
+  options.exclude_tables = {0};
+  DiscoveryResult result = mate.Discover(MakeQueryD(), {0, 1, 2}, options);
+  ASSERT_FALSE(result.top_k.empty());
+  EXPECT_EQ(result.top_k[0].table_id, 1u);
+}
+
+TEST(MateSearchTest, RestrictTablesLimitsSearch) {
+  Corpus corpus = MakeFigure1Corpus();
+  auto index = Build(corpus);
+  MateSearch mate(&corpus, index.get());
+  DiscoveryOptions options;
+  options.k = 3;
+  options.restrict_tables = {1, 2};
+  DiscoveryResult result = mate.Discover(MakeQueryD(), {0, 1, 2}, options);
+  ASSERT_EQ(result.top_k.size(), 1u);
+  EXPECT_EQ(result.top_k[0].table_id, 1u);
+}
+
+TEST(MateSearchTest, EmptyKeyOrZeroKReturnsNothing) {
+  Corpus corpus = MakeFigure1Corpus();
+  auto index = Build(corpus);
+  MateSearch mate(&corpus, index.get());
+  DiscoveryOptions options;
+  options.k = 0;
+  EXPECT_TRUE(mate.Discover(MakeQueryD(), {0, 1}, options).top_k.empty());
+  options.k = 5;
+  EXPECT_TRUE(mate.Discover(MakeQueryD(), {}, options).top_k.empty());
+}
+
+TEST(MateSearchTest, QueryWithNoIndexedValues) {
+  Corpus corpus = MakeFigure1Corpus();
+  auto index = Build(corpus);
+  MateSearch mate(&corpus, index.get());
+  Table q("q");
+  q.AddColumn("a");
+  q.AddColumn("b");
+  (void)q.AppendRow({"zz-not-there", "yy-not-there"});
+  DiscoveryOptions options;
+  DiscoveryResult result = mate.Discover(q, {0, 1}, options);
+  EXPECT_TRUE(result.top_k.empty());
+  EXPECT_EQ(result.stats.pl_items_fetched, 0u);
+}
+
+TEST(MateSearchTest, StatsAreCoherent) {
+  Corpus corpus = MakeFigure1Corpus();
+  auto index = Build(corpus);
+  MateSearch mate(&corpus, index.get());
+  DiscoveryOptions options;
+  options.k = 3;
+  DiscoveryResult result = mate.Discover(MakeQueryD(), {0, 1, 2}, options);
+  const DiscoveryStats& s = result.stats;
+  EXPECT_GT(s.pl_items_fetched, 0u);
+  EXPECT_GE(s.rows_checked, s.rows_sent_to_verification);
+  EXPECT_GE(s.rows_sent_to_verification, s.rows_true_positive);
+  EXPECT_GE(s.candidate_tables, result.top_k.size());
+  EXPECT_GE(s.runtime_seconds, 0.0);
+  EXPECT_LE(s.Precision(), 1.0);
+  EXPECT_GE(s.Precision(), 0.0);
+}
+
+TEST(MateSearchTest, WorksWithEveryHashFamily) {
+  Corpus corpus = MakeFigure1Corpus();
+  for (HashFamily family : AllHashFamilies()) {
+    auto index = Build(corpus, family);
+    MateSearch mate(&corpus, index.get());
+    DiscoveryOptions options;
+    options.k = 2;
+    DiscoveryResult result = mate.Discover(MakeQueryD(), {0, 1, 2}, options);
+    ASSERT_GE(result.top_k.size(), 1u) << HashFamilyName(family);
+    EXPECT_EQ(result.top_k[0].table_id, 0u) << HashFamilyName(family);
+    EXPECT_EQ(result.top_k[0].joinability, 5) << HashFamilyName(family);
+  }
+}
+
+TEST(MateSearchTest, TableFiltersPreserveTopKScores) {
+  // Pruning rules must never change the reported top-k joinabilities.
+  Rng rng(123);
+  Vocabulary vocab = Vocabulary::Generate(60, Vocabulary::Style::kWords, 5);
+  for (int trial = 0; trial < 20; ++trial) {
+    Corpus corpus;
+    size_t num_tables = 5 + rng.Uniform(10);
+    for (size_t t = 0; t < num_tables; ++t) {
+      Table table("t" + std::to_string(t));
+      size_t cols = 2 + rng.Uniform(3);
+      for (size_t c = 0; c < cols; ++c) table.AddColumn("c");
+      size_t rows = 2 + rng.Uniform(10);
+      for (size_t r = 0; r < rows; ++r) {
+        std::vector<std::string> cells;
+        for (size_t c = 0; c < cols; ++c) {
+          cells.push_back(vocab.word(rng.Uniform(vocab.size())));
+        }
+        (void)table.AppendRow(std::move(cells));
+      }
+      corpus.AddTable(std::move(table));
+    }
+    auto index = Build(corpus);
+    Table q("q");
+    q.AddColumn("k1");
+    q.AddColumn("k2");
+    for (int r = 0; r < 6; ++r) {
+      (void)q.AppendRow({vocab.word(rng.Uniform(vocab.size())),
+                         vocab.word(rng.Uniform(vocab.size()))});
+    }
+    MateSearch mate(&corpus, index.get());
+    DiscoveryOptions filtered, unfiltered;
+    filtered.k = unfiltered.k = 3;
+    unfiltered.use_table_filters = false;
+    DiscoveryResult a = mate.Discover(q, {0, 1}, filtered);
+    DiscoveryResult b = mate.Discover(q, {0, 1}, unfiltered);
+    ASSERT_EQ(a.top_k.size(), b.top_k.size()) << trial;
+    for (size_t i = 0; i < a.top_k.size(); ++i) {
+      EXPECT_EQ(a.top_k[i].joinability, b.top_k[i].joinability) << trial;
+      EXPECT_EQ(a.top_k[i].table_id, b.top_k[i].table_id) << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mate

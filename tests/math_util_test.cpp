@@ -1,0 +1,73 @@
+#include "util/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mate {
+namespace {
+
+TEST(MathUtilTest, LogBinomialSmallValues) {
+  EXPECT_DOUBLE_EQ(LogBinomial(5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(LogBinomial(5, 5), 0.0);
+  EXPECT_NEAR(LogBinomial(5, 2), std::log(10.0), 1e-9);
+  EXPECT_NEAR(LogBinomial(10, 3), std::log(120.0), 1e-9);
+  EXPECT_EQ(LogBinomial(3, 4), -std::numeric_limits<double>::infinity());
+}
+
+TEST(MathUtilTest, OptimalOnesMatchesPaperExample) {
+  // §5.3.1: 128-bit hash, 700M unique values -> alpha = 6.
+  EXPECT_EQ(OptimalOnesCount(128, 700'000'000ULL), 6);
+}
+
+TEST(MathUtilTest, OptimalOnesGrowsWithUniques) {
+  // C(128,2)=8128, C(128,3)=341376, C(128,4)=10.7M.
+  EXPECT_EQ(OptimalOnesCount(128, 8000), 2);
+  EXPECT_EQ(OptimalOnesCount(128, 10000), 3);
+  EXPECT_EQ(OptimalOnesCount(128, 400000), 4);
+  EXPECT_LE(OptimalOnesCount(128, 1), 2);
+}
+
+TEST(MathUtilTest, OptimalOnesShrinksWithHashSize) {
+  uint64_t uniques = 700'000'000ULL;
+  EXPECT_GE(OptimalOnesCount(128, uniques), OptimalOnesCount(256, uniques));
+  EXPECT_GE(OptimalOnesCount(256, uniques), OptimalOnesCount(512, uniques));
+}
+
+TEST(MathUtilTest, XashBetaMatchesPaper) {
+  // §5.3.2-§5.3.4: 128 -> beta 3 (length 17), 512 -> beta 13 (length 31).
+  EXPECT_EQ(XashBeta(128), 3u);
+  EXPECT_EQ(128 - 37 * XashBeta(128), 17u);
+  EXPECT_EQ(XashBeta(256), 6u);
+  EXPECT_EQ(256 - 37 * XashBeta(256), 34u);
+  EXPECT_EQ(XashBeta(512), 13u);
+  EXPECT_EQ(512 - 37 * XashBeta(512), 31u);
+}
+
+TEST(MathUtilTest, XashBetaStrictInequality) {
+  // Equation 6 is strict: 37*beta < |a|, so 37*3=111 < 128 but for |a|=111
+  // beta must drop to 2.
+  EXPECT_EQ(XashBeta(111), 2u);
+  EXPECT_EQ(XashBeta(112), 3u);
+  EXPECT_EQ(XashBeta(38), 1u);
+  EXPECT_EQ(XashBeta(37), 1u);  // degenerate floor
+}
+
+TEST(MathUtilTest, PermutationCount) {
+  // Equation 3: P(n, k) = n!/(n-k)!.
+  EXPECT_EQ(PermutationCount(5, 0), 1u);
+  EXPECT_EQ(PermutationCount(5, 1), 5u);
+  EXPECT_EQ(PermutationCount(5, 2), 20u);
+  EXPECT_EQ(PermutationCount(5, 5), 120u);
+  EXPECT_EQ(PermutationCount(3, 4), 0u);
+  EXPECT_EQ(PermutationCount(33, 10), 33ULL * 32 * 31 * 30 * 29 * 28 * 27 *
+                                           26 * 25 * 24);
+}
+
+TEST(MathUtilTest, PermutationCountSaturates) {
+  EXPECT_EQ(PermutationCount(1000, 50),
+            std::numeric_limits<uint64_t>::max());
+}
+
+}  // namespace
+}  // namespace mate

@@ -1,0 +1,108 @@
+#include "baselines/scr.h"
+
+#include <gtest/gtest.h>
+
+#include "index/index_builder.h"
+#include "workload/generator.h"
+#include "workload/query_gen.h"
+
+namespace mate {
+namespace {
+
+struct World {
+  Corpus corpus;
+  std::vector<QueryCase> queries;
+  std::unique_ptr<InvertedIndex> index;
+};
+
+World MakeWorld(uint64_t seed) {
+  World world;
+  Vocabulary vocab =
+      Vocabulary::Generate(400, Vocabulary::Style::kMixed, seed);
+  CorpusSpec spec;
+  spec.num_tables = 40;
+  spec.seed = seed + 1;
+  world.corpus = GenerateCorpus(spec, vocab);
+  QuerySetSpec qspec;
+  qspec.num_queries = 3;
+  qspec.query_rows = 40;
+  qspec.key_size = 2;
+  qspec.planted_tables = 6;
+  qspec.seed = seed + 2;
+  world.queries = GenerateQueries(&world.corpus, vocab, qspec);
+  auto index = BuildIndex(world.corpus, IndexBuildOptions{});
+  EXPECT_TRUE(index.ok());
+  world.index = std::move(*index);
+  return world;
+}
+
+TEST(ScrTest, RowFilterFlagIsForcedOff) {
+  World world = MakeWorld(11);
+  ScrSearch scr(&world.corpus, world.index.get());
+  DiscoveryOptions options;
+  options.k = 5;
+  options.use_row_filter = true;  // must be ignored by SCR
+  const QueryCase& qc = world.queries[0];
+  DiscoveryResult scr_result = scr.Discover(qc.query, qc.key_columns,
+                                            options);
+  // SCR sends every checked row to verification — no super-key pruning.
+  EXPECT_EQ(scr_result.stats.rows_checked,
+            scr_result.stats.rows_sent_to_verification);
+}
+
+TEST(ScrTest, VerifiesAtLeastAsManyRowsAsMate) {
+  World world = MakeWorld(13);
+  ScrSearch scr(&world.corpus, world.index.get());
+  MateSearch mate(&world.corpus, world.index.get());
+  DiscoveryOptions options;
+  options.k = 5;
+  for (const QueryCase& qc : world.queries) {
+    DiscoveryResult s = scr.Discover(qc.query, qc.key_columns, options);
+    DiscoveryResult m = mate.Discover(qc.query, qc.key_columns, options);
+    EXPECT_GE(s.stats.rows_sent_to_verification,
+              m.stats.rows_sent_to_verification);
+    EXPECT_GE(s.stats.value_comparisons, m.stats.value_comparisons);
+    // And identical answers.
+    ASSERT_EQ(s.top_k.size(), m.top_k.size());
+    for (size_t i = 0; i < s.top_k.size(); ++i) {
+      EXPECT_EQ(s.top_k[i].table_id, m.top_k[i].table_id);
+      EXPECT_EQ(s.top_k[i].joinability, m.top_k[i].joinability);
+    }
+  }
+}
+
+TEST(ScrTest, TableFiltersStillPrune) {
+  // SCR keeps Algorithm 1's table filters (§7.1.1): with them disabled it
+  // must evaluate at least as many tables.
+  World world = MakeWorld(17);
+  ScrSearch scr(&world.corpus, world.index.get());
+  DiscoveryOptions with, without;
+  with.k = without.k = 2;
+  without.use_table_filters = false;
+  uint64_t evaluated_with = 0, evaluated_without = 0;
+  for (const QueryCase& qc : world.queries) {
+    evaluated_with +=
+        scr.Discover(qc.query, qc.key_columns, with).stats.tables_evaluated;
+    evaluated_without += scr.Discover(qc.query, qc.key_columns, without)
+                             .stats.tables_evaluated;
+  }
+  EXPECT_LE(evaluated_with, evaluated_without);
+}
+
+TEST(ScrTest, PrecisionIsTrueFpRate) {
+  // With no filter, SCR's precision is the raw TP share of fetched rows —
+  // the denominator the paper's FP-rate discussion uses.
+  World world = MakeWorld(19);
+  ScrSearch scr(&world.corpus, world.index.get());
+  DiscoveryOptions options;
+  options.k = 5;
+  const QueryCase& qc = world.queries[0];
+  DiscoveryResult result = scr.Discover(qc.query, qc.key_columns, options);
+  const DiscoveryStats& s = result.stats;
+  EXPECT_EQ(s.rows_true_positive + s.FalsePositiveRows(),
+            s.rows_sent_to_verification);
+  EXPECT_LE(s.Precision(), 1.0);
+}
+
+}  // namespace
+}  // namespace mate

@@ -1,0 +1,161 @@
+#include "core/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "hash/xash.h"
+
+namespace mate {
+namespace {
+
+std::unique_ptr<Xash> MakeHash(size_t bits = 128) {
+  XashOptions opts;
+  opts.hash_bits = bits;
+  return std::make_unique<Xash>(opts);
+}
+
+TEST(SignatureHammingTest, BasicProperties) {
+  auto hash = MakeHash();
+  BitVector a = hash->HashValue("brooklyn");
+  BitVector b = hash->HashValue("brooklyn");
+  EXPECT_EQ(SignatureHamming(a, b), 0u);
+  BitVector c = hash->HashValue("cambridge");
+  EXPECT_GT(SignatureHamming(a, c), 0u);
+  // Symmetry.
+  EXPECT_EQ(SignatureHamming(a, c), SignatureHamming(c, a));
+}
+
+TEST(SignatureHammingTest, SimilarValuesAreCloserThanDissimilar) {
+  // §9: XASH FPs are syntactically similar values — which makes the
+  // signature distance a similarity signal. Same rare chars and length ->
+  // small distance.
+  auto hash = MakeHash();
+  size_t close_dist = SignatureHamming(hash->HashValue("brooklyn"),
+                                       hash->HashValue("brooklym"));
+  size_t far_dist = SignatureHamming(hash->HashValue("brooklyn"),
+                                     hash->HashValue("zx9"));
+  EXPECT_LT(close_dist, far_dist);
+}
+
+TEST(SimilarValueCandidatesTest, ExactDuplicatesAlwaysPair) {
+  auto hash = MakeHash();
+  std::vector<std::string> values = {"Alpha", "alpha ", "beta", "gamma"};
+  auto pairs = SimilarValueCandidates(*hash, values, /*max_hamming=*/0);
+  // "Alpha" and "alpha " normalize identically -> distance 0.
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].left, 0u);
+  EXPECT_EQ(pairs[0].right, 1u);
+  EXPECT_EQ(pairs[0].hamming, 0u);
+}
+
+TEST(SimilarValueCandidatesTest, BudgetControlsRecall) {
+  auto hash = MakeHash();
+  std::vector<std::string> values = {"brooklyn", "brooklym", "zzz", "qqq"};
+  auto tight = SimilarValueCandidates(*hash, values, 2);
+  auto loose = SimilarValueCandidates(*hash, values, 256);
+  EXPECT_LE(tight.size(), loose.size());
+  EXPECT_EQ(loose.size(), 6u);  // all pairs at maximal budget
+}
+
+TEST(RowOverlapTest, JaccardSemantics) {
+  Table a("a");
+  a.AddColumn("x");
+  a.AddColumn("y");
+  a.AddColumn("z");
+  (void)a.AppendRow({"one", "two", "three"});
+  Table b("b");
+  b.AddColumn("p");
+  b.AddColumn("q");
+  b.AddColumn("r");
+  (void)b.AppendRow({"two", "THREE", "four"});
+  // Sets: {one,two,three} vs {two,three,four}: 2 / 4.
+  EXPECT_DOUBLE_EQ(RowOverlap(a, 0, b, 0), 0.5);
+}
+
+TEST(RowOverlapTest, IdenticalRowsScoreOne) {
+  Table a("a");
+  a.AddColumn("x");
+  a.AddColumn("y");
+  (void)a.AppendRow({"v1", "v2"});
+  (void)a.AppendRow({"V1 ", "v2"});  // same after normalization
+  EXPECT_DOUBLE_EQ(RowOverlap(a, 0, a, 1), 1.0);
+}
+
+class DuplicateRowFinderTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    hash_ = MakeHash();
+    Table t1("records_a");
+    t1.AddColumn("first");
+    t1.AddColumn("last");
+    t1.AddColumn("city");
+    (void)t1.AppendRow({"muhammad", "lee", "berlin"});
+    (void)t1.AppendRow({"ansel", "adams", "vienna"});
+    (void)t1.AppendRow({"unique", "rowvalue", "nowhere"});
+    corpus_.AddTable(std::move(t1));
+
+    Table t2("records_b");
+    t2.AddColumn("fname");
+    t2.AddColumn("lname");
+    t2.AddColumn("town");
+    // Exact duplicate of t1 row 0 (different case/padding).
+    (void)t2.AppendRow({"Muhammad", "LEE", " berlin "});
+    // Near duplicate of t1 row 1 (2 of 3 cells).
+    (void)t2.AppendRow({"ansel", "adams", "salzburg"});
+    // Unrelated.
+    (void)t2.AppendRow({"totally", "different", "row"});
+    corpus_.AddTable(std::move(t2));
+  }
+
+  Corpus corpus_;
+  std::unique_ptr<Xash> hash_;
+};
+
+TEST_F(DuplicateRowFinderTest, ExactDuplicatesAreAlwaysFound) {
+  DuplicateRowFinder finder(&corpus_, hash_.get());
+  DuplicateFinderOptions options;
+  options.min_overlap = 0.99;
+  auto pairs = finder.FindDuplicates(options);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].left_table, 0u);
+  EXPECT_EQ(pairs[0].left_row, 0u);
+  EXPECT_EQ(pairs[0].right_table, 1u);
+  EXPECT_EQ(pairs[0].right_row, 0u);
+  EXPECT_DOUBLE_EQ(pairs[0].overlap, 1.0);
+}
+
+TEST_F(DuplicateRowFinderTest, NearDuplicatesFoundAtLowerThreshold) {
+  DuplicateRowFinder finder(&corpus_, hash_.get());
+  DuplicateFinderOptions options;
+  options.min_overlap = 0.45;  // 2 shared of 4 distinct cells = 0.5
+  auto pairs = finder.FindDuplicates(options);
+  bool found_near = false;
+  for (const DuplicateRowPair& pair : pairs) {
+    if (pair.left_table == 0 && pair.left_row == 1 &&
+        pair.right_table == 1 && pair.right_row == 1) {
+      found_near = true;
+      EXPECT_NEAR(pair.overlap, 0.5, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found_near);
+}
+
+TEST_F(DuplicateRowFinderTest, UnrelatedRowsAreNotReported) {
+  DuplicateRowFinder finder(&corpus_, hash_.get());
+  DuplicateFinderOptions options;
+  options.min_overlap = 0.8;
+  for (const DuplicateRowPair& pair : finder.FindDuplicates(options)) {
+    EXPECT_FALSE(pair.left_table == 0 && pair.left_row == 2);
+    EXPECT_FALSE(pair.right_table == 1 && pair.right_row == 2);
+  }
+}
+
+TEST_F(DuplicateRowFinderTest, DeletedRowsAreSkipped) {
+  ASSERT_TRUE(corpus_.mutable_table(1)->DeleteRow(0).ok());
+  DuplicateRowFinder finder(&corpus_, hash_.get());
+  DuplicateFinderOptions options;
+  options.min_overlap = 0.99;
+  EXPECT_TRUE(finder.FindDuplicates(options).empty());
+}
+
+}  // namespace
+}  // namespace mate

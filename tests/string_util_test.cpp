@@ -1,0 +1,75 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace mate {
+namespace {
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("MuHaMMad"), "muhammad");
+  EXPECT_EQ(ToLower("ABC-123"), "abc-123");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hello "), "hello");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no-space"), "no-space");
+}
+
+TEST(StringUtilTest, NormalizeValue) {
+  EXPECT_EQ(NormalizeValue("  Muhammad "), "muhammad");
+  EXPECT_EQ(NormalizeValue("US"), "us");
+  EXPECT_EQ(NormalizeValue(" 60K"), "60k");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split(",b,", ','), (std::vector<std::string>{"", "b", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, SplitJoinRoundTrip) {
+  std::string original = "x|y||z";
+  EXPECT_EQ(Join(Split(original, '|'), "|"), original);
+}
+
+TEST(StringUtilTest, IsAllDigits) {
+  EXPECT_TRUE(IsAllDigits("0123456789"));
+  EXPECT_FALSE(IsAllDigits(""));
+  EXPECT_FALSE(IsAllDigits("12a"));
+  EXPECT_FALSE(IsAllDigits("-12"));
+}
+
+TEST(StringUtilTest, NormalizedEqualsMatchesNormalizeValue) {
+  const char* raws[] = {"  Muhammad ", "US", "us ", "60k", "", "  ",
+                        "Ansel Adams", "a"};
+  const char* norms[] = {"muhammad", "us", "lee", "", "ansel adams"};
+  for (const char* raw : raws) {
+    for (const char* norm : norms) {
+      EXPECT_EQ(NormalizedEquals(norm, raw), NormalizeValue(raw) == norm)
+          << "raw=[" << raw << "] norm=[" << norm << "]";
+    }
+  }
+}
+
+TEST(StringUtilTest, NormalizedEqualsIsZeroAllocCorrect) {
+  EXPECT_TRUE(NormalizedEquals("muhammad", "  MUHAMMAD  "));
+  EXPECT_FALSE(NormalizedEquals("muhammad", "muhammed"));
+  EXPECT_FALSE(NormalizedEquals("muhammad", "muhamma"));
+  EXPECT_TRUE(NormalizedEquals("", "   "));
+}
+
+TEST(StringUtilTest, FormatKeyCombo) {
+  EXPECT_EQ(FormatKeyCombo({"muhammad", "lee", "us"}), "muhammad|lee|us");
+}
+
+}  // namespace
+}  // namespace mate

@@ -1,0 +1,173 @@
+// Property tests of the super-key contract (§6.3 lemma: no false negatives)
+// for every hash family at every hash size, plus a relative filtering-power
+// check that reproduces the paper's §6.4 analysis qualitatively.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "hash/hash_registry.h"
+#include "hash/xash.h"
+#include "util/rng.h"
+#include "workload/vocabulary.h"
+
+namespace mate {
+namespace {
+
+using FamilyBits = std::tuple<HashFamily, size_t>;
+
+class SuperKeyPropertyTest : public testing::TestWithParam<FamilyBits> {
+ protected:
+  std::unique_ptr<RowHashFunction> MakeHash() const {
+    auto [family, bits] = GetParam();
+    return MakeRowHash(family, bits, nullptr);
+  }
+};
+
+TEST_P(SuperKeyPropertyTest, NoFalseNegativesOnRandomRows) {
+  std::unique_ptr<RowHashFunction> hash = MakeHash();
+  ASSERT_NE(hash, nullptr);
+  Rng rng(2024);
+  for (int trial = 0; trial < 60; ++trial) {
+    // A random "row" of 2-10 values.
+    size_t row_width = 2 + rng.Uniform(9);
+    std::vector<std::string> row;
+    for (size_t i = 0; i < row_width; ++i) {
+      row.push_back(GenerateWord(&rng, 1, 14));
+    }
+    BitVector super_key = hash->MakeSuperKey(row);
+
+    // Every subset of the row's values must be masked (the lemma's claim
+    // for any composite key contained in the row).
+    for (int s = 0; s < 8; ++s) {
+      std::vector<std::string> subset;
+      for (const std::string& v : row) {
+        if (rng.Bernoulli(0.5)) subset.push_back(v);
+      }
+      BitVector subset_key = hash->MakeSuperKey(subset);
+      EXPECT_TRUE(subset_key.IsSubsetOf(super_key))
+          << hash->Name() << ": subset key not masked";
+    }
+
+    // And each individual signature as well.
+    for (const std::string& v : row) {
+      EXPECT_TRUE(hash->HashValue(v).IsSubsetOf(super_key));
+    }
+  }
+}
+
+TEST_P(SuperKeyPropertyTest, SignaturesAreStateless) {
+  // Hashing a value must not depend on what was hashed before (otherwise
+  // the offline/online signatures would diverge and break the lemma).
+  std::unique_ptr<RowHashFunction> hash = MakeHash();
+  BitVector first = hash->HashValue("stateless");
+  (void)hash->MakeSuperKey({"a", "b", "c", "d"});
+  BitVector second = hash->HashValue("stateless");
+  EXPECT_EQ(first, second);
+}
+
+TEST_P(SuperKeyPropertyTest, SignatureWidthMatches) {
+  auto [family, bits] = GetParam();
+  std::unique_ptr<RowHashFunction> hash = MakeHash();
+  EXPECT_EQ(hash->hash_bits(), bits);
+  EXPECT_EQ(hash->HashValue("w").num_bits(), bits);
+}
+
+TEST_P(SuperKeyPropertyTest, OrAggregationIsOrderIndependent) {
+  // §5.1: the super key is order-independent (bitwise OR commutes).
+  std::unique_ptr<RowHashFunction> hash = MakeHash();
+  std::vector<std::string> row = {"timestamp", "berlin", "42.5", "pm10"};
+  std::vector<std::string> reversed(row.rbegin(), row.rend());
+  EXPECT_EQ(hash->MakeSuperKey(row), hash->MakeSuperKey(reversed));
+}
+
+std::string ParamName(const testing::TestParamInfo<FamilyBits>& info) {
+  auto [family, bits] = info.param;
+  return std::string(HashFamilyName(family)) + "_" + std::to_string(bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamiliesAndSizes, SuperKeyPropertyTest,
+    testing::Combine(testing::ValuesIn(AllHashFamilies()),
+                     testing::Values(size_t{128}, size_t{256}, size_t{512})),
+    ParamName);
+
+TEST(SuperKeyFilteringPowerTest, XashMasksFewerRandomKeysThanDigests) {
+  // §6.4/§7.3 qualitative claim: digest-style super keys (~50% ones per
+  // value) mask nearly every probe, while XASH's sparse segmented bits
+  // reject most random composite keys.
+  Rng rng(77);
+  auto xash = MakeRowHash(HashFamily::kXash, 128, nullptr);
+  auto md5 = MakeRowHash(HashFamily::kMd5, 128, nullptr);
+
+  int xash_fp = 0, md5_fp = 0;
+  const int kTrials = 400;
+  for (int i = 0; i < kTrials; ++i) {
+    std::vector<std::string> row;
+    for (int v = 0; v < 5; ++v) row.push_back(GenerateWord(&rng, 2, 12));
+    std::vector<std::string> probe = {GenerateWord(&rng, 2, 12),
+                                      GenerateWord(&rng, 2, 12)};
+    if (xash->MakeSuperKey(probe).IsSubsetOf(xash->MakeSuperKey(row))) {
+      ++xash_fp;
+    }
+    if (md5->MakeSuperKey(probe).IsSubsetOf(md5->MakeSuperKey(row))) {
+      ++md5_fp;
+    }
+  }
+  EXPECT_LT(xash_fp, md5_fp);
+  EXPECT_LT(xash_fp, kTrials / 10);  // XASH rejects the vast majority
+}
+
+TEST(SuperKeyFilteringPowerTest, RotationKillsTheRandomMatchPattern) {
+  // §5.3.5's "random match": a probe value partially masked by several
+  // different row values (one contributes the rare-character bits, another
+  // the length bit). Constructed instance: probe "qz" (len 2) against the
+  // row {"aqa", "aaz", "bb"} — "aqa" covers the q bit, "aaz" the z bit,
+  // "bb" the length-2 bit. Without rotation this is a false positive; the
+  // rotation (by each value's own length) breaks the alignment.
+  XashOptions with_opts;
+  with_opts.hash_bits = 128;
+  XashOptions without_opts = with_opts;
+  without_opts.use_rotation = false;
+  Xash with_rot(with_opts), without_rot(without_opts);
+
+  std::vector<std::string> row = {"aqa", "aaz", "bb"};
+  BitVector probe_without = without_rot.HashValue("qz");
+  BitVector probe_with = with_rot.HashValue("qz");
+  EXPECT_TRUE(probe_without.IsSubsetOf(without_rot.MakeSuperKey(row)))
+      << "the constructed random match should fool the unrotated filter";
+  EXPECT_FALSE(probe_with.IsSubsetOf(with_rot.MakeSuperKey(row)))
+      << "rotation should break the cross-value alignment";
+}
+
+TEST(SuperKeyFilteringPowerTest, RotationDoesNotHurtOnRandomData) {
+  // On independent random words rotation is roughly FP-neutral; allow a
+  // small statistical slack in either direction.
+  Rng rng(88);
+  XashOptions with_opts;
+  with_opts.hash_bits = 128;
+  XashOptions without_opts = with_opts;
+  without_opts.use_rotation = false;
+  Xash with_rot(with_opts), without_rot(without_opts);
+
+  int fp_with = 0, fp_without = 0;
+  const int kTrials = 2000;
+  for (int i = 0; i < kTrials; ++i) {
+    std::vector<std::string> row;
+    for (int v = 0; v < 6; ++v) row.push_back(GenerateWord(&rng, 2, 12));
+    std::vector<std::string> probe = {GenerateWord(&rng, 2, 12),
+                                      GenerateWord(&rng, 2, 12)};
+    if (with_rot.MakeSuperKey(probe).IsSubsetOf(with_rot.MakeSuperKey(row))) {
+      ++fp_with;
+    }
+    if (without_rot.MakeSuperKey(probe).IsSubsetOf(
+            without_rot.MakeSuperKey(row))) {
+      ++fp_without;
+    }
+  }
+  EXPECT_LE(fp_with, fp_without + kTrials / 100);
+}
+
+}  // namespace
+}  // namespace mate

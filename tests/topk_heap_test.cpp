@@ -1,0 +1,93 @@
+#include "util/topk_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace mate {
+namespace {
+
+TEST(TopKHeapTest, KeepsBestK) {
+  TopKHeap<int> heap(3);
+  for (int i = 0; i < 10; ++i) heap.Add(i, i);
+  ASSERT_TRUE(heap.Full());
+  auto sorted = heap.SortedDesc();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].score, 9);
+  EXPECT_EQ(sorted[1].score, 8);
+  EXPECT_EQ(sorted[2].score, 7);
+  EXPECT_EQ(heap.KthScore(), 7);
+}
+
+TEST(TopKHeapTest, NotFullAcceptsEverything) {
+  TopKHeap<int> heap(5);
+  EXPECT_TRUE(heap.Add(1, 0));
+  EXPECT_TRUE(heap.Add(2, -5));
+  EXPECT_FALSE(heap.Full());
+  EXPECT_EQ(heap.size(), 2u);
+}
+
+TEST(TopKHeapTest, RejectsWorseThanKth) {
+  TopKHeap<int> heap(2);
+  heap.Add(1, 10);
+  heap.Add(2, 20);
+  EXPECT_FALSE(heap.Add(3, 5));
+  EXPECT_EQ(heap.KthScore(), 10);
+  EXPECT_TRUE(heap.Add(4, 15));
+  EXPECT_EQ(heap.KthScore(), 15);
+}
+
+TEST(TopKHeapTest, TieBreaksTowardSmallerId) {
+  TopKHeap<int> heap(2);
+  heap.Add(10, 5);
+  heap.Add(20, 5);
+  // Same score, smaller id: should displace id 20.
+  EXPECT_TRUE(heap.Add(15, 5));
+  auto sorted = heap.SortedDesc();
+  EXPECT_EQ(sorted[0].id, 10);
+  EXPECT_EQ(sorted[1].id, 15);
+  // Same score, larger id than the worst kept: rejected.
+  EXPECT_FALSE(heap.Add(30, 5));
+}
+
+TEST(TopKHeapTest, SortedDescOrdering) {
+  TopKHeap<int> heap(4);
+  heap.Add(3, 7);
+  heap.Add(1, 7);
+  heap.Add(2, 9);
+  heap.Add(4, 1);
+  auto sorted = heap.SortedDesc();
+  ASSERT_EQ(sorted.size(), 4u);
+  EXPECT_EQ(sorted[0].id, 2);   // score 9
+  EXPECT_EQ(sorted[1].id, 1);   // score 7, smaller id first
+  EXPECT_EQ(sorted[2].id, 3);   // score 7
+  EXPECT_EQ(sorted[3].id, 4);   // score 1
+}
+
+TEST(TopKHeapTest, MatchesSortReference) {
+  // Property: heap result == top-k of a full sort, for random inputs.
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t k = 1 + rng.Uniform(8);
+    TopKHeap<uint64_t> heap(k);
+    std::vector<std::pair<int64_t, uint64_t>> all;  // (-score, id)
+    size_t n = rng.Uniform(60);
+    for (size_t i = 0; i < n; ++i) {
+      int64_t score = static_cast<int64_t>(rng.Uniform(10));
+      heap.Add(i, score);
+      all.emplace_back(-score, i);
+    }
+    std::sort(all.begin(), all.end());
+    auto sorted = heap.SortedDesc();
+    ASSERT_EQ(sorted.size(), std::min(k, n));
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      EXPECT_EQ(sorted[i].score, -all[i].first);
+      EXPECT_EQ(sorted[i].id, all[i].second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mate

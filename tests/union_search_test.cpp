@@ -1,0 +1,151 @@
+#include "core/union_search.h"
+
+#include <gtest/gtest.h>
+
+#include "hash/xash.h"
+
+namespace mate {
+namespace {
+
+class UnionSearchTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    XashOptions opts;
+    opts.hash_bits = 256;
+    hash_ = std::make_unique<Xash>(opts);
+
+    // Query-like domain: cities + countries + numeric population.
+    Table unionable("eu_cities");
+    unionable.AddColumn("city");
+    unionable.AddColumn("country");
+    unionable.AddColumn("population");
+    (void)unionable.AppendRow({"berlin", "germany", "3600000"});
+    (void)unionable.AppendRow({"hamburg", "germany", "1800000"});
+    (void)unionable.AppendRow({"vienna", "austria", "1900000"});
+    (void)unionable.AppendRow({"paris", "france", "2100000"});
+    unionable_id_ = corpus_.AddTable(std::move(unionable));
+
+    // Same schema *shape* but disjoint domain (animals).
+    Table disjoint("animals");
+    disjoint.AddColumn("name");
+    disjoint.AddColumn("class");
+    disjoint.AddColumn("weight");
+    (void)disjoint.AppendRow({"elephantine", "mammalia", "output-xyz"});
+    (void)disjoint.AppendRow({"crocodilian", "reptilia", "qqqq-zzz"});
+    disjoint_id_ = corpus_.AddTable(std::move(disjoint));
+
+    // Partially unionable: shares the city column only.
+    Table partial("city_airports");
+    partial.AddColumn("city");
+    partial.AddColumn("iata");
+    (void)partial.AppendRow({"berlin", "ber"});
+    (void)partial.AppendRow({"paris", "cdg"});
+    (void)partial.AppendRow({"vienna", "vie"});
+    partial_id_ = corpus_.AddTable(std::move(partial));
+
+    index_ = std::make_unique<UnionIndex>(
+        UnionIndex::Build(corpus_, hash_.get(), /*sample_size=*/32));
+  }
+
+  Table MakeQuery() const {
+    Table q("more_cities");
+    q.AddColumn("city");
+    q.AddColumn("country");
+    q.AddColumn("population");
+    (void)q.AppendRow({"berlin", "germany", "3600000"});
+    (void)q.AppendRow({"vienna", "austria", "1900000"});
+    (void)q.AppendRow({"hamburg", "germany", "1800000"});
+    return q;
+  }
+
+  Corpus corpus_;
+  std::unique_ptr<Xash> hash_;
+  std::unique_ptr<UnionIndex> index_;
+  TableId unionable_id_ = 0;
+  TableId disjoint_id_ = 0;
+  TableId partial_id_ = 0;
+};
+
+TEST_F(UnionSearchTest, BuildsOneSketchPerNonEmptyColumn) {
+  EXPECT_EQ(index_->NumSketches(), 3u + 3u + 2u);
+  EXPECT_GT(index_->MemoryBytes(), 0u);
+}
+
+TEST_F(UnionSearchTest, FindsTheUnionableTableFirst) {
+  UnionSearchOptions options;
+  auto results = index_->Discover(MakeQuery(), options);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].table_id, unionable_id_);
+  EXPECT_GT(results[0].score, 0.9);
+  // All three columns aligned, identity mapping.
+  ASSERT_EQ(results[0].alignment.size(), 3u);
+  for (const ColumnAlignment& a : results[0].alignment) {
+    EXPECT_EQ(a.query_column, a.candidate_column);
+    EXPECT_GT(a.score, 0.9);
+  }
+}
+
+TEST_F(UnionSearchTest, DisjointDomainIsNotReported) {
+  UnionSearchOptions options;
+  for (const UnionResult& result : index_->Discover(MakeQuery(), options)) {
+    EXPECT_NE(result.table_id, disjoint_id_);
+  }
+}
+
+TEST_F(UnionSearchTest, PartialTableNeedsLowerThreshold) {
+  UnionSearchOptions strict;
+  strict.min_aligned_fraction = 0.9;  // needs all 3 columns
+  for (const UnionResult& result : index_->Discover(MakeQuery(), strict)) {
+    EXPECT_NE(result.table_id, partial_id_);
+  }
+  UnionSearchOptions lenient;
+  lenient.min_aligned_fraction = 0.3;  // 1 of 3 columns suffices
+  bool found_partial = false;
+  for (const UnionResult& result : index_->Discover(MakeQuery(), lenient)) {
+    if (result.table_id == partial_id_) found_partial = true;
+  }
+  EXPECT_TRUE(found_partial);
+}
+
+TEST_F(UnionSearchTest, ExcludeSkipsTables) {
+  UnionSearchOptions options;
+  auto results = index_->Discover(MakeQuery(), options, {unionable_id_});
+  for (const UnionResult& result : results) {
+    EXPECT_NE(result.table_id, unionable_id_);
+  }
+}
+
+TEST_F(UnionSearchTest, SelfUnionScoresPerfectly) {
+  // A table drawn from the corpus table itself must align perfectly: the
+  // sketch has no false negatives for sampled values.
+  UnionSearchOptions options;
+  Table self("self");
+  self.AddColumn("city");
+  self.AddColumn("country");
+  self.AddColumn("population");
+  (void)self.AppendRow({"berlin", "germany", "3600000"});
+  (void)self.AppendRow({"paris", "france", "2100000"});
+  auto results = index_->Discover(self, options);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].table_id, unionable_id_);
+  EXPECT_DOUBLE_EQ(results[0].score, 1.0);
+}
+
+TEST_F(UnionSearchTest, KLimitsResults) {
+  UnionSearchOptions options;
+  options.k = 1;
+  options.min_aligned_fraction = 0.1;
+  options.min_column_score = 0.1;
+  auto results = index_->Discover(MakeQuery(), options);
+  EXPECT_LE(results.size(), 1u);
+}
+
+TEST_F(UnionSearchTest, EmptyQueryReturnsNothing) {
+  Table empty("empty");
+  empty.AddColumn("a");
+  UnionSearchOptions options;
+  EXPECT_TRUE(index_->Discover(empty, options).empty());
+}
+
+}  // namespace
+}  // namespace mate

@@ -1,0 +1,63 @@
+#include "storage/value_dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace mate {
+namespace {
+
+TEST(ValueDictionaryTest, AssignsDenseIds) {
+  ValueDictionary dict;
+  EXPECT_EQ(dict.GetOrAdd("a"), 0u);
+  EXPECT_EQ(dict.GetOrAdd("b"), 1u);
+  EXPECT_EQ(dict.GetOrAdd("c"), 2u);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(ValueDictionaryTest, GetOrAddIsIdempotent) {
+  ValueDictionary dict;
+  ValueId a = dict.GetOrAdd("value");
+  EXPECT_EQ(dict.GetOrAdd("value"), a);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(ValueDictionaryTest, FindWithoutInsert) {
+  ValueDictionary dict;
+  dict.GetOrAdd("present");
+  EXPECT_EQ(dict.Find("present"), 0u);
+  EXPECT_EQ(dict.Find("absent"), kInvalidValueId);
+  EXPECT_EQ(dict.size(), 1u);  // Find never inserts
+}
+
+TEST(ValueDictionaryTest, ValueOfRoundTrips) {
+  ValueDictionary dict;
+  ValueId id = dict.GetOrAdd("muhammad");
+  dict.GetOrAdd("lee");
+  EXPECT_EQ(dict.ValueOf(id), "muhammad");
+  EXPECT_EQ(dict.ValueOf(dict.Find("lee")), "lee");
+}
+
+TEST(ValueDictionaryTest, PointersSurviveRehash) {
+  ValueDictionary dict;
+  ValueId first = dict.GetOrAdd("first");
+  // Force many rehashes of the underlying map.
+  for (int i = 0; i < 10000; ++i) dict.GetOrAdd("v" + std::to_string(i));
+  EXPECT_EQ(dict.ValueOf(first), "first");
+  EXPECT_EQ(dict.size(), 10001u);
+}
+
+TEST(ValueDictionaryTest, EmptyStringIsAValue) {
+  ValueDictionary dict;
+  ValueId id = dict.GetOrAdd("");
+  EXPECT_EQ(dict.Find(""), id);
+  EXPECT_EQ(dict.ValueOf(id), "");
+}
+
+TEST(ValueDictionaryTest, MemoryBytesGrows) {
+  ValueDictionary dict;
+  size_t empty = dict.MemoryBytes();
+  for (int i = 0; i < 100; ++i) dict.GetOrAdd("value" + std::to_string(i));
+  EXPECT_GT(dict.MemoryBytes(), empty);
+}
+
+}  // namespace
+}  // namespace mate

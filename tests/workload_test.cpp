@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/joinability.h"
+#include "workload/generator.h"
+#include "workload/query_gen.h"
+#include "workload/scenarios.h"
+
+namespace mate {
+namespace {
+
+TEST(VocabularyTest, GeneratesDistinctTokens) {
+  Vocabulary vocab = Vocabulary::Generate(500, Vocabulary::Style::kMixed, 1);
+  ASSERT_EQ(vocab.size(), 500u);
+  std::unordered_set<std::string> seen;
+  for (size_t i = 0; i < vocab.size(); ++i) {
+    EXPECT_TRUE(seen.insert(vocab.word(i)).second) << vocab.word(i);
+    EXPECT_FALSE(vocab.word(i).empty());
+  }
+}
+
+TEST(VocabularyTest, DeterministicInSeed) {
+  Vocabulary a = Vocabulary::Generate(100, Vocabulary::Style::kWords, 9);
+  Vocabulary b = Vocabulary::Generate(100, Vocabulary::Style::kWords, 9);
+  Vocabulary c = Vocabulary::Generate(100, Vocabulary::Style::kWords, 10);
+  bool all_same = true;
+  bool any_diff = false;
+  for (size_t i = 0; i < 100; ++i) {
+    all_same = all_same && a.word(i) == b.word(i);
+    any_diff = any_diff || a.word(i) != c.word(i);
+  }
+  EXPECT_TRUE(all_same);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(VocabularyTest, StylesProduceDifferentFlavors) {
+  Vocabulary words = Vocabulary::Generate(200, Vocabulary::Style::kWords, 3);
+  Vocabulary mixed = Vocabulary::Generate(200, Vocabulary::Style::kMixed, 3);
+  // Words style: pure letters. Mixed: some tokens contain digits.
+  bool words_have_digit = false;
+  bool mixed_have_digit = false;
+  for (size_t i = 0; i < 200; ++i) {
+    for (char ch : words.word(i)) {
+      words_have_digit = words_have_digit || (ch >= '0' && ch <= '9');
+    }
+    for (char ch : mixed.word(i)) {
+      mixed_have_digit = mixed_have_digit || (ch >= '0' && ch <= '9');
+    }
+  }
+  EXPECT_FALSE(words_have_digit);
+  EXPECT_TRUE(mixed_have_digit);
+}
+
+TEST(GeneratorTest, RespectsSpecBounds) {
+  Vocabulary vocab = Vocabulary::Generate(300, Vocabulary::Style::kMixed, 2);
+  CorpusSpec spec;
+  spec.num_tables = 25;
+  spec.min_columns = 3;
+  spec.max_columns = 6;
+  spec.min_rows = 4;
+  spec.max_rows = 9;
+  spec.seed = 8;
+  Corpus corpus = GenerateCorpus(spec, vocab);
+  ASSERT_EQ(corpus.NumTables(), 25u);
+  for (TableId t = 0; t < corpus.NumTables(); ++t) {
+    const Table& table = corpus.table(t);
+    EXPECT_GE(table.NumColumns(), 3u);
+    EXPECT_LE(table.NumColumns(), 6u);
+    EXPECT_GE(table.NumRows(), 4u);
+    EXPECT_LE(table.NumRows(), 9u);
+  }
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  Vocabulary vocab = Vocabulary::Generate(300, Vocabulary::Style::kMixed, 2);
+  CorpusSpec spec;
+  spec.num_tables = 10;
+  spec.seed = 77;
+  Corpus a = GenerateCorpus(spec, vocab);
+  Corpus b = GenerateCorpus(spec, vocab);
+  ASSERT_EQ(a.NumTables(), b.NumTables());
+  for (TableId t = 0; t < a.NumTables(); ++t) {
+    ASSERT_EQ(a.table(t).NumRows(), b.table(t).NumRows());
+    for (RowId r = 0; r < a.table(t).NumRows(); ++r) {
+      for (ColumnId c = 0; c < a.table(t).NumColumns(); ++c) {
+        ASSERT_EQ(a.table(t).cell(r, c), b.table(t).cell(r, c));
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, ZipfReusesValuesAcrossTables) {
+  Vocabulary vocab = Vocabulary::Generate(500, Vocabulary::Style::kMixed, 2);
+  CorpusSpec spec;
+  spec.num_tables = 50;
+  spec.seed = 5;
+  Corpus corpus = GenerateCorpus(spec, vocab);
+  CorpusStats stats = corpus.ComputeStats();
+  // Heavy-tailed reuse: far fewer unique values than cells.
+  EXPECT_LT(stats.num_unique_values, stats.num_cells / 2);
+}
+
+TEST(QueryGenTest, PlantedJoinabilityIsALowerBound) {
+  Vocabulary vocab = Vocabulary::Generate(300, Vocabulary::Style::kMixed, 4);
+  CorpusSpec spec;
+  spec.num_tables = 20;
+  spec.seed = 31;
+  Corpus corpus = GenerateCorpus(spec, vocab);
+  QuerySetSpec qspec;
+  qspec.num_queries = 3;
+  qspec.query_rows = 25;
+  qspec.key_size = 2;
+  qspec.planted_tables = 5;
+  qspec.seed = 32;
+  std::vector<QueryCase> queries = GenerateQueries(&corpus, vocab, qspec);
+  ASSERT_EQ(queries.size(), 3u);
+  for (const QueryCase& qc : queries) {
+    ASSERT_FALSE(qc.planted.empty());
+    for (const auto& [table_id, planted_count] : qc.planted) {
+      int64_t true_j = BruteForceJoinability(qc.query, qc.key_columns,
+                                             corpus.table(table_id))
+                           .joinability;
+      EXPECT_GE(true_j, static_cast<int64_t>(planted_count))
+          << "table " << table_id;
+    }
+  }
+}
+
+TEST(QueryGenTest, KeyColumnsAreValidAndDistinct) {
+  Vocabulary vocab = Vocabulary::Generate(200, Vocabulary::Style::kMixed, 4);
+  CorpusSpec spec;
+  spec.num_tables = 5;
+  spec.seed = 2;
+  Corpus corpus = GenerateCorpus(spec, vocab);
+  QuerySetSpec qspec;
+  qspec.num_queries = 5;
+  qspec.query_columns = 6;
+  qspec.key_size = 3;
+  qspec.seed = 3;
+  for (const QueryCase& qc : GenerateQueries(&corpus, vocab, qspec)) {
+    EXPECT_EQ(qc.key_columns.size(), 3u);
+    std::unordered_set<ColumnId> distinct(qc.key_columns.begin(),
+                                          qc.key_columns.end());
+    EXPECT_EQ(distinct.size(), 3u);
+    for (ColumnId c : qc.key_columns) {
+      EXPECT_LT(c, qc.query.NumColumns());
+    }
+    EXPECT_GE(qc.query.NumRows(), 2u);
+  }
+}
+
+TEST(ScenarioTest, WebTablesShapesMatchPaperOrdering) {
+  WorkloadConfig config;
+  config.scale = 0.05;
+  config.queries_per_set = 2;
+  Workload w = MakeWebTablesWorkload(config);
+  ASSERT_EQ(w.query_sets.size(), 3u);
+  EXPECT_EQ(w.query_sets[0].first, "WT (10)");
+  EXPECT_EQ(w.query_sets[2].first, "WT (1000)");
+  // Cardinality ladder: later sets have more rows.
+  EXPECT_LT(w.query_sets[0].second[0].query.NumRows(),
+            w.query_sets[2].second[0].query.NumRows());
+}
+
+TEST(ScenarioTest, OpenDataIsWiderThanWebTables) {
+  WorkloadConfig config;
+  config.scale = 0.05;
+  config.queries_per_set = 2;
+  Workload wt = MakeWebTablesWorkload(config);
+  Workload od = MakeOpenDataWorkload(config);
+  double wt_cols = wt.corpus.ComputeStats().avg_columns_per_table;
+  double od_cols = od.corpus.ComputeStats().avg_columns_per_table;
+  EXPECT_GT(od_cols, wt_cols);
+}
+
+TEST(ScenarioTest, SchoolHasFewLargeTables) {
+  WorkloadConfig config;
+  config.scale = 0.05;
+  config.queries_per_set = 2;
+  Workload school = MakeSchoolWorkload(config);
+  CorpusStats stats = school.corpus.ComputeStats();
+  EXPECT_LE(stats.num_tables, 60u);
+  EXPECT_GT(stats.avg_rows_per_table, 50.0);
+  EXPECT_GT(stats.avg_columns_per_table, 20.0);
+}
+
+TEST(ScenarioTest, KeySizeWorkloadCoversRequestedSizes) {
+  WorkloadConfig config;
+  config.scale = 0.05;
+  config.queries_per_set = 1;
+  Workload w = MakeKeySizeWorkload(config, {2, 5, 10});
+  ASSERT_EQ(w.query_sets.size(), 3u);
+  EXPECT_EQ(w.query_sets[0].second[0].key_columns.size(), 2u);
+  EXPECT_EQ(w.query_sets[1].second[0].key_columns.size(), 5u);
+  EXPECT_EQ(w.query_sets[2].second[0].key_columns.size(), 10u);
+}
+
+TEST(ScenarioTest, DeterministicInSeedAndScale) {
+  WorkloadConfig config;
+  config.scale = 0.05;
+  config.queries_per_set = 1;
+  Workload a = MakeWebTablesWorkload(config);
+  Workload b = MakeWebTablesWorkload(config);
+  EXPECT_EQ(a.corpus.NumTables(), b.corpus.NumTables());
+  EXPECT_EQ(a.query_sets[0].second[0].query.NumRows(),
+            b.query_sets[0].second[0].query.NumRows());
+  EXPECT_EQ(a.query_sets[0].second[0].query.cell(0, 0),
+            b.query_sets[0].second[0].query.cell(0, 0));
+}
+
+}  // namespace
+}  // namespace mate

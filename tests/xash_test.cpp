@@ -1,0 +1,257 @@
+// XASH behavior tests against the paper's §5.2-§5.3 construction.
+
+#include "hash/xash.h"
+
+#include <gtest/gtest.h>
+
+#include "util/math_util.h"
+
+namespace mate {
+namespace {
+
+XashOptions Opts(size_t bits) {
+  XashOptions o;
+  o.hash_bits = bits;
+  return o;
+}
+
+TEST(XashLayoutTest, PaperParameters128) {
+  Xash xash(Opts(128));
+  EXPECT_EQ(xash.beta(), 3u);                  // Eq. 6
+  EXPECT_EQ(xash.length_segment_bits(), 17u);  // 128 - 37*3
+  EXPECT_EQ(xash.char_region_begin(), 17u);
+  EXPECT_EQ(xash.char_region_bits(), 111u);
+  EXPECT_EQ(xash.alpha(), 6);  // Eq. 5 at the default 700M uniques
+}
+
+TEST(XashLayoutTest, PaperParameters512) {
+  Xash xash(Opts(512));
+  EXPECT_EQ(xash.beta(), 13u);
+  EXPECT_EQ(xash.length_segment_bits(), 31u);  // §5.3.2: |a_l| = 31
+}
+
+TEST(XashLayoutTest, AlphaFollowsCorpusUniques) {
+  XashOptions o = Opts(128);
+  o.min_alpha = 2;  // raw Eq. 5
+  o.corpus_unique_values = 8000;  // C(128,2) = 8128 > 8000
+  EXPECT_EQ(Xash(o).alpha(), 2);
+  o.corpus_unique_values = 1'000'000;
+  EXPECT_EQ(Xash(o).alpha(), 4);
+}
+
+TEST(XashLayoutTest, AlphaFlooredAtPaperConfiguration) {
+  XashOptions o = Opts(128);
+  o.corpus_unique_values = 8000;  // Eq. 5 would give 2
+  EXPECT_EQ(Xash(o).alpha(), 6);  // floored at the deployed alpha
+  o.corpus_unique_values = 400'000'000'000ULL;  // Eq. 5 gives 8
+  EXPECT_EQ(Xash(o).alpha(), OptimalOnesCount(128, 400'000'000'000ULL));
+  EXPECT_GT(Xash(o).alpha(), 6);
+}
+
+TEST(XashTest, AtMostAlphaBitsSet) {
+  Xash xash(Opts(128));
+  for (const char* s : {"muhammad", "lee", "us", "a", "1997-01-01",
+                        "some much longer cell value here"}) {
+    size_t ones = xash.HashValue(s).CountOnes();
+    EXPECT_LE(ones, static_cast<size_t>(xash.alpha())) << s;
+    EXPECT_GE(ones, 1u) << s;
+  }
+}
+
+TEST(XashTest, Deterministic) {
+  Xash xash(Opts(128));
+  EXPECT_EQ(xash.HashValue("muhammad"), xash.HashValue("muhammad"));
+}
+
+TEST(XashTest, EmptyValueSetsOnlyTheLengthBit) {
+  Xash xash(Opts(128));
+  BitVector sig = xash.HashValue("");
+  EXPECT_EQ(sig.CountOnes(), 1u);
+  EXPECT_TRUE(sig.TestBit(0));  // len 0 mod 17 = bit 0 of the length segment
+}
+
+TEST(XashTest, LengthBitPosition) {
+  Xash xash(Opts(128));
+  // "abc" has length 3 -> length-segment bit 3.
+  BitVector sig = xash.HashValue("abc");
+  EXPECT_TRUE(sig.TestBit(3));
+  // Length 17 wraps: bit 0.
+  BitVector sig17 = xash.HashValue(std::string(17, 'q'));
+  EXPECT_TRUE(sig17.TestBit(0));
+  // Length 20 -> bit 3 again.
+  BitVector sig20 = xash.HashValue(std::string(20, 'q'));
+  EXPECT_TRUE(sig20.TestBit(3));
+}
+
+TEST(XashTest, LengthDisambiguatesSharedRareChars) {
+  // §5.3.4's example: "boxer" and "birder" share 'b' et al.; their
+  // different lengths must make the signatures differ.
+  Xash xash(Opts(128));
+  EXPECT_NE(xash.HashValue("boxer"), xash.HashValue("birder"));
+}
+
+TEST(XashTest, AlphabetIsCaseFolded) {
+  // The 37-symbol alphabet folds case (NormalizeChar('U') == 'u'), so "US"
+  // and "us" hash identically — consistent with the index normalizing all
+  // values to lowercase before hashing.
+  Xash xash(Opts(128));
+  EXPECT_EQ(xash.HashValue("US"), xash.HashValue("us"));
+  // Punctuation falls into the shared bucket: "a-b" and "a.b" collide on
+  // characters but "ab" differs in length.
+  EXPECT_EQ(xash.HashValue("a-b"), xash.HashValue("a.b"));
+  EXPECT_NE(xash.HashValue("a-b"), xash.HashValue("ab"));
+}
+
+TEST(XashTest, RareCharacterSelection) {
+  // In "ezzz", 'z' is rarest but 'e' most common; alpha-1 >= 2 picks both z
+  // and e for a 2-char value... use a value with more distinct chars than
+  // alpha-1 and check a common char is NOT encoded when rarer ones exist.
+  XashOptions o = Opts(128);
+  o.alpha = 3;  // 1 length bit + 2 character bits
+  Xash xash(o);
+  // "ethanqz": distinct chars e,t,h,a,n,q,z; the two rarest are q and z.
+  BitVector sig = xash.HashValue("ethanqz");
+  // Undo rotation (length 7) to inspect segments.
+  BitVector unrotated = sig;
+  unrotated.RotateRangeLeft(xash.char_region_begin(), xash.char_region_bits(),
+                            xash.char_region_bits() - 7 % xash.char_region_bits());
+  auto segment_has_bit = [&](char c) {
+    size_t seg = xash.char_region_begin() +
+                 static_cast<size_t>(NormalizeChar(c)) * xash.beta();
+    for (size_t b = 0; b < xash.beta(); ++b) {
+      if (unrotated.TestBit(seg + b)) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(segment_has_bit('q'));
+  EXPECT_TRUE(segment_has_bit('z'));
+  EXPECT_FALSE(segment_has_bit('e'));
+  EXPECT_FALSE(segment_has_bit('t'));
+}
+
+TEST(XashTest, LocationEncodingFollowsCeilFormula) {
+  // Disable rotation so segment offsets are directly inspectable.
+  XashOptions o = Opts(128);
+  o.use_rotation = false;
+  o.alpha = 6;
+  Xash xash(o);
+  // "muhammad" (len 8): 'u' at 1-based position 2 -> ceil(2*3/8)=1 -> first
+  // bit of its segment; 'd' at position 8 -> ceil(3)=3 -> third bit.
+  BitVector sig = xash.HashValue("muhammad");
+  size_t u_seg = xash.char_region_begin() +
+                 static_cast<size_t>(NormalizeChar('u')) * xash.beta();
+  size_t d_seg = xash.char_region_begin() +
+                 static_cast<size_t>(NormalizeChar('d')) * xash.beta();
+  EXPECT_TRUE(sig.TestBit(u_seg + 0));
+  EXPECT_TRUE(sig.TestBit(d_seg + 2));
+}
+
+TEST(XashTest, RepeatedCharacterUsesAveragePosition) {
+  XashOptions o = Opts(128);
+  o.use_rotation = false;
+  o.alpha = 2;  // length + 1 char
+  Xash xash(o);
+  // "zaz": 'z' occurs at positions 1 and 3, average 2; len 3 ->
+  // ceil(2*3/3) = 2 -> second bit of the z segment.
+  BitVector sig = xash.HashValue("zaz");
+  size_t z_seg = xash.char_region_begin() +
+                 static_cast<size_t>(NormalizeChar('z')) * xash.beta();
+  EXPECT_TRUE(sig.TestBit(z_seg + 1));
+}
+
+TEST(XashTest, RotationMovesCharacterBitsOnly) {
+  XashOptions with = Opts(128);
+  XashOptions without = Opts(128);
+  without.use_rotation = false;
+  Xash xw(with), xo(without);
+  BitVector a = xw.HashValue("muhammad");
+  BitVector b = xo.HashValue("muhammad");
+  // Length bit identical...
+  for (size_t i = 0; i < xw.length_segment_bits(); ++i) {
+    EXPECT_EQ(a.TestBit(i), b.TestBit(i)) << i;
+  }
+  // ...character region is the unrotated one shifted by len=8.
+  BitVector b_rot = b;
+  b_rot.RotateRangeLeft(xw.char_region_begin(), xw.char_region_bits(), 8);
+  EXPECT_EQ(a, b_rot);
+}
+
+TEST(XashTest, AblationFlagsChangeSignatures) {
+  XashOptions base = Opts(128);
+  Xash full(base);
+
+  XashOptions no_len = base;
+  no_len.use_length = false;
+  XashOptions no_chars = base;
+  no_chars.use_chars = false;
+  XashOptions no_loc = base;
+  no_loc.use_location = false;
+  XashOptions no_rot = base;
+  no_rot.use_rotation = false;
+
+  const std::string v = "muhammad";
+  EXPECT_NE(Xash(no_len).HashValue(v), full.HashValue(v));
+  EXPECT_NE(Xash(no_chars).HashValue(v), full.HashValue(v));
+  EXPECT_NE(Xash(no_loc).HashValue(v), full.HashValue(v));
+  EXPECT_NE(Xash(no_rot).HashValue(v), full.HashValue(v));
+  // Length-only signatures have exactly one bit.
+  EXPECT_EQ(Xash(no_chars).HashValue(v).CountOnes(), 1u);
+}
+
+TEST(XashTest, FromCorpusStatsUsesMeasuredFrequencies) {
+  CorpusStats stats;
+  stats.num_unique_values = 5000;
+  // A corpus where 'z' is the most common character and 'e' rare.
+  stats.char_counts[NormalizeChar('z')] = 100000;
+  stats.char_counts[NormalizeChar('e')] = 3;
+  stats.char_counts[NormalizeChar('a')] = 50000;
+  auto xash = Xash::FromCorpusStats(128, stats);
+  ASSERT_NE(xash, nullptr);
+  EXPECT_EQ(xash->alpha(),
+            std::max(6, OptimalOnesCount(128, 5000)));  // floored Eq. 5
+  // With alpha=2 (1 char encoded), "ze" must encode 'e' (rare here), not 'z'.
+  XashOptions probe_opts = Opts(128);
+  probe_opts.use_rotation = false;
+  // Verify through behavior: hash "ze" and check the e-segment.
+  BitVector sig = xash->HashValue("ze");
+  BitVector unrot = sig;
+  unrot.RotateRangeLeft(xash->char_region_begin(), xash->char_region_bits(),
+                        xash->char_region_bits() - 2);
+  size_t e_seg = xash->char_region_begin() +
+                 static_cast<size_t>(NormalizeChar('e')) * xash->beta();
+  bool e_encoded = false;
+  for (size_t b = 0; b < xash->beta(); ++b) {
+    e_encoded = e_encoded || unrot.TestBit(e_seg + b);
+  }
+  EXPECT_TRUE(e_encoded);
+}
+
+TEST(XashTest, DistinctValuesRarelyCollide) {
+  Xash xash(Opts(128));
+  std::vector<std::string> values;
+  for (int i = 0; i < 200; ++i) values.push_back("value_" + std::to_string(i));
+  int collisions = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (size_t j = i + 1; j < values.size(); ++j) {
+      if (xash.HashValue(values[i]) == xash.HashValue(values[j])) {
+        ++collisions;
+      }
+    }
+  }
+  // These values differ only in their numeric suffix — the adversarial case
+  // for XASH — but full equality of signatures should still be rare.
+  EXPECT_LT(collisions, 400);
+}
+
+TEST(XashTest, SignatureNeverExceedsHashWidth) {
+  for (size_t bits : {64u, 128u, 192u, 256u, 320u, 384u, 448u, 512u}) {
+    XashOptions o = Opts(bits);
+    Xash xash(o);
+    BitVector sig = xash.HashValue("any value at all");
+    EXPECT_EQ(sig.num_bits(), bits);
+    EXPECT_EQ(xash.length_segment_bits() + xash.char_region_bits(), bits);
+  }
+}
+
+}  // namespace
+}  // namespace mate

@@ -1,0 +1,97 @@
+#include "util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mate {
+namespace {
+
+TEST(ZipfTest, SamplesInRange) {
+  ZipfDistribution zipf(100, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Sample(&rng), 100u);
+  }
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(500, 1.2);
+  double total = 0.0;
+  for (size_t k = 0; k < 500; ++k) total += zipf.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, RankZeroIsMostLikely) {
+  ZipfDistribution zipf(1000, 1.05);
+  EXPECT_GT(zipf.Pmf(0), zipf.Pmf(1));
+  EXPECT_GT(zipf.Pmf(1), zipf.Pmf(10));
+  EXPECT_GT(zipf.Pmf(10), zipf.Pmf(999));
+}
+
+TEST(ZipfTest, EmpiricalSkewMatchesPmf) {
+  ZipfDistribution zipf(50, 1.0);
+  Rng rng(7);
+  std::vector<int> counts(50, 0);
+  const int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Sample(&rng)];
+  // Rank 0 empirical probability within 15% of the analytic pmf.
+  double p0 = static_cast<double>(counts[0]) / kSamples;
+  EXPECT_NEAR(p0, zipf.Pmf(0), 0.15 * zipf.Pmf(0));
+  // Monotone-ish: head much heavier than tail.
+  EXPECT_GT(counts[0], counts[49] * 5);
+}
+
+TEST(ZipfTest, SZeroIsUniform) {
+  ZipfDistribution zipf(10, 0.0);
+  for (size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(zipf.Pmf(k), 0.1, 1e-9);
+  }
+}
+
+TEST(ZipfTest, DeterministicGivenSeed) {
+  ZipfDistribution zipf(1000, 1.1);
+  Rng rng1(42), rng2(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zipf.Sample(&rng1), zipf.Sample(&rng2));
+  }
+}
+
+TEST(RngTest, DeterministicStreams) {
+  Rng a(5), b(5), c(6);
+  bool all_equal = true;
+  bool any_diff_seed_diff = false;
+  for (int i = 0; i < 50; ++i) {
+    uint64_t va = a.NextUint64();
+    uint64_t vb = b.NextUint64();
+    uint64_t vc = c.NextUint64();
+    all_equal = all_equal && (va == vb);
+    any_diff_seed_diff = any_diff_seed_diff || (va != vc);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_seed_diff);
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(7), 7u);
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, SplitMix64KnownProperties) {
+  // SplitMix64 must be deterministic and not map distinct small inputs to
+  // equal outputs (sanity, not cryptographic).
+  EXPECT_EQ(SplitMix64(1), SplitMix64(1));
+  EXPECT_NE(SplitMix64(1), SplitMix64(2));
+  EXPECT_NE(SplitMix64(0), 0u);
+}
+
+}  // namespace
+}  // namespace mate

@@ -1,0 +1,261 @@
+// mate_cli — command-line front end for the MATE library.
+//
+//   mate_cli index   --csv-dir DIR --corpus OUT.corpus --index OUT.index
+//                    [--hash Xash] [--bits 128] [--threads N]
+//   mate_cli search  --corpus F --index F --query Q.csv --key a,b[,c...]
+//                    [--k 10]
+//   mate_cli stats   --corpus F [--index F]
+//   mate_cli dups    --corpus F [--min-overlap 0.85]
+//   mate_cli union   --corpus F --query Q.csv [--k 10]
+//
+// Key columns are given by header name or zero-based position.
+
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/mate.h"
+#include "core/similarity.h"
+#include "core/union_search.h"
+#include "hash/xash.h"
+#include "index/index_builder.h"
+#include "index/index_io.h"
+#include "storage/corpus_io.h"
+#include "storage/csv.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace mate {
+namespace {
+
+int Usage() {
+  std::cerr <<
+      "usage:\n"
+      "  mate_cli index  --csv-dir DIR --corpus OUT --index OUT"
+      " [--hash Xash] [--bits 128] [--threads N]\n"
+      "  mate_cli search --corpus F --index F --query Q.csv --key a,b [--k N]\n"
+      "  mate_cli stats  --corpus F [--index F]\n"
+      "  mate_cli dups   --corpus F [--min-overlap 0.85]\n"
+      "  mate_cli union  --corpus F --query Q.csv [--k N]\n";
+  return 2;
+}
+
+// --flag value parsing into a map; returns false on malformed input.
+bool ParseFlags(int argc, char** argv, int first,
+                std::map<std::string, std::string>* flags) {
+  for (int i = first; i < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0 || i + 1 >= argc) return false;
+    (*flags)[key.substr(2)] = argv[i + 1];
+  }
+  return true;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+Result<std::vector<ColumnId>> ResolveKeyColumns(const Table& query,
+                                                const std::string& spec) {
+  std::vector<ColumnId> key_columns;
+  for (const std::string& part : Split(spec, ',')) {
+    if (part.empty()) return Status::InvalidArgument("empty key column");
+    ColumnId c = query.FindColumn(part);
+    if (c == kInvalidColumnId && IsAllDigits(part)) {
+      unsigned long idx = std::stoul(part);
+      if (idx < query.NumColumns()) c = static_cast<ColumnId>(idx);
+    }
+    if (c == kInvalidColumnId) {
+      return Status::NotFound("no query column named '" + part + "'");
+    }
+    key_columns.push_back(c);
+  }
+  return key_columns;
+}
+
+int CmdIndex(const std::map<std::string, std::string>& flags) {
+  const std::string dir = FlagOr(flags, "csv-dir", "");
+  const std::string corpus_out = FlagOr(flags, "corpus", "");
+  const std::string index_out = FlagOr(flags, "index", "");
+  if (dir.empty() || corpus_out.empty() || index_out.empty()) return Usage();
+
+  Corpus corpus;
+  std::vector<std::filesystem::path> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".csv") files.push_back(entry.path());
+  }
+  if (ec) return Fail(Status::IOError("cannot list " + dir));
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    auto table = LoadCsvFile(path.string(), path.stem().string());
+    if (!table.ok()) {
+      std::cerr << "skipping " << path << ": " << table.status().ToString()
+                << "\n";
+      continue;
+    }
+    corpus.AddTable(std::move(*table));
+  }
+  if (corpus.NumTables() == 0) {
+    return Fail(Status::NotFound("no readable .csv files in " + dir));
+  }
+  std::cout << "loaded " << corpus.NumTables() << " tables\n";
+
+  IndexBuildOptions options;
+  options.hash_bits = std::stoul(FlagOr(flags, "bits", "128"));
+  options.num_threads =
+      static_cast<unsigned>(std::stoul(FlagOr(flags, "threads", "1")));
+  auto family = ParseHashFamily(FlagOr(flags, "hash", "Xash"));
+  if (!family.ok()) return Fail(family.status());
+  options.hash_family = *family;
+
+  Stopwatch timer;
+  IndexBuildReport report;
+  auto index = BuildIndexWithReport(corpus, options, &report);
+  if (!index.ok()) return Fail(index.status());
+  std::cout << "indexed in " << timer.ElapsedSeconds() << "s: "
+            << report.ToString() << "\n";
+
+  if (Status s = SaveCorpus(corpus, corpus_out); !s.ok()) return Fail(s);
+  if (Status s = SaveIndex(**index, options.hash_family,
+                           report.corpus_stats, index_out);
+      !s.ok()) {
+    return Fail(s);
+  }
+  std::cout << "wrote " << corpus_out << " and " << index_out << "\n";
+  return 0;
+}
+
+int CmdSearch(const std::map<std::string, std::string>& flags) {
+  const std::string corpus_path = FlagOr(flags, "corpus", "");
+  const std::string index_path = FlagOr(flags, "index", "");
+  const std::string query_path = FlagOr(flags, "query", "");
+  const std::string key_spec = FlagOr(flags, "key", "");
+  if (corpus_path.empty() || index_path.empty() || query_path.empty() ||
+      key_spec.empty()) {
+    return Usage();
+  }
+  auto corpus = LoadCorpus(corpus_path);
+  if (!corpus.ok()) return Fail(corpus.status());
+  auto index = LoadIndex(index_path);
+  if (!index.ok()) return Fail(index.status());
+  auto query = LoadCsvFile(query_path, "query");
+  if (!query.ok()) return Fail(query.status());
+  auto key_columns = ResolveKeyColumns(*query, key_spec);
+  if (!key_columns.ok()) return Fail(key_columns.status());
+
+  MateSearch search(&*corpus, index->get());
+  DiscoveryOptions options;
+  options.k = std::stoi(FlagOr(flags, "k", "10"));
+  DiscoveryResult result = search.Discover(*query, *key_columns, options);
+
+  std::cout << "top-" << options.k << " joinable tables on key <" << key_spec
+            << ">:\n";
+  for (const TableResult& tr : result.top_k) {
+    std::cout << "  " << corpus->table(tr.table_id).name()
+              << "  joinability=" << tr.joinability << "  mapping:";
+    for (size_t i = 0; i < tr.best_mapping.size(); ++i) {
+      std::cout << " " << query->column_name((*key_columns)[i]) << "->"
+                << corpus->table(tr.table_id).column_name(tr.best_mapping[i]);
+    }
+    std::cout << "\n";
+  }
+  std::cout << "stats: " << result.stats.ToString() << "\n";
+  return 0;
+}
+
+int CmdStats(const std::map<std::string, std::string>& flags) {
+  const std::string corpus_path = FlagOr(flags, "corpus", "");
+  if (corpus_path.empty()) return Usage();
+  auto corpus = LoadCorpus(corpus_path);
+  if (!corpus.ok()) return Fail(corpus.status());
+  std::cout << "corpus: " << corpus->ComputeStats().ToString() << "\n";
+  const std::string index_path = FlagOr(flags, "index", "");
+  if (!index_path.empty()) {
+    auto index = LoadIndex(index_path);
+    if (!index.ok()) return Fail(index.status());
+    std::cout << "index: hash=" << (*index)->hash().Name() << "/"
+              << (*index)->hash_bits() << "b postings="
+              << (*index)->NumPostingEntries() << " bytes="
+              << (*index)->MemoryBytes() << "\n";
+  }
+  return 0;
+}
+
+int CmdDups(const std::map<std::string, std::string>& flags) {
+  const std::string corpus_path = FlagOr(flags, "corpus", "");
+  if (corpus_path.empty()) return Usage();
+  auto corpus = LoadCorpus(corpus_path);
+  if (!corpus.ok()) return Fail(corpus.status());
+  auto stats = corpus->ComputeStats();
+  auto hash = Xash::FromCorpusStats(128, stats);
+  DuplicateRowFinder finder(&*corpus, hash.get());
+  DuplicateFinderOptions options;
+  options.min_overlap = std::stod(FlagOr(flags, "min-overlap", "0.85"));
+  auto pairs = finder.FindDuplicates(options);
+  std::cout << pairs.size() << " near-duplicate row pairs (overlap >= "
+            << options.min_overlap << "):\n";
+  for (const DuplicateRowPair& pair : pairs) {
+    std::cout << "  " << corpus->table(pair.left_table).name() << "#"
+              << pair.left_row << "  ~  "
+              << corpus->table(pair.right_table).name() << "#"
+              << pair.right_row << "  overlap=" << pair.overlap << "\n";
+  }
+  return 0;
+}
+
+int CmdUnion(const std::map<std::string, std::string>& flags) {
+  const std::string corpus_path = FlagOr(flags, "corpus", "");
+  const std::string query_path = FlagOr(flags, "query", "");
+  if (corpus_path.empty() || query_path.empty()) return Usage();
+  auto corpus = LoadCorpus(corpus_path);
+  if (!corpus.ok()) return Fail(corpus.status());
+  auto query = LoadCsvFile(query_path, "query");
+  if (!query.ok()) return Fail(query.status());
+  auto stats = corpus->ComputeStats();
+  auto hash = Xash::FromCorpusStats(256, stats);
+  UnionIndex union_index =
+      UnionIndex::Build(*corpus, hash.get(), /*sample_size=*/64);
+  UnionSearchOptions options;
+  options.k = std::stoi(FlagOr(flags, "k", "10"));
+  auto results = union_index.Discover(*query, options);
+  std::cout << "top-" << options.k << " unionable tables:\n";
+  for (const UnionResult& result : results) {
+    std::cout << "  " << corpus->table(result.table_id).name()
+              << "  score=" << result.score << "  alignment:";
+    for (const ColumnAlignment& a : result.alignment) {
+      std::cout << " " << query->column_name(a.query_column) << "->"
+                << corpus->table(result.table_id).column_name(
+                       a.candidate_column);
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  std::map<std::string, std::string> flags;
+  if (!ParseFlags(argc, argv, 2, &flags)) return Usage();
+  if (command == "index") return CmdIndex(flags);
+  if (command == "search") return CmdSearch(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "dups") return CmdDups(flags);
+  if (command == "union") return CmdUnion(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace mate
+
+int main(int argc, char** argv) { return mate::Run(argc, argv); }
