@@ -7,6 +7,7 @@
 // with query cardinality.
 
 #include <iostream>
+#include <thread>
 
 #include "bench_util/report.h"
 #include "bench_util/runner.h"
@@ -17,7 +18,14 @@ using namespace mate;  // NOLINT: bench brevity
 
 namespace {
 
-void RunWorkload(const Workload& workload, int k, ReportTable* table) {
+struct ThroughputTotals {
+  size_t queries = 0;
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;  // sum of per-query runtimes
+};
+
+void RunWorkload(const Workload& workload, int k, unsigned threads,
+                 ReportTable* table, ThroughputTotals* totals) {
   auto index = BuildIndex(workload.corpus, IndexBuildOptions{});
   if (!index.ok()) {
     std::cerr << "index build failed: " << index.status().ToString() << "\n";
@@ -33,7 +41,7 @@ void RunWorkload(const Workload& workload, int k, ReportTable* table) {
     double mate_runtime = 0.0;
     for (SystemKind kind : systems) {
       QuerySetMetrics metrics = RunSystem(kind, workload.corpus, **index,
-                                          &josie, queries, k, name);
+                                          &josie, queries, k, name, threads);
       if (kind == SystemKind::kMate) mate_runtime = metrics.total_runtime_s;
       row.push_back(FormatSeconds(metrics.total_runtime_s));
       if (kind != SystemKind::kMate && mate_runtime > 0) {
@@ -41,6 +49,9 @@ void RunWorkload(const Workload& workload, int k, ReportTable* table) {
                       FormatDouble(metrics.total_runtime_s / mate_runtime, 1) +
                       "x)";
       }
+      totals->queries += metrics.queries;
+      totals->wall_seconds += metrics.batch.wall_seconds;
+      totals->cpu_seconds += metrics.total_runtime_s;
     }
     table->AddRow(std::move(row));
   }
@@ -54,6 +65,7 @@ int main(int argc, char** argv) {
   defaults.queries = 4;
   BenchArgs args = ParseBenchArgs(argc, argv, "fig4_system_runtime",
                                   defaults);
+  if (args.threads == 0) args.threads = std::thread::hardware_concurrency();
   WorkloadConfig config;
   config.scale = args.scale;
   config.queries_per_set = args.queries;
@@ -61,15 +73,28 @@ int main(int argc, char** argv) {
 
   std::cout << "== E2 / Figure 4: Mate vs single-column systems, total "
                "runtime per query set (k="
-            << args.k << ", scale=" << args.scale << ") ==\n"
-            << "Columns show total seconds over " << args.queries
+            << args.k << ", scale=" << args.scale << ", threads="
+            << args.threads << ") ==\n"
+            << "Columns show summed per-query seconds over " << args.queries
             << " queries; (Nx) = slowdown vs Mate.\n\n";
 
   ReportTable table({"Query set", "Mate (Xash 128)", "SCR", "MCR",
                      "SCR Josie", "MCR Josie"});
-  RunWorkload(MakeWebTablesWorkload(config), args.k, &table);
-  RunWorkload(MakeOpenDataWorkload(config), args.k, &table);
+  ThroughputTotals totals;
+  RunWorkload(MakeWebTablesWorkload(config), args.k, args.threads, &table,
+              &totals);
+  RunWorkload(MakeOpenDataWorkload(config), args.k, args.threads, &table,
+              &totals);
   table.Print(std::cout);
+  std::cout << "\nBatch throughput (threads=" << args.threads << "): "
+            << totals.queries << " system-queries in "
+            << FormatSeconds(totals.wall_seconds) << " wall = "
+            << FormatDouble(totals.queries / totals.wall_seconds, 1)
+            << " q/s; effective parallelism "
+            << FormatDouble(totals.cpu_seconds / totals.wall_seconds, 2)
+            << "x (summed per-query time / wall; per-query times include "
+               "contention, so compare wall across --threads runs for true "
+               "speedup).\n";
   std::cout << "\nShape check (paper): Mate fastest in every row; MCR "
                "degrades worst on the web-table corpus; SCR-based systems "
                "slower than MCR-based on OD but competitive on WT.\n";

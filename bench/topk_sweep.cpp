@@ -6,6 +6,7 @@
 // slightly (~4%) as k grows; BF stays flat; the weaker hashes drift down.
 
 #include <iostream>
+#include <thread>
 
 #include "bench_util/report.h"
 #include "bench_util/runner.h"
@@ -19,13 +20,14 @@ int main(int argc, char** argv) {
   defaults.scale = 0.25;
   defaults.queries = 5;
   BenchArgs args = ParseBenchArgs(argc, argv, "topk_sweep", defaults);
+  if (args.threads == 0) args.threads = std::thread::hardware_concurrency();
   WorkloadConfig config;
   config.scale = args.scale;
   config.queries_per_set = args.queries;
   config.seed = args.seed;
 
   std::cout << "== E7 / §7.5.1: precision vs k on WT (100) (scale="
-            << args.scale << ") ==\n\n";
+            << args.scale << ", threads=" << args.threads << ") ==\n\n";
 
   Workload workload = MakeWebTablesWorkload(config);
   const auto& queries = workload.query_sets[1].second;  // WT (100)
@@ -62,7 +64,8 @@ int main(int argc, char** argv) {
       mate_options.k = ks[ki];
       QuerySetMetrics metrics =
           RunMateWithOptions(workload.corpus, *index, queries, mate_options,
-                             std::string(HashFamilyName(families[f])));
+                             std::string(HashFamilyName(families[f])),
+                             args.threads);
       cells[ki][f] = FormatDouble(metrics.avg_precision, 3);
     }
   }

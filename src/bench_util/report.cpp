@@ -6,6 +6,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "util/string_util.h"
+
 namespace mate {
 
 ReportTable::ReportTable(std::vector<std::string> headers)
@@ -100,9 +102,16 @@ BenchArgs ParseBenchArgs(int argc, char** argv, const char* bench_name,
       args.queries = std::strtoull(arg + 10, nullptr, 10);
     } else if (std::strncmp(arg, "--k=", 4) == 0) {
       args.k = std::atoi(arg + 4);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      if (!ParseSmallUint(arg + 10, 1024, &args.threads)) {
+        std::cerr << bench_name << ": --threads wants an integer in "
+                  << "[0, 1024], got '" << (arg + 10) << "'\n";
+        std::exit(2);
+      }
     } else {
       std::cerr << bench_name
-                << ": usage: [--scale=F] [--seed=N] [--queries=N] [--k=N]\n";
+                << ": usage: [--scale=F] [--seed=N] [--queries=N] [--k=N]"
+                   " [--threads=N]\n";
       std::exit(2);
     }
   }

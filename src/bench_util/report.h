@@ -34,12 +34,14 @@ std::string FormatBytes(uint64_t bytes);
 /// "0.88 ±0.26" (Table 3 style).
 std::string FormatMeanStd(double mean, double std_dev);
 
-/// Common bench flags: --scale=F --seed=N --queries=N --k=N.
+/// Common bench flags: --scale=F --seed=N --queries=N --k=N --threads=N.
 struct BenchArgs {
   double scale = 1.0;
   uint64_t seed = 42;
   size_t queries = 5;
   int k = 10;
+  /// Discovery fan-out threads (0 = hardware concurrency).
+  unsigned threads = 1;
 };
 
 /// Parses flags (exits with a usage message on unknown flags). `defaults`

@@ -1,6 +1,7 @@
 #include "bench_util/runner.h"
 
 #include <cmath>
+#include <functional>
 
 namespace mate {
 
@@ -35,6 +36,30 @@ void Finalize(QuerySetMetrics* m, const std::vector<double>& precisions) {
   m->std_precision = std::sqrt(var);
 }
 
+/// Fans the query set out through the batch engine, then folds the
+/// index-ordered results into QuerySetMetrics (deterministic at any thread
+/// count).
+QuerySetMetrics RunBatched(
+    const std::vector<QueryCase>& queries,
+    const std::function<DiscoveryResult(size_t)>& run_one, std::string label,
+    unsigned num_threads) {
+  QuerySetMetrics metrics;
+  metrics.label = std::move(label);
+
+  BatchOptions batch_options;
+  batch_options.num_threads = num_threads;
+  BatchResult batch =
+      RunDiscoveryBatch(queries.size(), run_one, batch_options);
+
+  std::vector<double> precisions;
+  for (const DiscoveryResult& result : batch.results) {
+    Accumulate(&metrics, result, &precisions);
+  }
+  Finalize(&metrics, precisions);
+  metrics.batch = batch.stats;
+  return metrics;
+}
+
 }  // namespace
 
 std::string_view SystemKindName(SystemKind kind) {
@@ -51,72 +76,66 @@ std::string_view SystemKindName(SystemKind kind) {
 QuerySetMetrics RunSystem(SystemKind kind, const Corpus& corpus,
                           const InvertedIndex& index, const JosieIndex* josie,
                           const std::vector<QueryCase>& queries, int k,
-                          std::string label) {
-  QuerySetMetrics metrics;
-  metrics.label = std::move(label);
-  std::vector<double> precisions;
+                          std::string label, unsigned num_threads) {
+  DiscoveryOptions options;
+  options.k = k;
+  JosieOptions josie_options;
+  josie_options.k = k;
 
-  for (const QueryCase& qc : queries) {
-    DiscoveryResult result;
-    switch (kind) {
-      case SystemKind::kMate: {
+  std::function<DiscoveryResult(size_t)> run_one;
+  switch (kind) {
+    case SystemKind::kMate:
+      run_one = [&, options](size_t i) {
         MateSearch engine(&corpus, &index);
-        DiscoveryOptions options;
-        options.k = k;
-        result = engine.Discover(qc.query, qc.key_columns, options);
-        break;
-      }
-      case SystemKind::kScr: {
+        return engine.Discover(queries[i].query, queries[i].key_columns,
+                               options);
+      };
+      break;
+    case SystemKind::kScr:
+      run_one = [&, options](size_t i) {
         ScrSearch engine(&corpus, &index);
-        DiscoveryOptions options;
-        options.k = k;
-        result = engine.Discover(qc.query, qc.key_columns, options);
-        break;
-      }
-      case SystemKind::kMcr: {
+        return engine.Discover(queries[i].query, queries[i].key_columns,
+                               options);
+      };
+      break;
+    case SystemKind::kMcr:
+      run_one = [&, options](size_t i) {
         McrSearch engine(&corpus, &index);
-        DiscoveryOptions options;
-        options.k = k;
-        result = engine.Discover(qc.query, qc.key_columns, options);
-        break;
-      }
-      case SystemKind::kScrJosie: {
+        return engine.Discover(queries[i].query, queries[i].key_columns,
+                               options);
+      };
+      break;
+    case SystemKind::kScrJosie:
+      run_one = [&, josie_options](size_t i) {
         ScrJosieSearch engine(&corpus, &index, josie);
-        JosieOptions options;
-        options.k = k;
-        result = engine.Discover(qc.query, qc.key_columns, options);
-        break;
-      }
-      case SystemKind::kMcrJosie: {
+        return engine.Discover(queries[i].query, queries[i].key_columns,
+                               josie_options);
+      };
+      break;
+    case SystemKind::kMcrJosie:
+      run_one = [&, josie_options](size_t i) {
         McrJosieSearch engine(&corpus, &index, josie);
-        JosieOptions options;
-        options.k = k;
-        result = engine.Discover(qc.query, qc.key_columns, options);
-        break;
-      }
-    }
-    Accumulate(&metrics, result, &precisions);
+        return engine.Discover(queries[i].query, queries[i].key_columns,
+                               josie_options);
+      };
+      break;
   }
-  Finalize(&metrics, precisions);
-  return metrics;
+  return RunBatched(queries, run_one, std::move(label), num_threads);
 }
 
 QuerySetMetrics RunMateWithOptions(const Corpus& corpus,
                                    const InvertedIndex& index,
                                    const std::vector<QueryCase>& queries,
                                    const DiscoveryOptions& options,
-                                   std::string label) {
-  QuerySetMetrics metrics;
-  metrics.label = std::move(label);
-  std::vector<double> precisions;
+                                   std::string label, unsigned num_threads) {
   MateSearch engine(&corpus, &index);
-  for (const QueryCase& qc : queries) {
-    DiscoveryResult result =
-        engine.Discover(qc.query, qc.key_columns, options);
-    Accumulate(&metrics, result, &precisions);
-  }
-  Finalize(&metrics, precisions);
-  return metrics;
+  return RunBatched(
+      queries,
+      [&](size_t i) {
+        return engine.Discover(queries[i].query, queries[i].key_columns,
+                               options);
+      },
+      std::move(label), num_threads);
 }
 
 }  // namespace mate

@@ -11,6 +11,7 @@
 #include "baselines/josie.h"
 #include "baselines/mcr.h"
 #include "baselines/scr.h"
+#include "core/discovery_engine.h"
 #include "core/mate.h"
 #include "workload/query_gen.h"
 
@@ -36,14 +37,20 @@ struct QuerySetMetrics {
   /// Sum over queries of the top-k joinability scores (used by agreement
   /// checks between systems).
   int64_t topk_score_sum = 0;
+  /// Batch-level instrumentation: end-to-end wall time (lower than
+  /// total_runtime_s on a multi-threaded run), latency percentiles, thread
+  /// count.
+  BatchStats batch;
 };
 
-/// Runs `kind` over all `queries`; `josie` may be null unless kind is a
-/// JOSIE variant.
+/// Runs `kind` over all `queries` through the batch discovery engine;
+/// `josie` may be null unless kind is a JOSIE variant. `num_threads`
+/// follows the IndexBuilder convention (0 = hardware concurrency); results
+/// and counter-based metrics are identical at any thread count.
 QuerySetMetrics RunSystem(SystemKind kind, const Corpus& corpus,
                           const InvertedIndex& index, const JosieIndex* josie,
                           const std::vector<QueryCase>& queries, int k,
-                          std::string label);
+                          std::string label, unsigned num_threads = 1);
 
 /// Runs MATE with explicit options (hash sweeps, ablations, init-column
 /// strategies).
@@ -51,7 +58,8 @@ QuerySetMetrics RunMateWithOptions(const Corpus& corpus,
                                    const InvertedIndex& index,
                                    const std::vector<QueryCase>& queries,
                                    const DiscoveryOptions& options,
-                                   std::string label);
+                                   std::string label,
+                                   unsigned num_threads = 1);
 
 }  // namespace mate
 

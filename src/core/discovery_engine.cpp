@@ -1,0 +1,93 @@
+#include "core/discovery_engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace mate {
+
+namespace {
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+BatchStats AggregateStats(const std::vector<DiscoveryResult>& results,
+                          double wall_seconds, unsigned num_threads) {
+  BatchStats stats;
+  stats.queries = results.size();
+  stats.num_threads = num_threads;
+  stats.wall_seconds = wall_seconds;
+  std::vector<double> latencies;
+  latencies.reserve(results.size());
+  for (const DiscoveryResult& r : results) {
+    stats.total_query_seconds += r.stats.runtime_seconds;
+    stats.pl_items_fetched += r.stats.pl_items_fetched;
+    stats.rows_checked += r.stats.rows_checked;
+    stats.rows_sent_to_verification += r.stats.rows_sent_to_verification;
+    stats.rows_true_positive += r.stats.rows_true_positive;
+    latencies.push_back(r.stats.runtime_seconds);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  stats.latency_p50_s = Percentile(latencies, 0.50);
+  stats.latency_p90_s = Percentile(latencies, 0.90);
+  stats.latency_p99_s = Percentile(latencies, 0.99);
+  stats.latency_max_s = latencies.empty() ? 0.0 : latencies.back();
+  return stats;
+}
+
+}  // namespace
+
+std::string BatchStats::ToString() const {
+  std::ostringstream os;
+  os << "queries=" << queries << " threads=" << num_threads
+     << " wall=" << wall_seconds << "s (" << QueriesPerSecond()
+     << " q/s, cpu " << total_query_seconds << "s)"
+     << " latency p50=" << latency_p50_s << "s p90=" << latency_p90_s
+     << "s p99=" << latency_p99_s << "s max=" << latency_max_s << "s"
+     << " pl_items=" << pl_items_fetched << " rows_checked=" << rows_checked
+     << " rows_verified=" << rows_sent_to_verification
+     << " tp_rows=" << rows_true_positive;
+  return os.str();
+}
+
+BatchResult RunDiscoveryBatch(
+    size_t num_queries,
+    const std::function<DiscoveryResult(size_t)>& run_one,
+    const BatchOptions& batch_options) {
+  BatchResult batch;
+  batch.results.resize(num_queries);
+
+  Stopwatch wall;
+  ThreadPool pool(batch_options.num_threads);
+  for (size_t i = 0; i < num_queries; ++i) {
+    DiscoveryResult* slot = &batch.results[i];
+    pool.Submit([&run_one, slot, i] { *slot = run_one(i); });
+  }
+  pool.Wait();
+
+  batch.stats =
+      AggregateStats(batch.results, wall.ElapsedSeconds(), pool.num_threads());
+  return batch;
+}
+
+BatchResult DiscoveryEngine::DiscoverBatch(
+    const std::vector<BatchQuery>& queries, const DiscoveryOptions& options,
+    const BatchOptions& batch_options) const {
+  return RunDiscoveryBatch(
+      queries.size(),
+      [this, &queries, &options](size_t i) {
+        const BatchQuery& q = queries[i];
+        return search_.Discover(*q.query, q.key_columns, options);
+      },
+      batch_options);
+}
+
+}  // namespace mate

@@ -1,0 +1,101 @@
+// Multi-threaded batch discovery: fans a set of independent queries out
+// over a work-stealing thread pool and aggregates the per-query stats the
+// paper reports over query *sets* (Fig. 4-6, Tables 1-3). Every query runs
+// the unmodified serial `MateSearch::Discover`, and results land in slots
+// indexed by query position, so a batch is bit-identical to the serial loop
+// at any thread count (timings aside).
+//
+// Two layers:
+//   * RunDiscoveryBatch — generic fan-out over any per-query callable; the
+//     bench runners route all five SystemKinds through it.
+//   * DiscoveryEngine — the MATE-specific convenience wrapper
+//     (`DiscoverBatch`) used by the CLI and examples.
+
+#ifndef MATE_CORE_DISCOVERY_ENGINE_H_
+#define MATE_CORE_DISCOVERY_ENGINE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/mate.h"
+
+namespace mate {
+
+struct BatchQuery {
+  /// Must outlive the batch call.
+  const Table* query = nullptr;
+  std::vector<ColumnId> key_columns;
+};
+
+struct BatchOptions {
+  /// Worker threads for the fan-out (IndexBuilder convention: 0 = hardware
+  /// concurrency, 1 = fully serial on the calling thread).
+  unsigned num_threads = 1;
+};
+
+/// Aggregate instrumentation over one batch. Counter sums are accumulated
+/// in query-index order, so they are deterministic at any thread count;
+/// wall/latency figures are the only nondeterministic fields.
+struct BatchStats {
+  size_t queries = 0;
+  unsigned num_threads = 1;
+
+  double wall_seconds = 0.0;         // end-to-end batch time
+  double total_query_seconds = 0.0;  // sum of per-query runtimes
+
+  // Per-query latency distribution (seconds).
+  double latency_p50_s = 0.0;
+  double latency_p90_s = 0.0;
+  double latency_p99_s = 0.0;
+  double latency_max_s = 0.0;
+
+  // Work counters summed over queries.
+  uint64_t pl_items_fetched = 0;
+  uint64_t rows_checked = 0;
+  uint64_t rows_sent_to_verification = 0;
+  uint64_t rows_true_positive = 0;
+
+  double QueriesPerSecond() const {
+    return wall_seconds > 0.0 ? static_cast<double>(queries) / wall_seconds
+                              : 0.0;
+  }
+
+  std::string ToString() const;
+};
+
+struct BatchResult {
+  /// results[i] corresponds to the i-th input query.
+  std::vector<DiscoveryResult> results;
+  BatchStats stats;
+};
+
+/// Runs `run_one(i)` for i in [0, num_queries) on a work-stealing pool and
+/// aggregates BatchStats. `run_one` must be safe to call concurrently.
+BatchResult RunDiscoveryBatch(
+    size_t num_queries,
+    const std::function<DiscoveryResult(size_t)>& run_one,
+    const BatchOptions& batch_options);
+
+class DiscoveryEngine {
+ public:
+  /// Both `corpus` and `index` must outlive the engine; the index must have
+  /// been built over `corpus`.
+  DiscoveryEngine(const Corpus* corpus, const InvertedIndex* index)
+      : search_(corpus, index) {}
+
+  /// Top-k discovery for every query in `queries`, fanned out over
+  /// `batch_options.num_threads` workers.
+  BatchResult DiscoverBatch(const std::vector<BatchQuery>& queries,
+                            const DiscoveryOptions& options,
+                            const BatchOptions& batch_options) const;
+
+  const MateSearch& search() const { return search_; }
+
+ private:
+  MateSearch search_;
+};
+
+}  // namespace mate
+
+#endif  // MATE_CORE_DISCOVERY_ENGINE_H_

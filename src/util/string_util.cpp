@@ -1,6 +1,7 @@
 #include "util/string_util.h"
 
 #include <cctype>
+#include <cstdint>
 
 namespace mate {
 
@@ -57,6 +58,17 @@ bool IsAllDigits(std::string_view s) {
   for (char c : s) {
     if (!std::isdigit(static_cast<unsigned char>(c))) return false;
   }
+  return true;
+}
+
+bool ParseSmallUint(std::string_view s, unsigned max, unsigned* out) {
+  // Digit-count bound keeps the accumulator below 10^10 < 2^34, so the
+  // uint64 arithmetic cannot wrap before the range check.
+  if (!IsAllDigits(s) || s.size() > 10) return false;
+  uint64_t value = 0;
+  for (char c : s) value = value * 10 + static_cast<uint64_t>(c - '0');
+  if (value > max) return false;
+  *out = static_cast<unsigned>(value);
   return true;
 }
 

@@ -30,6 +30,12 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 /// True if `s` consists only of ASCII digits (and is non-empty).
 bool IsAllDigits(std::string_view s);
 
+/// Strict parse of a small non-negative integer flag: digits only, no sign,
+/// value <= `max`. Returns false (leaving *out untouched) on garbage,
+/// overflow, or out-of-range input — never throws. Shared by the CLI and
+/// bench flag parsers so validation policy cannot drift between them.
+bool ParseSmallUint(std::string_view s, unsigned max, unsigned* out);
+
 /// True iff NormalizeValue(raw) == normalized, computed without allocating.
 /// `normalized` must already be in canonical form. This is the exact-match
 /// predicate of the joinability verification hot path.

@@ -48,6 +48,25 @@ TEST(StringUtilTest, IsAllDigits) {
   EXPECT_FALSE(IsAllDigits("-12"));
 }
 
+TEST(StringUtilTest, ParseSmallUint) {
+  unsigned value = 99;
+  EXPECT_TRUE(ParseSmallUint("0", 1024, &value));
+  EXPECT_EQ(value, 0u);
+  EXPECT_TRUE(ParseSmallUint("1024", 1024, &value));
+  EXPECT_EQ(value, 1024u);
+
+  value = 99;
+  EXPECT_FALSE(ParseSmallUint("1025", 1024, &value));
+  EXPECT_FALSE(ParseSmallUint("", 1024, &value));
+  EXPECT_FALSE(ParseSmallUint("abc", 1024, &value));
+  EXPECT_FALSE(ParseSmallUint("-1", 1024, &value));
+  EXPECT_FALSE(ParseSmallUint("12 ", 1024, &value));
+  // 2^32 and far beyond must not wrap into range.
+  EXPECT_FALSE(ParseSmallUint("4294967296", 1024, &value));
+  EXPECT_FALSE(ParseSmallUint("99999999999999999999", 1024, &value));
+  EXPECT_EQ(value, 99u);  // untouched on every failure
+}
+
 TEST(StringUtilTest, NormalizedEqualsMatchesNormalizeValue) {
   const char* raws[] = {"  Muhammad ", "US", "us ", "60k", "", "  ",
                         "Ansel Adams", "a"};

@@ -1,0 +1,102 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace mate {
+namespace {
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  int order = 0;
+  pool.Submit([&] { EXPECT_EQ(order++, 0); });
+  // Inline mode completed before Submit returned.
+  EXPECT_EQ(order, 1);
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, ZeroResolvesToHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  const size_t n = 500;
+  std::vector<std::atomic<int>> hits(n);
+  {
+    ThreadPool pool(4);
+    for (size_t i = 0; i < n; ++i) {
+      pool.Submit([&hits, i] { hits[i].fetch_add(1); });
+    }
+    pool.Wait();
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, WaitThenReuse) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), (round + 1) * 50);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    // No Wait(): the destructor must drain before joining.
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  const size_t n = 300;
+  std::vector<std::atomic<int>> hits(n);
+  ThreadPool::ParallelFor(4, n, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyAndSerial) {
+  ThreadPool::ParallelFor(4, 0, [](size_t) { FAIL(); });
+  std::vector<int> order;
+  // Serial ParallelFor preserves submission order (inline execution).
+  ThreadPool::ParallelFor(1, 5, [&order](size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, StealingKeepsWorkersBusyWithUnevenTasks) {
+  // One long task on one queue, many short ones: total work must finish
+  // even though round-robin parks short tasks behind long ones.
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&done, i] {
+        if (i % 16 == 0) {
+          volatile uint64_t x = 0;
+          for (int spin = 0; spin < 2000000; ++spin) x = x + spin;
+        }
+        done.fetch_add(1);
+      });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(done.load(), 64);
+}
+
+}  // namespace
+}  // namespace mate

@@ -4,11 +4,15 @@
 //                    [--hash Xash] [--bits 128] [--threads N]
 //   mate_cli search  --corpus F --index F --query Q.csv --key a,b[,c...]
 //                    [--k 10]
+//   mate_cli search  --corpus F --index F --batch DIR --key a,b[,c...]
+//                    [--k 10] [--threads N]
 //   mate_cli stats   --corpus F [--index F]
 //   mate_cli dups    --corpus F [--min-overlap 0.85]
 //   mate_cli union   --corpus F --query Q.csv [--k 10]
 //
-// Key columns are given by header name or zero-based position.
+// Key columns are given by header name or zero-based position. `--batch`
+// points at a directory of query CSVs; all of them are resolved against the
+// same --key spec and discovered concurrently on --threads workers.
 
 #include <filesystem>
 #include <iostream>
@@ -16,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "core/discovery_engine.h"
 #include "core/mate.h"
 #include "core/similarity.h"
 #include "core/union_search.h"
@@ -36,6 +41,8 @@ int Usage() {
       "  mate_cli index  --csv-dir DIR --corpus OUT --index OUT"
       " [--hash Xash] [--bits 128] [--threads N]\n"
       "  mate_cli search --corpus F --index F --query Q.csv --key a,b [--k N]\n"
+      "  mate_cli search --corpus F --index F --batch DIR --key a,b [--k N]"
+      " [--threads N]\n"
       "  mate_cli stats  --corpus F [--index F]\n"
       "  mate_cli dups   --corpus F [--min-overlap 0.85]\n"
       "  mate_cli union  --corpus F --query Q.csv [--k N]\n";
@@ -62,6 +69,23 @@ std::string FlagOr(const std::map<std::string, std::string>& flags,
 int Fail(const Status& status) {
   std::cerr << "error: " << status.ToString() << "\n";
   return 1;
+}
+
+// Strict parse for small numeric flags; rejects garbage and absurd values
+// instead of crashing in stoul or spawning 4 billion threads.
+Result<unsigned> ParseUintFlag(const std::string& flag,
+                               const std::string& text, unsigned max) {
+  unsigned value = 0;
+  if (!ParseSmallUint(text, max, &value)) {
+    return Status::InvalidArgument("--" + flag + " must be an integer in [0, " +
+                                   std::to_string(max) + "], got '" + text +
+                                   "'");
+  }
+  return value;
+}
+
+Result<unsigned> ParseThreads(const std::string& text) {
+  return ParseUintFlag("threads", text, 1024);
 }
 
 Result<std::vector<ColumnId>> ResolveKeyColumns(const Table& query,
@@ -111,9 +135,12 @@ int CmdIndex(const std::map<std::string, std::string>& flags) {
   std::cout << "loaded " << corpus.NumTables() << " tables\n";
 
   IndexBuildOptions options;
-  options.hash_bits = std::stoul(FlagOr(flags, "bits", "128"));
-  options.num_threads =
-      static_cast<unsigned>(std::stoul(FlagOr(flags, "threads", "1")));
+  auto bits = ParseUintFlag("bits", FlagOr(flags, "bits", "128"), 512);
+  if (!bits.ok()) return Fail(bits.status());
+  options.hash_bits = *bits;
+  auto num_threads = ParseThreads(FlagOr(flags, "threads", "1"));
+  if (!num_threads.ok()) return Fail(num_threads.status());
+  options.num_threads = *num_threads;
   auto family = ParseHashFamily(FlagOr(flags, "hash", "Xash"));
   if (!family.ok()) return Fail(family.status());
   options.hash_family = *family;
@@ -135,41 +162,114 @@ int CmdIndex(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+void PrintTopK(const Corpus& corpus, const Table& query,
+               const std::vector<ColumnId>& key_columns,
+               const DiscoveryResult& result) {
+  for (const TableResult& tr : result.top_k) {
+    std::cout << "  " << corpus.table(tr.table_id).name()
+              << "  joinability=" << tr.joinability << "  mapping:";
+    for (size_t i = 0; i < tr.best_mapping.size(); ++i) {
+      std::cout << " " << query.column_name(key_columns[i]) << "->"
+                << corpus.table(tr.table_id).column_name(tr.best_mapping[i]);
+    }
+    std::cout << "\n";
+  }
+}
+
 int CmdSearch(const std::map<std::string, std::string>& flags) {
   const std::string corpus_path = FlagOr(flags, "corpus", "");
   const std::string index_path = FlagOr(flags, "index", "");
   const std::string query_path = FlagOr(flags, "query", "");
+  const std::string batch_dir = FlagOr(flags, "batch", "");
   const std::string key_spec = FlagOr(flags, "key", "");
-  if (corpus_path.empty() || index_path.empty() || query_path.empty() ||
-      key_spec.empty()) {
+  if (corpus_path.empty() || index_path.empty() || key_spec.empty() ||
+      (query_path.empty() == batch_dir.empty())) {
     return Usage();
   }
   auto corpus = LoadCorpus(corpus_path);
   if (!corpus.ok()) return Fail(corpus.status());
   auto index = LoadIndex(index_path);
   if (!index.ok()) return Fail(index.status());
-  auto query = LoadCsvFile(query_path, "query");
-  if (!query.ok()) return Fail(query.status());
-  auto key_columns = ResolveKeyColumns(*query, key_spec);
-  if (!key_columns.ok()) return Fail(key_columns.status());
 
-  MateSearch search(&*corpus, index->get());
-  DiscoveryOptions options;
-  options.k = std::stoi(FlagOr(flags, "k", "10"));
-  DiscoveryResult result = search.Discover(*query, *key_columns, options);
-
-  std::cout << "top-" << options.k << " joinable tables on key <" << key_spec
-            << ">:\n";
-  for (const TableResult& tr : result.top_k) {
-    std::cout << "  " << corpus->table(tr.table_id).name()
-              << "  joinability=" << tr.joinability << "  mapping:";
-    for (size_t i = 0; i < tr.best_mapping.size(); ++i) {
-      std::cout << " " << query->column_name((*key_columns)[i]) << "->"
-                << corpus->table(tr.table_id).column_name(tr.best_mapping[i]);
+  // Single query and batch both run through the discovery engine; a single
+  // query is just a batch of one.
+  std::vector<Table> query_tables;
+  if (!query_path.empty()) {
+    auto query = LoadCsvFile(query_path, "query");
+    if (!query.ok()) return Fail(query.status());
+    query_tables.push_back(std::move(*query));
+  } else {
+    // try/catch as well as the error_code: the ec overload only covers
+    // construction, increments still throw.
+    std::vector<std::filesystem::path> files;
+    std::error_code ec;
+    try {
+      for (const auto& entry :
+           std::filesystem::directory_iterator(batch_dir, ec)) {
+        if (entry.path().extension() == ".csv") files.push_back(entry.path());
+      }
+    } catch (const std::filesystem::filesystem_error& e) {
+      return Fail(Status::IOError("cannot list " + batch_dir + ": " +
+                                  e.what()));
     }
-    std::cout << "\n";
+    if (ec) return Fail(Status::IOError("cannot list " + batch_dir));
+    std::sort(files.begin(), files.end());
+    for (const auto& path : files) {
+      auto query = LoadCsvFile(path.string(), path.stem().string());
+      if (!query.ok()) {
+        std::cerr << "skipping " << path << ": " << query.status().ToString()
+                  << "\n";
+        continue;
+      }
+      query_tables.push_back(std::move(*query));
+    }
+    if (query_tables.empty()) {
+      return Fail(Status::NotFound("no readable .csv files in " + batch_dir));
+    }
   }
-  std::cout << "stats: " << result.stats.ToString() << "\n";
+
+  // Same policy as unreadable CSVs above: warn and skip, keep the batch
+  // going. A single query (no --batch) still fails hard.
+  std::vector<BatchQuery> batch_queries;
+  batch_queries.reserve(query_tables.size());
+  for (const Table& query : query_tables) {
+    auto key_columns = ResolveKeyColumns(query, key_spec);
+    if (!key_columns.ok()) {
+      Status error = Status::InvalidArgument(
+          "query '" + query.name() + "': " + key_columns.status().ToString());
+      if (query_tables.size() == 1) return Fail(error);
+      std::cerr << "skipping " << error.ToString() << "\n";
+      continue;
+    }
+    batch_queries.push_back({&query, *key_columns});
+  }
+  if (batch_queries.empty()) {
+    return Fail(Status::NotFound("no query resolves key <" + key_spec + ">"));
+  }
+
+  DiscoveryOptions options;
+  auto k = ParseUintFlag("k", FlagOr(flags, "k", "10"), 1000000);
+  if (!k.ok()) return Fail(k.status());
+  options.k = static_cast<int>(*k);
+  BatchOptions batch_options;
+  auto num_threads = ParseThreads(FlagOr(flags, "threads", "1"));
+  if (!num_threads.ok()) return Fail(num_threads.status());
+  batch_options.num_threads = *num_threads;
+
+  DiscoveryEngine engine(&*corpus, index->get());
+  BatchResult batch = engine.DiscoverBatch(batch_queries, options,
+                                           batch_options);
+
+  for (size_t q = 0; q < batch.results.size(); ++q) {
+    const Table& query = *batch_queries[q].query;
+    std::cout << "[" << query.name() << "] top-" << options.k
+              << " joinable tables on key <" << key_spec << ">:\n";
+    PrintTopK(*corpus, query, batch_queries[q].key_columns, batch.results[q]);
+    std::cout << "  stats: " << batch.results[q].stats.ToString() << "\n";
+  }
+  if (batch.results.size() > 1) {
+    std::cout << "batch: " << batch.stats.ToString() << "\n";
+  }
   return 0;
 }
 
