@@ -1,0 +1,124 @@
+// Result-cache bench (ROADMAP "result caching"): replays a Zipf-distributed
+// repeated-query stream through one mate::Session, cold (cache disabled)
+// vs warm (cache enabled), and reports hit-rate and batch speedup. Web
+// query logs are heavy-tailed, so the same few discovery requests dominate
+// a serving window; the session's fingerprint cache turns the repeats into
+// copies.
+//
+// Shape to hold: hit-rate grows with the Zipf skew s; at >= 50% hit-rate
+// the warm pass is > 1.5x faster than cold; warm results are bit-identical
+// to cold at any thread count.
+
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_util/report.h"
+#include "bench_util/runner.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+#include "workload/scenarios.h"
+
+using namespace mate;  // NOLINT: bench brevity
+
+namespace {
+
+constexpr size_t kCacheBytes = size_t{256} << 20;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs defaults;
+  defaults.scale = 0.25;
+  defaults.queries = 16;
+  BenchArgs args = ParseBenchArgs(argc, argv, "cache_hit_rate", defaults);
+  if (args.threads == 0) args.threads = std::thread::hardware_concurrency();
+  WorkloadConfig config;
+  config.scale = args.scale;
+  config.queries_per_set = args.queries;
+  config.seed = args.seed;
+
+  Workload workload = MakeWebTablesWorkload(config);
+
+  // Distinct query pool: the WT (100) set only. One ladder keeps per-query
+  // cost homogeneous, so the wall-clock speedup tracks the hit-rate instead
+  // of whichever expensive one-off query lands in the stream.
+  std::vector<const QueryCase*> pool;
+  for (const QueryCase& qc : workload.query_sets[1].second) {
+    pool.push_back(&qc);
+  }
+
+  SessionOptions session_options;
+  session_options.corpus = std::move(workload.corpus);
+  session_options.build_index = true;
+  session_options.num_threads = args.threads;
+  session_options.cache_bytes = 0;  // start cold; toggled per run below
+  Session session = OpenOrDie(std::move(session_options));
+
+  // 2x the distinct pool: long enough for real reuse, short enough that
+  // the skew s visibly moves the number of distinct queries drawn (and so
+  // the hit-rate) instead of saturating at "every query seen already".
+  const size_t stream_length = 2 * pool.size();
+  std::cout << "== Result cache on a Zipf query stream (distinct="
+            << pool.size() << ", stream=" << stream_length
+            << ", k=" << args.k << ", threads=" << session.num_threads()
+            << ", cache=" << FormatBytes(kCacheBytes) << ") ==\n\n";
+
+  DiscoveryOptions options;
+  options.k = args.k;
+
+  ReportTable table({"Zipf s", "Cold wall", "Warm wall", "Speedup",
+                     "Hit-rate", "Identical"});
+  for (double s : {0.0, 0.7, 1.1, 1.5}) {
+    // One deterministic stream per skew, shared by both passes.
+    Rng rng(args.seed + static_cast<uint64_t>(s * 1000));
+    ZipfDistribution zipf(pool.size(), s);
+    std::vector<QuerySpec> specs;
+    specs.reserve(stream_length);
+    for (size_t i = 0; i < stream_length; ++i) {
+      const QueryCase* qc = pool[zipf.Sample(&rng)];
+      QuerySpec spec;
+      spec.table = &qc->query;
+      spec.key_columns = qc->key_columns;
+      spec.options = options;
+      specs.push_back(std::move(spec));
+    }
+
+    session.ConfigureCache(0);
+    auto cold = session.DiscoverBatch(specs);
+    if (!cold.ok()) {
+      std::cerr << "cold run failed: " << cold.status().ToString() << "\n";
+      return 1;
+    }
+    session.ConfigureCache(kCacheBytes);
+    auto warm = session.DiscoverBatch(specs);
+    if (!warm.ok()) {
+      std::cerr << "warm run failed: " << warm.status().ToString() << "\n";
+      return 1;
+    }
+
+    const bool identical = SameTopK(cold->results, warm->results);
+    const double hit_rate =
+        static_cast<double>(warm->stats.cache_hits) /
+        static_cast<double>(warm->stats.cache_hits +
+                            warm->stats.cache_misses);
+    table.AddRow({FormatDouble(s, 1),
+                  FormatSeconds(cold->stats.wall_seconds),
+                  FormatSeconds(warm->stats.wall_seconds),
+                  FormatDouble(cold->stats.wall_seconds /
+                                   warm->stats.wall_seconds,
+                               2) + "x",
+                  FormatDouble(100.0 * hit_rate, 1) + "%",
+                  identical ? "yes" : "NO"});
+    if (!identical) {
+      std::cerr << "ERROR: cached results diverged from cold at s=" << s
+                << "\n";
+      return 1;
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nShape check: hit-rate climbs with s; speedup > 1.5x "
+               "wherever the hit-rate exceeds 50% (a hit costs a map probe "
+               "and a copy instead of a full Algorithm 1 run).\n";
+  return 0;
+}

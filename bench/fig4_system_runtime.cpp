@@ -11,7 +11,6 @@
 
 #include "bench_util/report.h"
 #include "bench_util/runner.h"
-#include "index/index_builder.h"
 #include "workload/scenarios.h"
 
 using namespace mate;  // NOLINT: bench brevity
@@ -24,14 +23,15 @@ struct ThroughputTotals {
   double cpu_seconds = 0.0;  // sum of per-query runtimes
 };
 
-void RunWorkload(const Workload& workload, int k, unsigned threads,
+void RunWorkload(Workload workload, int k, unsigned threads,
                  ReportTable* table, ThroughputTotals* totals) {
-  auto index = BuildIndex(workload.corpus, IndexBuildOptions{});
-  if (!index.ok()) {
-    std::cerr << "index build failed: " << index.status().ToString() << "\n";
-    std::exit(1);
-  }
-  JosieIndex josie = JosieIndex::Build(workload.corpus);
+  SessionOptions session_options;
+  session_options.corpus = std::move(workload.corpus);
+  session_options.build_index = true;
+  session_options.num_threads = threads;
+  session_options.cache_bytes = 0;  // runtime bench: every query pays full cost
+  Session session = OpenOrDie(std::move(session_options));
+  JosieIndex josie = JosieIndex::Build(session.corpus());
 
   const SystemKind systems[] = {SystemKind::kMate, SystemKind::kScr,
                                 SystemKind::kMcr, SystemKind::kScrJosie,
@@ -40,8 +40,8 @@ void RunWorkload(const Workload& workload, int k, unsigned threads,
     std::vector<std::string> row = {name};
     double mate_runtime = 0.0;
     for (SystemKind kind : systems) {
-      QuerySetMetrics metrics = RunSystem(kind, workload.corpus, **index,
-                                          &josie, queries, k, name, threads);
+      QuerySetMetrics metrics =
+          RunOrDie(RunSystem(kind, session, &josie, queries, k, name));
       if (kind == SystemKind::kMate) mate_runtime = metrics.total_runtime_s;
       row.push_back(FormatSeconds(metrics.total_runtime_s));
       if (kind != SystemKind::kMate && mate_runtime > 0) {

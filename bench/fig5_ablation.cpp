@@ -14,7 +14,6 @@
 #include "bench_util/report.h"
 #include "bench_util/runner.h"
 #include "hash/xash.h"
-#include "index/index_builder.h"
 #include "workload/scenarios.h"
 
 using namespace mate;  // NOLINT: bench brevity
@@ -50,16 +49,13 @@ int main(int argc, char** argv) {
   // Figure 5 uses the WT (100) set only.
   const auto& queries = workload.query_sets[1].second;
 
-  IndexBuildOptions options;
-  IndexBuildReport report;
-  auto built = BuildIndexWithReport(workload.corpus, options, &report);
-  if (!built.ok()) {
-    std::cerr << "index build failed: " << built.status().ToString() << "\n";
-    return 1;
-  }
-  std::unique_ptr<InvertedIndex> index = std::move(*built);
+  SessionOptions session_options;
+  session_options.corpus = std::move(workload.corpus);
+  session_options.build_index = true;
+  session_options.cache_bytes = 0;  // precision bench, no reuse to exploit
+  Session session = OpenOrDie(std::move(session_options));
   auto frequencies = std::make_unique<CharFrequencyTable>(
-      CharFrequencyTable::FromCounts(report.corpus_stats.char_counts));
+      CharFrequencyTable::FromCounts(session.corpus_stats().char_counts));
 
   ReportTable table({"Configuration", "Precision (mean ± std)", "FP rows",
                      "TP rows"});
@@ -69,8 +65,8 @@ int main(int argc, char** argv) {
     DiscoveryOptions scr;
     scr.k = args.k;
     scr.use_row_filter = false;
-    QuerySetMetrics metrics = RunMateWithOptions(workload.corpus, *index,
-                                                 queries, scr, "SCR");
+    QuerySetMetrics metrics =
+        RunOrDie(RunMateWithOptions(session, queries, scr, "SCR"));
     table.AddRow({"SCR (no filter)",
                   FormatMeanStd(metrics.avg_precision, metrics.std_precision),
                   std::to_string(metrics.fp_rows),
@@ -90,22 +86,22 @@ int main(int argc, char** argv) {
   for (const AblationConfig& ablation : configs) {
     XashOptions xopts;
     xopts.hash_bits = ablation.bits;
-    xopts.corpus_unique_values = report.corpus_stats.num_unique_values;
+    xopts.corpus_unique_values = session.corpus_stats().num_unique_values;
     xopts.use_length = ablation.use_length;
     xopts.use_chars = ablation.use_chars;
     xopts.use_location = ablation.use_location;
     xopts.use_rotation = ablation.use_rotation;
     xopts.frequencies = frequencies.get();
-    if (auto status =
-            index->ResetHash(workload.corpus, std::make_unique<Xash>(xopts));
+    if (auto status = session.ResetHash(HashFamily::kXash,
+                                        std::make_unique<Xash>(xopts));
         !status.ok()) {
       std::cerr << "ResetHash failed: " << status.ToString() << "\n";
       return 1;
     }
     DiscoveryOptions mate_options;
     mate_options.k = args.k;
-    QuerySetMetrics metrics = RunMateWithOptions(
-        workload.corpus, *index, queries, mate_options, ablation.label);
+    QuerySetMetrics metrics = RunOrDie(
+        RunMateWithOptions(session, queries, mate_options, ablation.label));
     if (ablation.label == "Char. + length + location") {
       char_len_loc_fp = static_cast<double>(metrics.fp_rows);
     }

@@ -11,7 +11,6 @@
 
 #include "bench_util/report.h"
 #include "bench_util/runner.h"
-#include "index/index_builder.h"
 #include "workload/scenarios.h"
 
 using namespace mate;  // NOLINT: bench brevity
@@ -32,14 +31,11 @@ int main(int argc, char** argv) {
   Workload workload =
       MakeKeySizeWorkload(config, {2, 3, 4, 5, 6, 7, 8, 9, 10});
 
-  IndexBuildOptions options;
-  IndexBuildReport report;
-  auto built = BuildIndexWithReport(workload.corpus, options, &report);
-  if (!built.ok()) {
-    std::cerr << "index build failed: " << built.status().ToString() << "\n";
-    return 1;
-  }
-  std::unique_ptr<InvertedIndex> index = std::move(*built);
+  SessionOptions session_options;
+  session_options.corpus = std::move(workload.corpus);
+  session_options.build_index = true;
+  session_options.cache_bytes = 0;  // runtime bench: no cached reuse
+  Session session = OpenOrDie(std::move(session_options));
 
   struct FilterConfig {
     const char* label;
@@ -65,10 +61,7 @@ int main(int argc, char** argv) {
   for (size_t f = 0; f < std::size(filters); ++f) {
     const FilterConfig& filter = filters[f];
     if (!filter.scr) {
-      if (auto status = index->ResetHash(
-              workload.corpus,
-              MakeRowHash(filter.family, 128, &report.corpus_stats));
-          !status.ok()) {
+      if (auto status = session.ResetHash(filter.family, 128); !status.ok()) {
         std::cerr << "ResetHash failed: " << status.ToString() << "\n";
         return 1;
       }
@@ -77,10 +70,9 @@ int main(int argc, char** argv) {
       DiscoveryOptions mate_options;
       mate_options.k = args.k;
       mate_options.use_row_filter = !filter.scr;
-      results[s][f] =
-          RunMateWithOptions(workload.corpus, *index,
-                             workload.query_sets[s].second, mate_options,
-                             filter.label);
+      results[s][f] = RunOrDie(RunMateWithOptions(
+          session, workload.query_sets[s].second, mate_options,
+          filter.label));
     }
   }
 

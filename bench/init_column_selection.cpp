@@ -8,8 +8,8 @@
 #include <iostream>
 
 #include "bench_util/report.h"
+#include "bench_util/runner.h"
 #include "core/init_column.h"
-#include "index/index_builder.h"
 #include "workload/scenarios.h"
 
 using namespace mate;  // NOLINT: bench brevity
@@ -32,11 +32,12 @@ int main(int argc, char** argv) {
   Workload workload = MakeOpenDataWorkload(config);
   const auto& queries = workload.query_sets[2].second;  // OD (10000)
 
-  auto index = BuildIndex(workload.corpus, IndexBuildOptions{});
-  if (!index.ok()) {
-    std::cerr << "index build failed: " << index.status().ToString() << "\n";
-    return 1;
-  }
+  SessionOptions session_options;
+  session_options.corpus = std::move(workload.corpus);
+  session_options.build_index = true;
+  session_options.cache_bytes = 0;
+  Session session = OpenOrDie(std::move(session_options));
+  const InvertedIndex& index = session.index();
 
   const InitColumnStrategy strategies[] = {
       InitColumnStrategy::kBestCase, InitColumnStrategy::kMinCardinality,
@@ -51,11 +52,11 @@ int main(int argc, char** argv) {
     double total_lists = 0.0;
     for (const QueryCase& qc : queries) {
       size_t pos = SelectInitColumn(qc.query, qc.key_columns, strategy,
-                                    index->get());
+                                    &index);
       total_items += static_cast<double>(CountPlItemsForColumn(
-          qc.query, qc.key_columns[pos], **index));
+          qc.query, qc.key_columns[pos], index));
       total_lists += static_cast<double>(CountPostingListsForColumn(
-          qc.query, qc.key_columns[pos], **index));
+          qc.query, qc.key_columns[pos], index));
     }
     double avg_items = total_items / static_cast<double>(queries.size());
     double avg_lists = total_lists / static_cast<double>(queries.size());

@@ -11,19 +11,18 @@
 
 #include "bench_util/report.h"
 #include "bench_util/runner.h"
-#include "index/index_builder.h"
 #include "workload/scenarios.h"
 
 using namespace mate;  // NOLINT: bench brevity
 
 namespace {
 
-void ReportWorkload(const Workload& workload, int k, ReportTable* table) {
-  auto index = BuildIndex(workload.corpus, IndexBuildOptions{});
-  if (!index.ok()) {
-    std::cerr << "index build failed: " << index.status().ToString() << "\n";
-    std::exit(1);
-  }
+void ReportWorkload(Workload workload, int k, ReportTable* table) {
+  SessionOptions session_options;
+  session_options.corpus = std::move(workload.corpus);
+  session_options.build_index = true;
+  session_options.cache_bytes = 0;
+  Session session = OpenOrDie(std::move(session_options));
   for (const auto& [name, queries] : workload.query_sets) {
     double total_cardinality = 0.0;
     for (const QueryCase& qc : queries) {
@@ -32,9 +31,8 @@ void ReportWorkload(const Workload& workload, int k, ReportTable* table) {
       total_cardinality += static_cast<double>(
           qc.query.ColumnCardinality(qc.key_columns[0]));
     }
-    QuerySetMetrics metrics =
-        RunSystem(SystemKind::kMate, workload.corpus, **index,
-                  nullptr, queries, k, name);
+    QuerySetMetrics metrics = RunOrDie(
+        RunSystem(SystemKind::kMate, session, nullptr, queries, k, name));
     table->AddRow({name, std::to_string(queries.size()),
                    workload.corpus_name,
                    FormatDouble(total_cardinality /

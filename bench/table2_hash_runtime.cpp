@@ -12,7 +12,6 @@
 
 #include "bench_util/report.h"
 #include "bench_util/runner.h"
-#include "index/index_builder.h"
 #include "workload/scenarios.h"
 
 using namespace mate;  // NOLINT: bench brevity
@@ -43,15 +42,12 @@ const std::vector<HashConfig>& Configs() {
   return kConfigs;
 }
 
-void RunWorkload(const Workload& workload, int k, ReportTable* table) {
-  IndexBuildOptions options;
-  IndexBuildReport report;
-  auto built = BuildIndexWithReport(workload.corpus, options, &report);
-  if (!built.ok()) {
-    std::cerr << "index build failed: " << built.status().ToString() << "\n";
-    std::exit(1);
-  }
-  std::unique_ptr<InvertedIndex> index = std::move(*built);
+void RunWorkload(Workload workload, int k, ReportTable* table) {
+  SessionOptions session_options;
+  session_options.corpus = std::move(workload.corpus);
+  session_options.build_index = true;
+  session_options.cache_bytes = 0;  // runtime bench: no cached reuse
+  Session session = OpenOrDie(std::move(session_options));
 
   // rows[set] = {SCR seconds, then one per config}.
   std::vector<std::vector<std::string>> rows(workload.query_sets.size());
@@ -60,14 +56,12 @@ void RunWorkload(const Workload& workload, int k, ReportTable* table) {
     DiscoveryOptions scr;
     scr.k = k;
     scr.use_row_filter = false;
-    QuerySetMetrics metrics = RunMateWithOptions(
-        workload.corpus, *index, workload.query_sets[s].second, scr, "SCR");
+    QuerySetMetrics metrics = RunOrDie(RunMateWithOptions(
+        session, workload.query_sets[s].second, scr, "SCR"));
     rows[s].push_back(FormatSeconds(metrics.total_runtime_s));
   }
   for (const HashConfig& config : Configs()) {
-    if (auto status = index->ResetHash(
-            workload.corpus,
-            MakeRowHash(config.family, config.bits, &report.corpus_stats));
+    if (auto status = session.ResetHash(config.family, config.bits);
         !status.ok()) {
       std::cerr << "ResetHash failed: " << status.ToString() << "\n";
       std::exit(1);
@@ -75,10 +69,9 @@ void RunWorkload(const Workload& workload, int k, ReportTable* table) {
     for (size_t s = 0; s < workload.query_sets.size(); ++s) {
       DiscoveryOptions mate_options;
       mate_options.k = k;
-      QuerySetMetrics metrics =
-          RunMateWithOptions(workload.corpus, *index,
-                             workload.query_sets[s].second, mate_options,
-                             config.Label());
+      QuerySetMetrics metrics = RunOrDie(RunMateWithOptions(
+          session, workload.query_sets[s].second, mate_options,
+          config.Label()));
       rows[s].push_back(FormatSeconds(metrics.total_runtime_s));
     }
   }

@@ -10,7 +10,6 @@
 
 #include "bench_util/report.h"
 #include "bench_util/runner.h"
-#include "index/index_builder.h"
 #include "workload/scenarios.h"
 
 using namespace mate;  // NOLINT: bench brevity
@@ -50,17 +49,14 @@ struct Cell {
   size_t queries = 0;
 };
 
-void RunWorkload(const Workload& workload, int k,
+void RunWorkload(Workload workload, int k,
                  std::vector<std::vector<std::string>>* rows,
                  std::vector<Cell>* averages) {
-  IndexBuildOptions options;
-  IndexBuildReport report;
-  auto built = BuildIndexWithReport(workload.corpus, options, &report);
-  if (!built.ok()) {
-    std::cerr << "index build failed: " << built.status().ToString() << "\n";
-    std::exit(1);
-  }
-  std::unique_ptr<InvertedIndex> index = std::move(*built);
+  SessionOptions session_options;
+  session_options.corpus = std::move(workload.corpus);
+  session_options.build_index = true;
+  session_options.cache_bytes = 0;
+  Session session = OpenOrDie(std::move(session_options));
 
   size_t base = rows->size();
   for (const auto& [name, queries] : workload.query_sets) {
@@ -69,9 +65,7 @@ void RunWorkload(const Workload& workload, int k,
   }
   for (size_t c = 0; c < Configs().size(); ++c) {
     const HashConfig& config = Configs()[c];
-    if (auto status = index->ResetHash(
-            workload.corpus,
-            MakeRowHash(config.family, config.bits, &report.corpus_stats));
+    if (auto status = session.ResetHash(config.family, config.bits);
         !status.ok()) {
       std::cerr << "ResetHash failed: " << status.ToString() << "\n";
       std::exit(1);
@@ -79,10 +73,9 @@ void RunWorkload(const Workload& workload, int k,
     for (size_t s = 0; s < workload.query_sets.size(); ++s) {
       DiscoveryOptions mate_options;
       mate_options.k = k;
-      QuerySetMetrics metrics =
-          RunMateWithOptions(workload.corpus, *index,
-                             workload.query_sets[s].second, mate_options,
-                             config.Label());
+      QuerySetMetrics metrics = RunOrDie(RunMateWithOptions(
+          session, workload.query_sets[s].second, mate_options,
+          config.Label()));
       (*rows)[base + s].push_back(
           FormatMeanStd(metrics.avg_precision, metrics.std_precision));
       Cell& avg = (*averages)[c];

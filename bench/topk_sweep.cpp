@@ -10,7 +10,6 @@
 
 #include "bench_util/report.h"
 #include "bench_util/runner.h"
-#include "index/index_builder.h"
 #include "workload/scenarios.h"
 
 using namespace mate;  // NOLINT: bench brevity
@@ -32,14 +31,12 @@ int main(int argc, char** argv) {
   Workload workload = MakeWebTablesWorkload(config);
   const auto& queries = workload.query_sets[1].second;  // WT (100)
 
-  IndexBuildOptions options;
-  IndexBuildReport report;
-  auto built = BuildIndexWithReport(workload.corpus, options, &report);
-  if (!built.ok()) {
-    std::cerr << "index build failed: " << built.status().ToString() << "\n";
-    return 1;
-  }
-  std::unique_ptr<InvertedIndex> index = std::move(*built);
+  SessionOptions session_options;
+  session_options.corpus = std::move(workload.corpus);
+  session_options.build_index = true;
+  session_options.num_threads = args.threads;
+  session_options.cache_bytes = 0;  // precision sweep, no reuse to exploit
+  Session session = OpenOrDie(std::move(session_options));
 
   const HashFamily families[] = {HashFamily::kXash, HashFamily::kBloom,
                                  HashFamily::kLessHashingBloom,
@@ -52,26 +49,24 @@ int main(int argc, char** argv) {
   std::vector<std::vector<std::string>> cells(
       std::size(ks), std::vector<std::string>(std::size(families)));
   for (size_t f = 0; f < std::size(families); ++f) {
-    if (auto status = index->ResetHash(
-            workload.corpus,
-            MakeRowHash(families[f], 128, &report.corpus_stats));
-        !status.ok()) {
+    if (auto status = session.ResetHash(families[f], 128); !status.ok()) {
       std::cerr << "ResetHash failed: " << status.ToString() << "\n";
       return 1;
     }
     for (size_t ki = 0; ki < std::size(ks); ++ki) {
       DiscoveryOptions mate_options;
       mate_options.k = ks[ki];
-      QuerySetMetrics metrics =
-          RunMateWithOptions(workload.corpus, *index, queries, mate_options,
-                             std::string(HashFamilyName(families[f])),
-                             args.threads);
+      QuerySetMetrics metrics = RunOrDie(
+          RunMateWithOptions(session, queries, mate_options,
+                             std::string(HashFamilyName(families[f]))));
       cells[ki][f] = FormatDouble(metrics.avg_precision, 3);
     }
   }
   for (size_t ki = 0; ki < std::size(ks); ++ki) {
     std::vector<std::string> row = {std::to_string(ks[ki])};
-    for (size_t f = 0; f < std::size(families); ++f) row.push_back(cells[ki][f]);
+    for (size_t f = 0; f < std::size(families); ++f) {
+      row.push_back(cells[ki][f]);
+    }
     table.AddRow(std::move(row));
   }
   table.Print(std::cout);

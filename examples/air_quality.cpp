@@ -15,9 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "baselines/scr.h"
-#include "core/mate.h"
-#include "index/index_builder.h"
+#include "core/session.h"
 
 using namespace mate;  // NOLINT: example brevity
 
@@ -107,12 +105,14 @@ int main() {
   }
   corpus.AddTable(std::move(decoy_cities));
 
-  // ---- Index and query ------------------------------------------------
-  IndexBuildOptions build_options;
-  auto index = BuildIndex(corpus, build_options);
-  if (!index.ok()) {
-    std::fprintf(stderr, "index build failed: %s\n",
-                 index.status().ToString().c_str());
+  // ---- Open the discovery service and query ---------------------------
+  SessionOptions session_options;
+  session_options.corpus = std::move(corpus);
+  session_options.build_index = true;
+  auto session = Session::Open(std::move(session_options));
+  if (!session.ok()) {
+    std::fprintf(stderr, "Session::Open failed: %s\n",
+                 session.status().ToString().c_str());
     return 1;
   }
 
@@ -128,10 +128,17 @@ int main() {
     }
   }
 
-  MateSearch mate(&corpus, index->get());
-  DiscoveryOptions options;
-  options.k = 5;
-  DiscoveryResult result = mate.Discover(sensors, {0, 1}, options);
+  QuerySpec spec;
+  spec.table = &sensors;
+  spec.key_columns = {0, 1};
+  spec.options.k = 5;
+  auto discovered = session->Discover(spec);
+  if (!discovered.ok()) {
+    std::fprintf(stderr, "Discover failed: %s\n",
+                 discovered.status().ToString().c_str());
+    return 1;
+  }
+  const DiscoveryResult& result = *discovered;
 
   std::printf("Enriching sensor data on the composite key "
               "<timestamp, location>:\n\n");
@@ -141,12 +148,20 @@ int main() {
                        : tr.table_id == events_id  ? "(events — sparse)"
                                                    : "(unexpected!)";
     std::printf("  %-22s joinability=%-4lld %s\n",
-                corpus.table(tr.table_id).name().c_str(),
+                session->corpus().table(tr.table_id).name().c_str(),
                 static_cast<long long>(tr.joinability), note);
   }
 
-  ScrSearch scr(&corpus, index->get());
-  DiscoveryResult scr_result = scr.Discover(sensors, {0, 1}, options);
+  // SCR is MATE without the super-key row filter — one options knob away.
+  QuerySpec scr_spec = spec;
+  scr_spec.options.use_row_filter = false;
+  auto scr_discovered = session->Discover(scr_spec);
+  if (!scr_discovered.ok()) {
+    std::fprintf(stderr, "Discover failed: %s\n",
+                 scr_discovered.status().ToString().c_str());
+    return 1;
+  }
+  const DiscoveryResult& scr_result = *scr_discovered;
   std::printf(
       "\nRow filtering at work (same results, very different work):\n"
       "  MATE: %llu candidate rows fetched, %llu reached verification\n"

@@ -1,39 +1,20 @@
 // Batch discovery on a work-stealing pool: runs the same query set through
-// DiscoveryEngine::DiscoverBatch at increasing thread counts, checks that
-// every run returns exactly the serial results, and prints the throughput
-// scaling table. This is the multi-tenant serving shape: many independent
-// discovery requests in flight against one shared immutable index.
+// Session::DiscoverBatch at increasing thread counts, checks that every run
+// returns exactly the serial results, and prints the throughput scaling
+// table — then re-runs the batch with the session's result cache enabled to
+// show repeated streams collapsing into copies. This is the multi-tenant
+// serving shape: many independent discovery requests in flight against one
+// shared immutable index.
 
 #include <iostream>
 #include <thread>
 #include <vector>
 
 #include "bench_util/report.h"
-#include "core/discovery_engine.h"
-#include "index/index_builder.h"
+#include "bench_util/runner.h"
 #include "workload/scenarios.h"
 
 using namespace mate;  // NOLINT: example brevity
-
-namespace {
-
-bool SameResults(const std::vector<DiscoveryResult>& a,
-                 const std::vector<DiscoveryResult>& b) {
-  if (a.size() != b.size()) return false;
-  for (size_t q = 0; q < a.size(); ++q) {
-    if (a[q].top_k.size() != b[q].top_k.size()) return false;
-    for (size_t i = 0; i < a[q].top_k.size(); ++i) {
-      if (a[q].top_k[i].table_id != b[q].top_k[i].table_id ||
-          a[q].top_k[i].joinability != b[q].top_k[i].joinability ||
-          a[q].top_k[i].best_mapping != b[q].top_k[i].best_mapping) {
-        return false;
-      }
-    }
-  }
-  return true;
-}
-
-}  // namespace
 
 int main() {
   WorkloadConfig config;
@@ -41,53 +22,64 @@ int main() {
   config.queries_per_set = 8;
   Workload workload = MakeWebTablesWorkload(config);
 
-  auto index = BuildIndex(workload.corpus, IndexBuildOptions{});
-  if (!index.ok()) {
-    std::cerr << "index build failed: " << index.status().ToString() << "\n";
-    return 1;
-  }
-
   // Pool every query set into one batch — the engine does not care that the
   // queries have different shapes.
-  std::vector<BatchQuery> batch;
+  std::vector<QuerySpec> batch;
   for (const auto& [name, cases] : workload.query_sets) {
     for (const QueryCase& qc : cases) {
-      batch.push_back({&qc.query, qc.key_columns});
+      QuerySpec spec;
+      spec.table = &qc.query;
+      spec.key_columns = qc.key_columns;
+      spec.options.k = 10;
+      batch.push_back(std::move(spec));
     }
   }
-  std::cout << "corpus: " << workload.corpus.NumTables() << " tables, batch: "
-            << batch.size() << " queries\n\n";
 
-  DiscoveryEngine engine(&workload.corpus, index->get());
-  DiscoveryOptions options;
-  options.k = 10;
+  SessionOptions session_options;
+  session_options.corpus = std::move(workload.corpus);
+  session_options.build_index = true;
+  session_options.num_threads = 1;
+  session_options.cache_bytes = 0;  // scaling rows below measure raw work
+  auto opened = Session::Open(std::move(session_options));
+  if (!opened.ok()) {
+    std::cerr << "Session::Open failed: " << opened.status().ToString()
+              << "\n";
+    return 1;
+  }
+  Session session = std::move(*opened);
+  std::cout << "corpus: " << session.corpus().NumTables()
+            << " tables, batch: " << batch.size() << " queries\n\n";
 
   const unsigned hw = std::thread::hardware_concurrency();
   std::vector<unsigned> thread_counts = {1, 2, 4};
   if (hw > 4) thread_counts.push_back(hw);
 
-  BatchResult serial;
+  std::vector<DiscoveryResult> serial;
   double serial_wall = 0.0;
   ReportTable table({"Threads", "Wall", "q/s", "Speedup", "p50", "p99",
                      "Identical"});
   for (unsigned threads : thread_counts) {
-    BatchOptions batch_options;
-    batch_options.num_threads = threads;
-    BatchResult result = engine.DiscoverBatch(batch, options, batch_options);
+    session.SetNumThreads(threads);
+    auto result = session.DiscoverBatch(batch);
+    if (!result.ok()) {
+      std::cerr << "DiscoverBatch failed: " << result.status().ToString()
+                << "\n";
+      return 1;
+    }
     bool identical = true;
     if (threads == 1) {
-      serial = result;
-      serial_wall = result.stats.wall_seconds;
+      serial = result->results;
+      serial_wall = result->stats.wall_seconds;
     } else {
-      identical = SameResults(serial.results, result.results);
+      identical = SameTopK(serial, result->results);
     }
-    table.AddRow({std::to_string(result.stats.num_threads),
-                  FormatSeconds(result.stats.wall_seconds),
-                  FormatDouble(result.stats.QueriesPerSecond(), 1),
-                  FormatDouble(serial_wall / result.stats.wall_seconds, 2) +
+    table.AddRow({std::to_string(result->stats.num_threads),
+                  FormatSeconds(result->stats.wall_seconds),
+                  FormatDouble(result->stats.QueriesPerSecond(), 1),
+                  FormatDouble(serial_wall / result->stats.wall_seconds, 2) +
                       "x",
-                  FormatSeconds(result.stats.latency_p50_s),
-                  FormatSeconds(result.stats.latency_p99_s),
+                  FormatSeconds(result->stats.latency_p50_s),
+                  FormatSeconds(result->stats.latency_p99_s),
                   identical ? "yes" : "NO"});
     if (!identical) {
       std::cerr << "ERROR: results diverged from the serial run at "
@@ -96,6 +88,25 @@ int main() {
     }
   }
   table.Print(std::cout);
+
+  // Same batch again, now with the result cache on: the first pass fills
+  // it, the second is pure hits — and still bit-identical.
+  session.ConfigureCache(SessionOptions::kDefaultCacheBytes);
+  auto fill = session.DiscoverBatch(batch);
+  auto cached = session.DiscoverBatch(batch);
+  if (!fill.ok() || !cached.ok()) {
+    std::cerr << "cached re-run failed\n";
+    return 1;
+  }
+  if (!SameTopK(serial, cached->results)) {
+    std::cerr << "ERROR: cached results diverged from the serial run\n";
+    return 1;
+  }
+  std::cout << "\nCached re-run: " << cached->stats.cache_hits << "/"
+            << batch.size() << " hits, wall "
+            << FormatSeconds(cached->stats.wall_seconds) << " vs "
+            << FormatSeconds(fill->stats.wall_seconds)
+            << " for the cache-filling pass.\n";
   std::cout << "\nEvery run returned bit-identical top-k lists; only the "
                "wall clock changed.\n";
   return 0;

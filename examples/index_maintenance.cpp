@@ -1,28 +1,33 @@
 // §5.4 in action: keeping the MATE index consistent under table edits
 // (insert table/row, append column, update cell, delete row/column) without
-// rebuilding it — and persisting it to disk and back.
+// rebuilding it — all through one mate::Session, whose result cache is
+// explicitly invalidated after each edit batch — and persisting the session
+// to disk and back.
 //
 // Build & run:  ./build/examples/index_maintenance
 
 #include <cstdio>
 #include <string>
 
-#include "core/mate.h"
-#include "index/index_builder.h"
-#include "index/index_io.h"
+#include "core/session.h"
 
 using namespace mate;  // NOLINT: example brevity
 
 namespace {
 
-int64_t TopJoinability(const Corpus& corpus, const InvertedIndex& index,
-                       const Table& query,
+int64_t TopJoinability(Session* session, const Table& query,
                        const std::vector<ColumnId>& key) {
-  MateSearch mate(&corpus, &index);
-  DiscoveryOptions options;
-  options.k = 1;
-  DiscoveryResult result = mate.Discover(query, key, options);
-  return result.JoinabilityAt(0);
+  QuerySpec spec;
+  spec.table = &query;
+  spec.key_columns = key;
+  spec.options.k = 1;
+  auto result = session->Discover(spec);
+  if (!result.ok()) {
+    std::fprintf(stderr, "Discover failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return result->JoinabilityAt(0);
 }
 
 }  // namespace
@@ -38,15 +43,16 @@ int main() {
   (void)inventory.AppendRow({"widget-3", "hamburg", "42"});
   TableId inv_id = corpus.AddTable(std::move(inventory));
 
-  IndexBuildOptions build_options;
-  IndexBuildReport report;
-  auto built = BuildIndexWithReport(corpus, build_options, &report);
-  if (!built.ok()) {
-    std::fprintf(stderr, "build failed: %s\n",
-                 built.status().ToString().c_str());
+  SessionOptions session_options;
+  session_options.corpus = std::move(corpus);
+  session_options.build_index = true;
+  auto opened = Session::Open(std::move(session_options));
+  if (!opened.ok()) {
+    std::fprintf(stderr, "Session::Open failed: %s\n",
+                 opened.status().ToString().c_str());
     return 1;
   }
-  std::unique_ptr<InvertedIndex> index = std::move(*built);
+  Session session = std::move(*opened);
 
   Table orders("orders");
   orders.AddColumn("sku");
@@ -57,73 +63,99 @@ int main() {
   const std::vector<ColumnId> key = {0, 1};
 
   std::printf("initial top joinability: %lld (expect 2)\n",
-              static_cast<long long>(
-                  TopJoinability(corpus, *index, orders, key)));
+              static_cast<long long>(TopJoinability(&session, orders, key)));
 
   // Insert a row that matches the third order -> joinability rises to 3.
-  auto new_row =
-      corpus.mutable_table(inv_id)->AppendRow({"widget-9", "munich", "7"});
+  // Every edit goes through the session's mutable accessors; the cache must
+  // be invalidated afterwards or repeated queries keep the pre-edit answer.
+  auto new_row = session.mutable_corpus()
+                     ->mutable_table(inv_id)
+                     ->AppendRow({"widget-9", "munich", "7"});
   if (!new_row.ok()) return 1;
-  if (auto s = index->InsertRow(corpus, inv_id, *new_row); !s.ok()) return 1;
-  std::printf("after InsertRow:         %lld (expect 3)\n",
-              static_cast<long long>(
-                  TopJoinability(corpus, *index, orders, key)));
-
-  // Update a cell: widget-1 moves to hamburg -> its combo stops matching.
-  if (auto s = corpus.mutable_table(inv_id)->SetCell(0, 1, "hamburg");
+  if (auto s = session.mutable_index()->InsertRow(session.corpus(), inv_id,
+                                                  *new_row);
       !s.ok()) {
     return 1;
   }
-  if (auto s = index->UpdateCell(corpus, inv_id, 0, 1, "berlin"); !s.ok()) {
+  std::printf("stale cache still says:  %lld (the pre-edit answer!)\n",
+              static_cast<long long>(TopJoinability(&session, orders, key)));
+  session.InvalidateCache();
+  std::printf("after InvalidateCache:   %lld (expect 3)\n",
+              static_cast<long long>(TopJoinability(&session, orders, key)));
+
+  // Update a cell: widget-1 moves to hamburg -> its combo stops matching.
+  if (auto s = session.mutable_corpus()->mutable_table(inv_id)->SetCell(
+          0, 1, "hamburg");
+      !s.ok()) {
     return 1;
   }
+  if (auto s = session.mutable_index()->UpdateCell(session.corpus(), inv_id,
+                                                   0, 1, "berlin");
+      !s.ok()) {
+    return 1;
+  }
+  session.InvalidateCache();
   std::printf("after UpdateCell:        %lld (expect 2)\n",
-              static_cast<long long>(
-                  TopJoinability(corpus, *index, orders, key)));
+              static_cast<long long>(TopJoinability(&session, orders, key)));
 
   // Delete the widget-3 row -> joinability drops to 1.
-  if (auto s = index->DeleteRow(corpus, inv_id, 2); !s.ok()) return 1;
-  if (auto s = corpus.mutable_table(inv_id)->DeleteRow(2); !s.ok()) return 1;
+  if (auto s = session.mutable_index()->DeleteRow(session.corpus(), inv_id,
+                                                  2);
+      !s.ok()) {
+    return 1;
+  }
+  if (auto s = session.mutable_corpus()->mutable_table(inv_id)->DeleteRow(2);
+      !s.ok()) {
+    return 1;
+  }
+  session.InvalidateCache();
   std::printf("after DeleteRow:         %lld (expect 1)\n",
-              static_cast<long long>(
-                  TopJoinability(corpus, *index, orders, key)));
+              static_cast<long long>(TopJoinability(&session, orders, key)));
 
   // Append a column (per §5.4 this only ORs new bits into the super keys).
   {
     std::vector<std::string> cells;
-    for (RowId r = 0; r < corpus.table(inv_id).NumRows(); ++r) {
+    for (RowId r = 0; r < session.corpus().table(inv_id).NumRows(); ++r) {
       cells.push_back("supplier-" + std::to_string(r % 2));
     }
-    if (auto s = corpus.mutable_table(inv_id)
+    if (auto s = session.mutable_corpus()
+                     ->mutable_table(inv_id)
                      ->AddColumnWithCells("supplier", std::move(cells));
         !s.ok()) {
       return 1;
     }
-    if (auto s = index->AddAppendedColumn(corpus, inv_id); !s.ok()) return 1;
+    if (auto s = session.mutable_index()->AddAppendedColumn(session.corpus(),
+                                                            inv_id);
+        !s.ok()) {
+      return 1;
+    }
+    session.InvalidateCache();
   }
   std::printf("after AddColumn:         %lld (expect 1)\n",
-              static_cast<long long>(
-                  TopJoinability(corpus, *index, orders, key)));
+              static_cast<long long>(TopJoinability(&session, orders, key)));
 
-  // Persist the maintained index and reload it.
-  const std::string path = "/tmp/mate_example_index.bin";
-  if (auto s = SaveIndex(*index, HashFamily::kXash, report.corpus_stats,
-                         path);
-      !s.ok()) {
+  // Persist the maintained session and reload it from disk.
+  const std::string corpus_path = "/tmp/mate_example_corpus.bin";
+  const std::string index_path = "/tmp/mate_example_index.bin";
+  if (auto s = session.Save(corpus_path, index_path); !s.ok()) {
     std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
     return 1;
   }
-  auto loaded = LoadIndex(path);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "load failed: %s\n",
-                 loaded.status().ToString().c_str());
+  SessionOptions reopen;
+  reopen.corpus_path = corpus_path;
+  reopen.index_path = index_path;
+  auto reloaded = Session::Open(std::move(reopen));
+  if (!reloaded.ok()) {
+    std::fprintf(stderr, "reload failed: %s\n",
+                 reloaded.status().ToString().c_str());
     return 1;
   }
-  std::printf("after Save/Load:         %lld (expect 1)\n",
-              static_cast<long long>(
-                  TopJoinability(corpus, **loaded, orders, key)));
-  std::remove(path.c_str());
+  std::printf("after Save/Open:         %lld (expect 1)\n",
+              static_cast<long long>(TopJoinability(&*reloaded, orders,
+                                                    key)));
+  std::remove(corpus_path.c_str());
+  std::remove(index_path.c_str());
   std::printf("\nEvery edit kept the index consistent without a rebuild — "
-              "the §5.4 maintenance paths.\n");
+              "the §5.4 maintenance paths behind one owning Session.\n");
   return 0;
 }

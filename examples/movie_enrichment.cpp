@@ -8,8 +8,7 @@
 #include <cstdio>
 #include <string>
 
-#include "core/mate.h"
-#include "index/index_builder.h"
+#include "core/session.h"
 
 using namespace mate;  // NOLINT: example brevity
 
@@ -73,12 +72,16 @@ int main() {
     corpus.AddTable(std::move(reuse));
   }
 
-  auto index = BuildIndex(corpus, IndexBuildOptions{});
-  if (!index.ok()) {
-    std::fprintf(stderr, "index build failed: %s\n",
-                 index.status().ToString().c_str());
+  SessionOptions session_options;
+  session_options.corpus = std::move(corpus);
+  session_options.build_index = true;
+  auto session = Session::Open(std::move(session_options));
+  if (!session.ok()) {
+    std::fprintf(stderr, "Session::Open failed: %s\n",
+                 session.status().ToString().c_str());
     return 1;
   }
+  const Corpus& lake = session->corpus();
 
   // The analyst's dataset: directors + titles + a rating to be enriched.
   Table query("imdb_sample");
@@ -89,30 +92,42 @@ int main() {
     (void)query.AppendRow({m.director, m.title, "7.9"});
   }
 
-  MateSearch mate(&corpus, index->get());
-  DiscoveryOptions options;
-  options.k = 3;
+  QuerySpec spec;
+  spec.table = &query;
+  spec.options.k = 3;
 
   std::printf("Single-column key <movie_title>:\n");
-  DiscoveryResult unary = mate.Discover(query, {1}, options);
-  for (const TableResult& tr : unary.top_k) {
+  spec.key_columns = {1};
+  auto unary = session->Discover(spec);
+  if (!unary.ok()) {
+    std::fprintf(stderr, "Discover failed: %s\n",
+                 unary.status().ToString().c_str());
+    return 1;
+  }
+  for (const TableResult& tr : unary->top_k) {
     std::printf("  %-32s joinability=%lld  (%zu columns of payload)\n",
-                corpus.table(tr.table_id).name().c_str(),
+                lake.table(tr.table_id).name().c_str(),
                 static_cast<long long>(tr.joinability),
-                corpus.table(tr.table_id).NumColumns() - 1);
+                lake.table(tr.table_id).NumColumns() - 1);
   }
   std::printf("  -> every title-reuse table ties with the real one; the "
               "analyst cannot tell them apart.\n\n");
 
   std::printf("Composite key <director_name, movie_title>:\n");
-  DiscoveryResult nary = mate.Discover(query, {0, 1}, options);
-  for (const TableResult& tr : nary.top_k) {
+  spec.key_columns = {0, 1};
+  auto nary = session->Discover(spec);
+  if (!nary.ok()) {
+    std::fprintf(stderr, "Discover failed: %s\n",
+                 nary.status().ToString().c_str());
+    return 1;
+  }
+  for (const TableResult& tr : nary->top_k) {
     std::printf("  %-32s joinability=%lld\n",
-                corpus.table(tr.table_id).name().c_str(),
+                lake.table(tr.table_id).name().c_str(),
                 static_cast<long long>(tr.joinability));
   }
-  if (!nary.top_k.empty() && nary.top_k[0].table_id == facts_id) {
-    const Table& t = corpus.table(facts_id);
+  if (!nary->top_k.empty() && nary->top_k[0].table_id == facts_id) {
+    const Table& t = lake.table(facts_id);
     std::printf("  -> only the aligned movie-facts table survives; joining "
                 "it adds columns:");
     for (ColumnId c = 2; c < t.NumColumns(); ++c) {

@@ -1,8 +1,10 @@
 // Quickstart: index a tiny corpus and discover n-ary joinable tables.
 //
-// This walks the paper's Figure 1 running example end to end:
+// This walks the paper's Figure 1 running example end to end through
+// mate::Session, the library's front door:
 //   1. build a corpus (the data lake),
-//   2. build the MATE index (inverted index + XASH super keys),
+//   2. open a Session that builds the MATE index (inverted index + XASH
+//      super keys) and owns it together with the thread pool and cache,
 //   3. ask for the top-k tables joinable with a query table on the
 //      composite key <F. Name, L. Name, Country>.
 //
@@ -10,8 +12,7 @@
 
 #include <cstdio>
 
-#include "core/mate.h"
-#include "index/index_builder.h"
+#include "core/session.h"
 
 using namespace mate;  // NOLINT: example brevity
 
@@ -51,17 +52,19 @@ int main() {
   (void)t3.AppendRow({"Ansel", "Lee", "Germany"});
   corpus.AddTable(std::move(t3));
 
-  // ---- 2. Offline indexing (Figure 2, left) -------------------------
-  IndexBuildOptions build_options;       // XASH, 128 bits, corpus-tuned
-  IndexBuildReport report;
-  auto index = BuildIndexWithReport(corpus, build_options, &report);
-  if (!index.ok()) {
-    std::fprintf(stderr, "index build failed: %s\n",
-                 index.status().ToString().c_str());
+  // ---- 2. Open the discovery service (Figure 2, left) ----------------
+  SessionOptions session_options;
+  session_options.corpus = std::move(corpus);
+  session_options.build_index = true;    // XASH, 128 bits, corpus-tuned
+  auto session = Session::Open(std::move(session_options));
+  if (!session.ok()) {
+    std::fprintf(stderr, "Session::Open failed: %s\n",
+                 session.status().ToString().c_str());
     return 1;
   }
-  std::printf("Indexed corpus: %s\n", report.corpus_stats.ToString().c_str());
-  std::printf("Index: %s\n\n", report.ToString().c_str());
+  std::printf("Indexed corpus: %s\n",
+              session->corpus_stats().ToString().c_str());
+  std::printf("Index: %s\n\n", session->build_report().ToString().c_str());
 
   // ---- 3. Online discovery (Algorithm 1) ----------------------------
   Table query("d");
@@ -75,21 +78,28 @@ int main() {
   (void)query.AppendRow({"Muhammad", "Lee", "Germany", "90k"});
   (void)query.AppendRow({"Helmut", "Newton", "Germany", "300k"});
 
-  MateSearch mate(&corpus, index->get());
-  DiscoveryOptions options;
-  options.k = 5;
-  DiscoveryResult result =
-      mate.Discover(query, /*key_columns=*/{0, 1, 2}, options);
+  QuerySpec spec;
+  spec.table = &query;
+  spec.key_columns = {0, 1, 2};
+  spec.options.k = 5;
+  auto discovered = session->Discover(spec);
+  if (!discovered.ok()) {  // malformed specs fail loudly, before any work
+    std::fprintf(stderr, "Discover failed: %s\n",
+                 discovered.status().ToString().c_str());
+    return 1;
+  }
+  const DiscoveryResult& result = *discovered;
+  const Corpus& lake = session->corpus();
 
   std::printf("Top joinable tables for key <F. Name, L. Name, Country>:\n");
   for (const TableResult& tr : result.top_k) {
     std::printf("  %-22s joinability=%lld  mapping:",
-                corpus.table(tr.table_id).name().c_str(),
+                lake.table(tr.table_id).name().c_str(),
                 static_cast<long long>(tr.joinability));
     for (size_t i = 0; i < tr.best_mapping.size(); ++i) {
       std::printf(" %s->%s",
                   query.column_name(static_cast<ColumnId>(i)).c_str(),
-                  corpus.table(tr.table_id)
+                  lake.table(tr.table_id)
                       .column_name(tr.best_mapping[i])
                       .c_str());
     }

@@ -1,7 +1,9 @@
 #include "bench_util/runner.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <functional>
+#include <iostream>
 
 namespace mate {
 
@@ -18,7 +20,9 @@ void Accumulate(QuerySetMetrics* m, const DiscoveryResult& result,
   m->fp_rows += s.FalsePositiveRows();
   precisions->push_back(s.Precision());
   m->avg_top1_joinability += static_cast<double>(result.JoinabilityAt(0));
-  for (const TableResult& tr : result.top_k) m->topk_score_sum += tr.joinability;
+  for (const TableResult& tr : result.top_k) {
+    m->topk_score_sum += tr.joinability;
+  }
   ++m->queries;
 }
 
@@ -36,21 +40,11 @@ void Finalize(QuerySetMetrics* m, const std::vector<double>& precisions) {
   m->std_precision = std::sqrt(var);
 }
 
-/// Fans the query set out through the batch engine, then folds the
-/// index-ordered results into QuerySetMetrics (deterministic at any thread
-/// count).
-QuerySetMetrics RunBatched(
-    const std::vector<QueryCase>& queries,
-    const std::function<DiscoveryResult(size_t)>& run_one, std::string label,
-    unsigned num_threads) {
+/// Folds the index-ordered batch results into QuerySetMetrics
+/// (deterministic at any thread count).
+QuerySetMetrics FoldBatch(BatchResult batch, std::string label) {
   QuerySetMetrics metrics;
   metrics.label = std::move(label);
-
-  BatchOptions batch_options;
-  batch_options.num_threads = num_threads;
-  BatchResult batch =
-      RunDiscoveryBatch(queries.size(), run_one, batch_options);
-
   std::vector<double> precisions;
   for (const DiscoveryResult& result : batch.results) {
     Accumulate(&metrics, result, &precisions);
@@ -58,6 +52,20 @@ QuerySetMetrics RunBatched(
   Finalize(&metrics, precisions);
   metrics.batch = batch.stats;
   return metrics;
+}
+
+std::vector<QuerySpec> ToSpecs(const std::vector<QueryCase>& queries,
+                               const DiscoveryOptions& options) {
+  std::vector<QuerySpec> specs;
+  specs.reserve(queries.size());
+  for (const QueryCase& qc : queries) {
+    QuerySpec spec;
+    spec.table = &qc.query;
+    spec.key_columns = qc.key_columns;
+    spec.options = options;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
 }
 
 }  // namespace
@@ -73,10 +81,18 @@ std::string_view SystemKindName(SystemKind kind) {
   return "?";
 }
 
-QuerySetMetrics RunSystem(SystemKind kind, const Corpus& corpus,
-                          const InvertedIndex& index, const JosieIndex* josie,
-                          const std::vector<QueryCase>& queries, int k,
-                          std::string label, unsigned num_threads) {
+Result<QuerySetMetrics> RunSystem(SystemKind kind, Session& session,
+                                  const JosieIndex* josie,
+                                  const std::vector<QueryCase>& queries,
+                                  int k, std::string label) {
+  if (kind == SystemKind::kMate) {
+    DiscoveryOptions options;
+    options.k = k;
+    return RunMateWithOptions(session, queries, options, std::move(label));
+  }
+
+  const Corpus* corpus = &session.corpus();
+  const InvertedIndex* index = &session.index();
   DiscoveryOptions options;
   options.k = k;
   JosieOptions josie_options;
@@ -85,57 +101,81 @@ QuerySetMetrics RunSystem(SystemKind kind, const Corpus& corpus,
   std::function<DiscoveryResult(size_t)> run_one;
   switch (kind) {
     case SystemKind::kMate:
-      run_one = [&, options](size_t i) {
-        MateSearch engine(&corpus, &index);
-        return engine.Discover(queries[i].query, queries[i].key_columns,
-                               options);
-      };
-      break;
+      break;  // handled above
     case SystemKind::kScr:
-      run_one = [&, options](size_t i) {
-        ScrSearch engine(&corpus, &index);
+      run_one = [corpus, index, &queries, options](size_t i) {
+        ScrSearch engine(corpus, index);
         return engine.Discover(queries[i].query, queries[i].key_columns,
                                options);
       };
       break;
     case SystemKind::kMcr:
-      run_one = [&, options](size_t i) {
-        McrSearch engine(&corpus, &index);
+      run_one = [corpus, index, &queries, options](size_t i) {
+        McrSearch engine(corpus, index);
         return engine.Discover(queries[i].query, queries[i].key_columns,
                                options);
       };
       break;
     case SystemKind::kScrJosie:
-      run_one = [&, josie_options](size_t i) {
-        ScrJosieSearch engine(&corpus, &index, josie);
+      run_one = [corpus, index, josie, &queries, josie_options](size_t i) {
+        ScrJosieSearch engine(corpus, index, josie);
         return engine.Discover(queries[i].query, queries[i].key_columns,
                                josie_options);
       };
       break;
     case SystemKind::kMcrJosie:
-      run_one = [&, josie_options](size_t i) {
-        McrJosieSearch engine(&corpus, &index, josie);
+      run_one = [corpus, index, josie, &queries, josie_options](size_t i) {
+        McrJosieSearch engine(corpus, index, josie);
         return engine.Discover(queries[i].query, queries[i].key_columns,
                                josie_options);
       };
       break;
   }
-  return RunBatched(queries, run_one, std::move(label), num_threads);
+  return FoldBatch(session.RunBatch(queries.size(), run_one),
+                   std::move(label));
 }
 
-QuerySetMetrics RunMateWithOptions(const Corpus& corpus,
-                                   const InvertedIndex& index,
-                                   const std::vector<QueryCase>& queries,
-                                   const DiscoveryOptions& options,
-                                   std::string label, unsigned num_threads) {
-  MateSearch engine(&corpus, &index);
-  return RunBatched(
-      queries,
-      [&](size_t i) {
-        return engine.Discover(queries[i].query, queries[i].key_columns,
-                               options);
-      },
-      std::move(label), num_threads);
+Result<QuerySetMetrics> RunMateWithOptions(
+    Session& session, const std::vector<QueryCase>& queries,
+    const DiscoveryOptions& options, std::string label) {
+  MATE_ASSIGN_OR_RETURN(BatchResult batch,
+                        session.DiscoverBatch(ToSpecs(queries, options)));
+  return FoldBatch(std::move(batch), std::move(label));
+}
+
+QuerySetMetrics RunOrDie(Result<QuerySetMetrics> result) {
+  if (!result.ok()) {
+    std::cerr << "query-set run failed: " << result.status().ToString()
+              << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+bool SameTopK(const std::vector<DiscoveryResult>& a,
+              const std::vector<DiscoveryResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t q = 0; q < a.size(); ++q) {
+    if (a[q].top_k.size() != b[q].top_k.size()) return false;
+    for (size_t i = 0; i < a[q].top_k.size(); ++i) {
+      if (a[q].top_k[i].table_id != b[q].top_k[i].table_id ||
+          a[q].top_k[i].joinability != b[q].top_k[i].joinability ||
+          a[q].top_k[i].best_mapping != b[q].top_k[i].best_mapping) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Session OpenOrDie(SessionOptions options) {
+  auto session = Session::Open(std::move(options));
+  if (!session.ok()) {
+    std::cerr << "Session::Open failed: " << session.status().ToString()
+              << "\n";
+    std::exit(1);
+  }
+  return std::move(session).value();
 }
 
 }  // namespace mate

@@ -1,6 +1,12 @@
 // Query-set runners: execute one discovery system over a set of generated
 // queries and aggregate the metrics the paper reports (runtime, precision
 // mean ± std, FP/TP row counts, PL items fetched).
+//
+// All systems run through a mate::Session: MATE itself goes through the
+// validated Session::DiscoverBatch path, the baselines fan out over the
+// session's long-lived pool via Session::RunBatch (sharing threads but
+// never MATE's result cache). Benches that measure runtime should open
+// their session with cache_bytes = 0 so every query pays full cost.
 
 #ifndef MATE_BENCH_UTIL_RUNNER_H_
 #define MATE_BENCH_UTIL_RUNNER_H_
@@ -11,8 +17,7 @@
 #include "baselines/josie.h"
 #include "baselines/mcr.h"
 #include "baselines/scr.h"
-#include "core/discovery_engine.h"
-#include "core/mate.h"
+#include "core/session.h"
 #include "workload/query_gen.h"
 
 namespace mate {
@@ -39,27 +44,35 @@ struct QuerySetMetrics {
   int64_t topk_score_sum = 0;
   /// Batch-level instrumentation: end-to-end wall time (lower than
   /// total_runtime_s on a multi-threaded run), latency percentiles, thread
-  /// count.
+  /// count, cache traffic.
   BatchStats batch;
 };
 
-/// Runs `kind` over all `queries` through the batch discovery engine;
-/// `josie` may be null unless kind is a JOSIE variant. `num_threads`
-/// follows the IndexBuilder convention (0 = hardware concurrency); results
-/// and counter-based metrics are identical at any thread count.
-QuerySetMetrics RunSystem(SystemKind kind, const Corpus& corpus,
-                          const InvertedIndex& index, const JosieIndex* josie,
-                          const std::vector<QueryCase>& queries, int k,
-                          std::string label, unsigned num_threads = 1);
+/// Runs `kind` over all `queries` on `session`'s pool; `josie` may be null
+/// unless kind is a JOSIE variant. Results and counter-based metrics are
+/// identical at any thread count. Fails only on invalid query specs.
+Result<QuerySetMetrics> RunSystem(SystemKind kind, Session& session,
+                                  const JosieIndex* josie,
+                                  const std::vector<QueryCase>& queries,
+                                  int k, std::string label);
 
 /// Runs MATE with explicit options (hash sweeps, ablations, init-column
-/// strategies).
-QuerySetMetrics RunMateWithOptions(const Corpus& corpus,
-                                   const InvertedIndex& index,
-                                   const std::vector<QueryCase>& queries,
-                                   const DiscoveryOptions& options,
-                                   std::string label,
-                                   unsigned num_threads = 1);
+/// strategies) through Session::DiscoverBatch.
+Result<QuerySetMetrics> RunMateWithOptions(
+    Session& session, const std::vector<QueryCase>& queries,
+    const DiscoveryOptions& options, std::string label);
+
+/// Bench-binary convenience: unwraps or prints the error and exits(1).
+QuerySetMetrics RunOrDie(Result<QuerySetMetrics> result);
+
+/// Ditto for opening a session in a bench binary.
+Session OpenOrDie(SessionOptions options);
+
+/// True iff both runs returned the same top-k lists (table ids,
+/// joinability scores, and column mappings) for every query — the
+/// bit-identical check the determinism demos and the cache bench enforce.
+bool SameTopK(const std::vector<DiscoveryResult>& a,
+              const std::vector<DiscoveryResult>& b);
 
 }  // namespace mate
 

@@ -3,24 +3,14 @@
 #include <algorithm>
 #include <sstream>
 
+#include "util/math_util.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace mate {
 
-namespace {
-
-double Percentile(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const double rank = p * static_cast<double>(sorted.size() - 1);
-  const size_t lo = static_cast<size_t>(rank);
-  const size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
-}
-
-BatchStats AggregateStats(const std::vector<DiscoveryResult>& results,
-                          double wall_seconds, unsigned num_threads) {
+BatchStats AggregateBatchStats(const std::vector<DiscoveryResult>& results,
+                               double wall_seconds, unsigned num_threads) {
   BatchStats stats;
   stats.queries = results.size();
   stats.num_threads = num_threads;
@@ -36,14 +26,12 @@ BatchStats AggregateStats(const std::vector<DiscoveryResult>& results,
     latencies.push_back(r.stats.runtime_seconds);
   }
   std::sort(latencies.begin(), latencies.end());
-  stats.latency_p50_s = Percentile(latencies, 0.50);
-  stats.latency_p90_s = Percentile(latencies, 0.90);
-  stats.latency_p99_s = Percentile(latencies, 0.99);
+  stats.latency_p50_s = PercentileSorted(latencies, 0.50);
+  stats.latency_p90_s = PercentileSorted(latencies, 0.90);
+  stats.latency_p99_s = PercentileSorted(latencies, 0.99);
   stats.latency_max_s = latencies.empty() ? 0.0 : latencies.back();
   return stats;
 }
-
-}  // namespace
 
 std::string BatchStats::ToString() const {
   std::ostringstream os;
@@ -55,6 +43,9 @@ std::string BatchStats::ToString() const {
      << " pl_items=" << pl_items_fetched << " rows_checked=" << rows_checked
      << " rows_verified=" << rows_sent_to_verification
      << " tp_rows=" << rows_true_positive;
+  if (cache_hits + cache_misses > 0) {
+    os << " cache_hits=" << cache_hits << " cache_misses=" << cache_misses;
+  }
   return os.str();
 }
 
@@ -62,19 +53,25 @@ BatchResult RunDiscoveryBatch(
     size_t num_queries,
     const std::function<DiscoveryResult(size_t)>& run_one,
     const BatchOptions& batch_options) {
+  ThreadPool pool(batch_options.num_threads);
+  return RunDiscoveryBatch(num_queries, run_one, &pool);
+}
+
+BatchResult RunDiscoveryBatch(
+    size_t num_queries,
+    const std::function<DiscoveryResult(size_t)>& run_one, ThreadPool* pool) {
   BatchResult batch;
   batch.results.resize(num_queries);
 
   Stopwatch wall;
-  ThreadPool pool(batch_options.num_threads);
   for (size_t i = 0; i < num_queries; ++i) {
     DiscoveryResult* slot = &batch.results[i];
-    pool.Submit([&run_one, slot, i] { *slot = run_one(i); });
+    pool->Submit([&run_one, slot, i] { *slot = run_one(i); });
   }
-  pool.Wait();
+  pool->Wait();
 
-  batch.stats =
-      AggregateStats(batch.results, wall.ElapsedSeconds(), pool.num_threads());
+  batch.stats = AggregateBatchStats(batch.results, wall.ElapsedSeconds(),
+                                    pool->num_threads());
   return batch;
 }
 

@@ -22,6 +22,8 @@
 
 namespace mate {
 
+class ThreadPool;
+
 struct BatchQuery {
   /// Must outlive the batch call.
   const Table* query = nullptr;
@@ -44,7 +46,11 @@ struct BatchStats {
   double wall_seconds = 0.0;         // end-to-end batch time
   double total_query_seconds = 0.0;  // sum of per-query runtimes
 
-  // Per-query latency distribution (seconds).
+  // Per-query latency distribution (seconds), nearest-rank percentiles
+  // (PercentileSorted in util/math_util.h — defined for 0/1/2-query
+  // batches too). A cached query contributes the runtime recorded when its
+  // result was originally computed, not its (near-zero) serving time;
+  // wall_seconds is the honest end-to-end figure.
   double latency_p50_s = 0.0;
   double latency_p90_s = 0.0;
   double latency_p99_s = 0.0;
@@ -55,6 +61,12 @@ struct BatchStats {
   uint64_t rows_checked = 0;
   uint64_t rows_sent_to_verification = 0;
   uint64_t rows_true_positive = 0;
+
+  // Result-cache traffic for this batch (always 0 outside a cache-enabled
+  // mate::Session). A duplicate query inside one batch counts as a hit:
+  // it is served by copying the leader's result instead of recomputing.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
 
   double QueriesPerSecond() const {
     return wall_seconds > 0.0 ? static_cast<double>(queries) / wall_seconds
@@ -76,6 +88,19 @@ BatchResult RunDiscoveryBatch(
     size_t num_queries,
     const std::function<DiscoveryResult(size_t)>& run_one,
     const BatchOptions& batch_options);
+
+/// Same fan-out on an existing `pool` (mate::Session reuses one long-lived
+/// pool this way instead of spinning workers up per batch). The pool must
+/// be idle; the call submits, waits, and leaves it idle again.
+BatchResult RunDiscoveryBatch(
+    size_t num_queries,
+    const std::function<DiscoveryResult(size_t)>& run_one, ThreadPool* pool);
+
+/// Folds per-query results (in query-index order) plus a measured wall time
+/// into BatchStats — shared by the fan-out paths above and Session's cached
+/// batch path.
+BatchStats AggregateBatchStats(const std::vector<DiscoveryResult>& results,
+                               double wall_seconds, unsigned num_threads);
 
 class DiscoveryEngine {
  public:

@@ -1,0 +1,103 @@
+#include "core/result_cache.h"
+
+#include <sstream>
+
+namespace mate {
+
+namespace {
+// Fixed per-entry overhead: list node, map slot, Entry struct.
+constexpr size_t kEntryOverheadBytes = 128;
+}  // namespace
+
+std::string ResultCacheStats::ToString() const {
+  std::ostringstream os;
+  os << "hits=" << hits << " misses=" << misses << " hit_rate=" << HitRate()
+     << " entries=" << entries << " bytes=" << bytes << "/" << capacity_bytes
+     << " insertions=" << insertions << " evictions=" << evictions;
+  return os.str();
+}
+
+size_t ResultCache::ApproxResultBytes(const DiscoveryResult& result) {
+  size_t bytes = sizeof(DiscoveryResult);
+  for (const TableResult& tr : result.top_k) {
+    bytes +=
+        sizeof(TableResult) + tr.best_mapping.capacity() * sizeof(ColumnId);
+  }
+  return bytes;
+}
+
+bool ResultCache::Lookup(const std::string& key, DiscoveryResult* result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(std::string_view(key));
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *result = it->second->result;
+  return true;
+}
+
+void ResultCache::Insert(const std::string& key,
+                         const DiscoveryResult& result) {
+  const size_t entry_bytes =
+      key.size() + ApproxResultBytes(result) + kEntryOverheadBytes;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(std::string_view(key));
+  if (it != index_.end()) {
+    if (entry_bytes > capacity_bytes_) {
+      // The refreshed value can never fit: drop the key entirely rather
+      // than blowing the budget and letting the eviction loop below wipe
+      // every other entry.
+      bytes_ -= it->second->bytes;
+      auto node = it->second;
+      index_.erase(it);  // before the list node its key view points into
+      lru_.erase(node);
+      ++evictions_;
+      return;
+    }
+    // Refresh in place (identical queries recompute identical results, but
+    // keep the newest copy and re-account its size).
+    bytes_ -= it->second->bytes;
+    it->second->result = result;
+    it->second->bytes = entry_bytes;
+    bytes_ += entry_bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    if (entry_bytes > capacity_bytes_) return;  // can never fit
+    lru_.push_front(Entry{key, result, entry_bytes});
+    index_.emplace(std::string_view(lru_.front().key), lru_.begin());
+    bytes_ += entry_bytes;
+    ++insertions_;
+  }
+  while (bytes_ > capacity_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(std::string_view(victim.key));
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  index_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+ResultCacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ResultCacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.insertions = insertions_;
+  stats.evictions = evictions_;
+  stats.entries = lru_.size();
+  stats.bytes = bytes_;
+  stats.capacity_bytes = capacity_bytes_;
+  return stats;
+}
+
+}  // namespace mate

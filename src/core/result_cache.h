@@ -1,0 +1,95 @@
+// Keyed result cache for discovery (the ROADMAP's "result caching" item):
+// query fingerprint -> DiscoveryResult, LRU-evicted under a byte budget.
+// A hit returns the originally computed result verbatim (byte for byte,
+// including its recorded runtime), so cached and uncached discovery are
+// bit-identical. Thread-safe: batch workers may probe/insert concurrently.
+//
+// The cache itself is key-agnostic; Session (session.h) owns one and keys
+// it with a canonical fingerprint of (key-column contents, options).
+
+#ifndef MATE_CORE_RESULT_CACHE_H_
+#define MATE_CORE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/topk.h"
+
+namespace mate {
+
+/// Snapshot of cache instrumentation. Hits/misses/insertions/evictions are
+/// cumulative over the cache's lifetime (Clear() does not reset them);
+/// entries/bytes describe the current contents.
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+  size_t bytes = 0;
+  size_t capacity_bytes = 0;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                     : 0.0;
+  }
+
+  std::string ToString() const;
+};
+
+class ResultCache {
+ public:
+  /// A cache holding at most `capacity_bytes` of keys + results. Entries
+  /// individually larger than the budget are never admitted.
+  explicit ResultCache(size_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// On hit, copies the cached result into `*result`, moves the entry to
+  /// the front of the LRU list, and returns true. Counts one hit or miss.
+  bool Lookup(const std::string& key, DiscoveryResult* result);
+
+  /// Inserts (or refreshes) `key -> result`, evicting least-recently-used
+  /// entries until the byte budget holds.
+  void Insert(const std::string& key, const DiscoveryResult& result);
+
+  /// Drops every entry (the Session::InvalidateCache hook). Cumulative
+  /// counters survive so hit-rate reporting spans invalidations.
+  void Clear();
+
+  ResultCacheStats stats() const;
+  size_t capacity_bytes() const { return capacity_bytes_; }
+
+  /// Approximate heap footprint of a result (used for budget accounting).
+  static size_t ApproxResultBytes(const DiscoveryResult& result);
+
+ private:
+  struct Entry {
+    std::string key;
+    DiscoveryResult result;
+    size_t bytes = 0;
+  };
+
+  // Most-recently-used at the front. The map's string_view keys point into
+  // Entry::key, which is stable: list nodes never relocate.
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;
+  std::unordered_map<std::string_view, std::list<Entry>::iterator> index_;
+  size_t capacity_bytes_;
+  size_t bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t insertions_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace mate
+
+#endif  // MATE_CORE_RESULT_CACHE_H_

@@ -1,0 +1,325 @@
+#include "core/session.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "hash/md5.h"
+#include "index/index_io.h"
+#include "storage/corpus_io.h"
+#include "util/coding.h"
+#include "util/stopwatch.h"
+
+namespace mate {
+
+namespace {
+
+// Cross-checks that the index's super keys cover exactly the corpus's
+// tables and rows — the cheap shape invariant that catches a corpus/index
+// file mix-up at Open instead of as an out-of-bounds probe mid-query.
+Status ValidateIndexMatchesCorpus(const Corpus& corpus,
+                                  const InvertedIndex& index) {
+  const SuperKeyStore& superkeys = index.superkeys();
+  if (superkeys.num_tables() != corpus.NumTables()) {
+    return Status::Corruption(
+        "index covers " + std::to_string(superkeys.num_tables()) +
+        " tables but the corpus has " + std::to_string(corpus.NumTables()));
+  }
+  for (TableId t = 0; t < corpus.NumTables(); ++t) {
+    if (superkeys.NumRows(t) != corpus.table(t).NumRows()) {
+      return Status::Corruption(
+          "index table " + std::to_string(t) + " has " +
+          std::to_string(superkeys.NumRows(t)) + " super keys but the corpus "
+          "table has " + std::to_string(corpus.table(t).NumRows()) + " rows");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Session> Session::Open(SessionOptions options) {
+  Session session;
+
+  // ---- corpus (exactly one source) ----------------------------------
+  if (options.corpus.has_value() && !options.corpus_path.empty()) {
+    return Status::InvalidArgument(
+        "SessionOptions sets both corpus and corpus_path; pick one");
+  }
+  if (options.corpus.has_value()) {
+    session.corpus_ = std::move(*options.corpus);
+  } else if (!options.corpus_path.empty()) {
+    MATE_ASSIGN_OR_RETURN(session.corpus_, LoadCorpus(options.corpus_path));
+  } else {
+    return Status::InvalidArgument(
+        "SessionOptions needs a corpus source (corpus or corpus_path)");
+  }
+
+  // ---- index (at most one source) -----------------------------------
+  const int index_sources = (options.index != nullptr ? 1 : 0) +
+                            (!options.index_path.empty() ? 1 : 0) +
+                            (options.build_index ? 1 : 0);
+  if (index_sources > 1) {
+    return Status::InvalidArgument(
+        "SessionOptions sets more than one of index, index_path, and "
+        "build_index; pick one");
+  }
+  bool have_stats = false;
+  if (options.index != nullptr) {
+    session.index_ = std::move(options.index);
+    session.hash_family_ = options.index_family;
+  } else if (!options.index_path.empty()) {
+    MATE_ASSIGN_OR_RETURN(
+        session.index_,
+        LoadIndex(options.index_path, &session.hash_family_,
+                  &session.corpus_stats_));
+    have_stats = session.corpus_stats_.num_cells > 0;
+  } else if (options.build_index) {
+    MATE_ASSIGN_OR_RETURN(
+        session.index_,
+        BuildIndexWithReport(session.corpus_, options.build_options,
+                             &session.build_report_));
+    session.corpus_stats_ = session.build_report_.corpus_stats;
+    session.hash_family_ = options.build_options.hash_family;
+    have_stats = true;
+  }
+
+  if (options.validate && session.index_ != nullptr) {
+    MATE_RETURN_IF_ERROR(
+        ValidateIndexMatchesCorpus(session.corpus_, *session.index_));
+  }
+  if (!have_stats) session.corpus_stats_ = session.corpus_.ComputeStats();
+
+  session.pool_ = std::make_unique<ThreadPool>(options.num_threads);
+  if (options.cache_bytes > 0) {
+    session.cache_ = std::make_unique<ResultCache>(options.cache_bytes);
+  }
+  return session;
+}
+
+Status Session::ValidateQuery(const QuerySpec& spec) const {
+  if (spec.table == nullptr) {
+    return Status::InvalidArgument("QuerySpec.table is null");
+  }
+  if (spec.key_columns.empty()) {
+    return Status::InvalidArgument("QuerySpec.key_columns is empty");
+  }
+  std::unordered_set<ColumnId> seen;
+  for (ColumnId c : spec.key_columns) {
+    if (c >= spec.table->NumColumns()) {
+      return Status::InvalidArgument(
+          "key column " + std::to_string(c) + " out of range (query table '" +
+          spec.table->name() + "' has " +
+          std::to_string(spec.table->NumColumns()) + " columns)");
+    }
+    if (!seen.insert(c).second) {
+      return Status::InvalidArgument("duplicate key column " +
+                                     std::to_string(c));
+    }
+  }
+  if (spec.options.k <= 0) {
+    return Status::InvalidArgument(
+        "k must be positive, got " + std::to_string(spec.options.k));
+  }
+  for (TableId t : spec.options.exclude_tables) {
+    if (t >= corpus_.NumTables()) {
+      return Status::InvalidArgument(
+          "exclude_tables id " + std::to_string(t) +
+          " not in corpus (" + std::to_string(corpus_.NumTables()) +
+          " tables)");
+    }
+  }
+  for (TableId t : spec.options.restrict_tables) {
+    if (t >= corpus_.NumTables()) {
+      return Status::InvalidArgument(
+          "restrict_tables id " + std::to_string(t) +
+          " not in corpus (" + std::to_string(corpus_.NumTables()) +
+          " tables)");
+    }
+  }
+  return Status::OK();
+}
+
+std::string Session::FingerprintQuery(const QuerySpec& spec) const {
+  std::string stream;
+  stream.reserve(256);
+  PutVarint32(&stream, static_cast<uint32_t>(spec.options.k));
+  stream.push_back(static_cast<char>(spec.options.init_strategy));
+  stream.push_back(static_cast<char>((spec.options.use_row_filter ? 1 : 0) |
+                                     (spec.options.use_table_filters ? 2
+                                                                     : 0)));
+  // Exclusion/restriction are set-semantics; sort so permutations hit.
+  for (const std::vector<TableId>* ids :
+       {&spec.options.exclude_tables, &spec.options.restrict_tables}) {
+    std::vector<TableId> sorted(*ids);
+    std::sort(sorted.begin(), sorted.end());
+    PutVarint64(&stream, sorted.size());
+    for (TableId t : sorted) PutVarint32(&stream, t);
+  }
+  // Key-column *contents* (not column ids): discovery reads nothing else
+  // from the query table, so content-identical key specs share results.
+  const Table& table = *spec.table;
+  PutVarint64(&stream, spec.key_columns.size());
+  for (RowId r = 0; r < table.NumRows(); ++r) {
+    if (table.IsRowDeleted(r)) continue;
+    for (ColumnId c : spec.key_columns) {
+      PutLengthPrefixed(&stream, table.cell(r, c));
+    }
+  }
+  // Digest the unambiguous stream to a fixed 16-byte key: query tables can
+  // run to 10^5+ rows, and storing/compare-probing multi-MB keys would eat
+  // the cache budget and every map operation. A 128-bit digest keeps the
+  // bit-identical-hit guarantee up to negligible collision probability.
+  const Md5Digest digest = Md5(stream);
+  return std::string(reinterpret_cast<const char*>(digest.bytes.data()),
+                     digest.bytes.size());
+}
+
+Result<DiscoveryResult> Session::Discover(const QuerySpec& spec) {
+  if (!has_index()) {
+    return Status::InvalidArgument(
+        "session has no index; open with index_path, index, or build_index");
+  }
+  MATE_RETURN_IF_ERROR(ValidateQuery(spec));
+  MateSearch search(&corpus_, index_.get());
+  if (cache_ == nullptr) {
+    return search.Discover(*spec.table, spec.key_columns, spec.options);
+  }
+  const std::string key = FingerprintQuery(spec);
+  DiscoveryResult result;
+  if (cache_->Lookup(key, &result)) return result;
+  result = search.Discover(*spec.table, spec.key_columns, spec.options);
+  cache_->Insert(key, result);
+  return result;
+}
+
+Result<BatchResult> Session::DiscoverBatch(
+    const std::vector<QuerySpec>& specs) {
+  if (!has_index()) {
+    return Status::InvalidArgument(
+        "session has no index; open with index_path, index, or build_index");
+  }
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (Status status = ValidateQuery(specs[i]); !status.ok()) {
+      return Status::InvalidArgument("query " + std::to_string(i) + ": " +
+                                     status.message());
+    }
+  }
+  MateSearch search(&corpus_, index_.get());
+  const auto run_spec = [&search, &specs](size_t i) {
+    const QuerySpec& spec = specs[i];
+    return search.Discover(*spec.table, spec.key_columns, spec.options);
+  };
+  if (cache_ == nullptr) return RunBatch(specs.size(), run_spec);
+
+  Stopwatch wall;
+  BatchResult batch;
+  batch.results.resize(specs.size());
+
+  // Group by fingerprint: one probe and at most one computation per
+  // distinct query; followers are copies and count as hits.
+  std::vector<std::string> keys(specs.size());
+  std::vector<std::vector<size_t>> groups;  // first-appearance order
+  {
+    std::unordered_map<std::string_view, size_t> group_of;
+    for (size_t i = 0; i < specs.size(); ++i) {
+      keys[i] = FingerprintQuery(specs[i]);
+      auto [it, inserted] = group_of.emplace(keys[i], groups.size());
+      if (inserted) groups.emplace_back();
+      groups[it->second].push_back(i);
+    }
+  }
+
+  uint64_t hits = 0, misses = 0;
+  std::vector<size_t> leaders;  // first index of each group to compute
+  for (const std::vector<size_t>& group : groups) {
+    const size_t first = group.front();
+    DiscoveryResult cached;
+    if (cache_->Lookup(keys[first], &cached)) {
+      for (size_t i : group) batch.results[i] = cached;
+      hits += group.size();
+    } else {
+      leaders.push_back(first);
+      misses += 1;
+      hits += group.size() - 1;
+    }
+  }
+
+  if (!leaders.empty()) {
+    BatchResult computed = RunDiscoveryBatch(
+        leaders.size(), [&](size_t j) { return run_spec(leaders[j]); },
+        pool_.get());
+    size_t j = 0;
+    for (const std::vector<size_t>& group : groups) {
+      const size_t first = group.front();
+      if (j < leaders.size() && leaders[j] == first) {
+        const DiscoveryResult& result = computed.results[j];
+        for (size_t i : group) batch.results[i] = result;
+        cache_->Insert(keys[first], result);
+        ++j;
+      }
+    }
+  }
+
+  batch.stats = AggregateBatchStats(batch.results, wall.ElapsedSeconds(),
+                                    pool_->num_threads());
+  batch.stats.cache_hits = hits;
+  batch.stats.cache_misses = misses;
+  return batch;
+}
+
+BatchResult Session::RunBatch(
+    size_t n, const std::function<DiscoveryResult(size_t)>& run_one) {
+  return RunDiscoveryBatch(n, run_one, pool_.get());
+}
+
+void Session::InvalidateCache() {
+  if (cache_ != nullptr) cache_->Clear();
+}
+
+ResultCacheStats Session::cache_stats() const {
+  return cache_ != nullptr ? cache_->stats() : ResultCacheStats{};
+}
+
+void Session::ConfigureCache(size_t bytes) {
+  cache_ = bytes > 0 ? std::make_unique<ResultCache>(bytes) : nullptr;
+}
+
+Status Session::ResetHash(HashFamily family, size_t hash_bits) {
+  std::unique_ptr<RowHashFunction> hash = MakeRowHash(
+      family, hash_bits,
+      corpus_stats_.num_cells > 0 ? &corpus_stats_ : nullptr);
+  if (hash == nullptr) {
+    return Status::InvalidArgument("unsupported hash configuration");
+  }
+  return ResetHash(family, std::move(hash));
+}
+
+Status Session::ResetHash(HashFamily family,
+                          std::unique_ptr<RowHashFunction> hash) {
+  if (!has_index()) {
+    return Status::InvalidArgument("session has no index to re-key");
+  }
+  MATE_RETURN_IF_ERROR(
+      index_->ResetHash(corpus_, std::move(hash), pool_->num_threads()));
+  hash_family_ = family;
+  InvalidateCache();
+  return Status::OK();
+}
+
+Status Session::Save(const std::string& corpus_path,
+                     const std::string& index_path) const {
+  MATE_RETURN_IF_ERROR(SaveCorpus(corpus_, corpus_path));
+  if (index_ != nullptr) {
+    MATE_RETURN_IF_ERROR(
+        SaveIndex(*index_, hash_family_, corpus_stats_, index_path));
+  }
+  return Status::OK();
+}
+
+void Session::SetNumThreads(unsigned num_threads) {
+  pool_ = std::make_unique<ThreadPool>(num_threads);
+}
+
+}  // namespace mate

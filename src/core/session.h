@@ -1,0 +1,208 @@
+// mate::Session — the library's front door. MATE (§2) frames discovery as
+// a *service* over a fixed indexed corpus; Session is that service shaped
+// as one owning object:
+//
+//   * owns the corpus + inverted index pair (loaded from disk, adopted
+//     in-memory, or built on open) and validates at Open that they match;
+//   * owns one long-lived work-stealing ThreadPool reused across batches
+//     (the per-batch worker spin-up of the raw engine is gone);
+//   * owns the keyed result cache (query fingerprint -> DiscoveryResult,
+//     LRU under a byte budget) with an explicit InvalidateCache() hook for
+//     index updates;
+//   * validates every query upfront (QuerySpec) and reports failures as
+//     Status/Result in the repo's Arrow/RocksDB idiom instead of the UB a
+//     malformed key spec used to reach.
+//
+// Every binary (CLI, benches, examples) goes through Session; the raw
+// MateSearch/DiscoveryEngine classes remain as internal implementation
+// details. Thread-safety: Discover/DiscoverBatch/RunBatch are called from
+// one thread at a time (they fan work out over the pool internally);
+// mutation (mutable_*, ResetHash, SetNumThreads, ConfigureCache) requires
+// the session to be otherwise idle.
+//
+// Typical use:
+//
+//   SessionOptions options;
+//   options.corpus_path = "lake.corpus";
+//   options.index_path = "lake.index";
+//   options.num_threads = 8;
+//   auto session = Session::Open(std::move(options));
+//   if (!session.ok()) { /* session.status() */ }
+//   QuerySpec spec;
+//   spec.table = &my_table;
+//   spec.key_columns = {0, 1};
+//   auto result = session->Discover(spec);
+
+#ifndef MATE_CORE_SESSION_H_
+#define MATE_CORE_SESSION_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/discovery_engine.h"
+#include "core/result_cache.h"
+#include "index/index_builder.h"
+#include "storage/corpus.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace mate {
+
+/// One discovery request: the query table, the composite key, and the
+/// engine options. Validated by Session before any work happens.
+struct QuerySpec {
+  /// Must outlive the Discover/DiscoverBatch call.
+  const Table* table = nullptr;
+  std::vector<ColumnId> key_columns;
+  DiscoveryOptions options;
+};
+
+struct SessionOptions {
+  SessionOptions() = default;
+  SessionOptions(SessionOptions&&) = default;
+  SessionOptions& operator=(SessionOptions&&) = default;
+
+  // ---- corpus source (exactly one) ----------------------------------
+  /// Load the corpus from a SaveCorpus file.
+  std::string corpus_path;
+  /// ... or adopt an in-memory corpus.
+  std::optional<Corpus> corpus;
+
+  // ---- index source (at most one; optional) -------------------------
+  /// Load the index from a SaveIndex file.
+  std::string index_path;
+  /// ... or adopt an index already built over the corpus. `index_family`
+  /// tells the session which hash family it carries (for Save/re-keying).
+  std::unique_ptr<InvertedIndex> index;
+  HashFamily index_family = HashFamily::kXash;
+  /// ... or build one from the corpus with `build_options`. Without any of
+  /// the three the session is corpus-only (stats/curation workloads) and
+  /// Discover fails with InvalidArgument.
+  bool build_index = false;
+  IndexBuildOptions build_options;
+
+  // ---- service knobs ------------------------------------------------
+  /// Long-lived discovery pool (IndexBuilder convention: 0 = hardware
+  /// concurrency, 1 = serial on the calling thread).
+  unsigned num_threads = 1;
+  /// Result-cache byte budget; 0 disables caching entirely.
+  size_t cache_bytes = kDefaultCacheBytes;
+  /// Cross-check that index super keys cover exactly the corpus's tables
+  /// and rows (catches corpus/index file mix-ups at Open instead of as
+  /// out-of-bounds reads mid-query).
+  bool validate = true;
+
+  static constexpr size_t kDefaultCacheBytes = 64u << 20;  // 64 MB
+};
+
+class Session {
+ public:
+  /// Opens a session per `options`. Fails with:
+  ///   * InvalidArgument — no corpus source, or two of them;
+  ///   * IOError / Corruption — unreadable or malformed files;
+  ///   * Corruption — index does not match the corpus (table/row skew).
+  static Result<Session> Open(SessionOptions options);
+
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // ---- queries ------------------------------------------------------
+
+  /// Checks `spec` against the session's corpus and index; returns
+  /// InvalidArgument naming the offending column/table id on: null or
+  /// key-less table, duplicate or out-of-range key columns, k <= 0, and
+  /// exclude/restrict ids outside the corpus.
+  Status ValidateQuery(const QuerySpec& spec) const;
+
+  /// Top-k discovery for one query (validated, cached). A cache hit
+  /// returns the originally computed DiscoveryResult verbatim.
+  Result<DiscoveryResult> Discover(const QuerySpec& spec);
+
+  /// Batch discovery over the session pool. All specs are validated before
+  /// any query runs (the error names the failing spec's position). With
+  /// the cache enabled, duplicate specs inside the batch compute once and
+  /// count as hits; batch-level hit/miss traffic lands in BatchStats.
+  Result<BatchResult> DiscoverBatch(const std::vector<QuerySpec>& specs);
+
+  /// Uncached generic fan-out of `run_one(i)` for i in [0, n) over the
+  /// session pool — the substrate bench runners use for baseline systems
+  /// (SCR/MCR/JOSIE share the pool but must not share MATE's cache).
+  BatchResult RunBatch(size_t n,
+                       const std::function<DiscoveryResult(size_t)>& run_one);
+
+  // ---- cache --------------------------------------------------------
+
+  /// Drops every cached result. Call after mutating the corpus or index
+  /// through the mutable accessors below.
+  void InvalidateCache();
+
+  /// Cumulative cache counters (zeroed stats when the cache is disabled).
+  ResultCacheStats cache_stats() const;
+
+  bool cache_enabled() const { return cache_ != nullptr; }
+
+  /// Replaces the cache with a fresh one of `bytes` capacity (0 disables);
+  /// previously cached results and current-content counters are dropped.
+  void ConfigureCache(size_t bytes);
+
+  // ---- ownership & maintenance --------------------------------------
+
+  const Corpus& corpus() const { return corpus_; }
+  bool has_index() const { return index_ != nullptr; }
+  /// Precondition: has_index().
+  const InvertedIndex& index() const { return *index_; }
+
+  /// Mutable access for §5.4 maintenance flows. The cache is NOT
+  /// implicitly invalidated — call InvalidateCache() once the edit batch
+  /// is complete (stale entries otherwise serve pre-edit results).
+  Corpus* mutable_corpus() { return &corpus_; }
+  InvertedIndex* mutable_index() { return index_.get(); }
+
+  /// Swaps the super-key hash (re-keying on the session pool) and
+  /// invalidates the cache. The registry overload parameterizes the hash
+  /// from the session's corpus stats, like the index builder does.
+  Status ResetHash(HashFamily family, size_t hash_bits);
+  Status ResetHash(HashFamily family, std::unique_ptr<RowHashFunction> hash);
+
+  /// Persists the corpus (and, when present, the index) for a later
+  /// path-based Open.
+  Status Save(const std::string& corpus_path,
+              const std::string& index_path) const;
+
+  ThreadPool* pool() { return pool_.get(); }
+  unsigned num_threads() const { return pool_->num_threads(); }
+  /// Replaces the (idle) pool with one of `num_threads` workers.
+  void SetNumThreads(unsigned num_threads);
+
+  /// Stats of the corpus the session serves: from the index build when the
+  /// session built its index, from the index file when it loaded one, and
+  /// computed by a corpus scan otherwise.
+  const CorpusStats& corpus_stats() const { return corpus_stats_; }
+  HashFamily hash_family() const { return hash_family_; }
+  /// Build cost/size details; meaningful when Open built the index.
+  const IndexBuildReport& build_report() const { return build_report_; }
+
+ private:
+  Session() = default;
+
+  /// Canonical cache key: a 128-bit digest of the key-column contents plus
+  /// every result-affecting option. Precondition: spec validated.
+  std::string FingerprintQuery(const QuerySpec& spec) const;
+
+  Corpus corpus_;
+  std::unique_ptr<InvertedIndex> index_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ResultCache> cache_;  // null when disabled
+  CorpusStats corpus_stats_;
+  HashFamily hash_family_ = HashFamily::kXash;
+  IndexBuildReport build_report_;
+};
+
+}  // namespace mate
+
+#endif  // MATE_CORE_SESSION_H_

@@ -58,7 +58,8 @@ bool GetStats(std::string_view* input, CorpusStats* stats) {
 // Friend of InvertedIndex: fills internals on load.
 class IndexLoader {
  public:
-  static Result<std::unique_ptr<InvertedIndex>> Load(std::string_view data) {
+  static Result<std::unique_ptr<InvertedIndex>> Load(
+      std::string_view data, HashFamily* family_out, CorpusStats* stats_out) {
     if (data.size() < kMagicLen + 4 ||
         data.substr(0, kMagicLen) != std::string_view(kMagic, kMagicLen)) {
       return Status::Corruption("index: bad magic");
@@ -86,6 +87,8 @@ class IndexLoader {
     }
 
     MATE_ASSIGN_OR_RETURN(HashFamily family, ParseHashFamily(family_name));
+    if (family_out != nullptr) *family_out = family;
+    if (stats_out != nullptr) *stats_out = stats;
     std::unique_ptr<RowHashFunction> hash =
         MakeRowHash(family, static_cast<size_t>(hash_bits),
                     used_stats ? &stats : nullptr);
@@ -183,8 +186,8 @@ void SerializeIndex(const InvertedIndex& index, HashFamily family,
 }
 
 Result<std::unique_ptr<InvertedIndex>> DeserializeIndex(
-    std::string_view data) {
-  return IndexLoader::Load(data);
+    std::string_view data, HashFamily* family, CorpusStats* stats) {
+  return IndexLoader::Load(data, family, stats);
 }
 
 Status SaveIndex(const InvertedIndex& index, HashFamily family,
@@ -194,9 +197,11 @@ Status SaveIndex(const InvertedIndex& index, HashFamily family,
   return WriteFileAtomic(path, buffer);
 }
 
-Result<std::unique_ptr<InvertedIndex>> LoadIndex(const std::string& path) {
+Result<std::unique_ptr<InvertedIndex>> LoadIndex(const std::string& path,
+                                                 HashFamily* family,
+                                                 CorpusStats* stats) {
   MATE_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
-  return DeserializeIndex(data);
+  return DeserializeIndex(data, family, stats);
 }
 
 }  // namespace mate

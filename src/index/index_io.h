@@ -21,12 +21,19 @@ namespace mate {
 void SerializeIndex(const InvertedIndex& index, HashFamily family,
                     const CorpusStats& stats, std::string* out);
 
-/// Parses an index serialized by SerializeIndex.
-Result<std::unique_ptr<InvertedIndex>> DeserializeIndex(std::string_view data);
+/// Parses an index serialized by SerializeIndex. When non-null, `family`
+/// and `stats` receive the hash configuration stored in the image (what
+/// SaveIndex was called with) — Session keeps them so a loaded session can
+/// re-save and re-key without rescanning the corpus.
+Result<std::unique_ptr<InvertedIndex>> DeserializeIndex(
+    std::string_view data, HashFamily* family = nullptr,
+    CorpusStats* stats = nullptr);
 
 Status SaveIndex(const InvertedIndex& index, HashFamily family,
                  const CorpusStats& stats, const std::string& path);
-Result<std::unique_ptr<InvertedIndex>> LoadIndex(const std::string& path);
+Result<std::unique_ptr<InvertedIndex>> LoadIndex(const std::string& path,
+                                                 HashFamily* family = nullptr,
+                                                 CorpusStats* stats = nullptr);
 
 }  // namespace mate
 

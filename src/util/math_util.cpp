@@ -1,5 +1,6 @@
 #include "util/math_util.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -28,6 +29,15 @@ size_t XashBeta(size_t hash_bits, size_t alphabet_size) {
   if (alphabet_size == 0 || hash_bits <= alphabet_size) return 1;
   size_t beta = (hash_bits - 1) / alphabet_size;
   return beta == 0 ? 1 : beta;
+}
+
+double PercentileSorted(const std::vector<double>& sorted, double p) {
+  const size_t n = sorted.size();
+  if (n == 0) return 0.0;
+  p = std::min(1.0, std::max(0.0, p));
+  size_t rank = static_cast<size_t>(std::ceil(p * static_cast<double>(n)));
+  rank = std::min(n, std::max<size_t>(1, rank));
+  return sorted[rank - 1];
 }
 
 uint64_t PermutationCount(size_t n, size_t k) {

@@ -1,11 +1,13 @@
 // Combinatorics used by the XASH parameterization (Equations 5 and 6) and by
-// the joinability analysis (Equation 3).
+// the joinability analysis (Equation 3), plus the percentile definition the
+// batch-latency stats use.
 
 #ifndef MATE_UTIL_MATH_UTIL_H_
 #define MATE_UTIL_MATH_UTIL_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace mate {
 
@@ -25,6 +27,16 @@ size_t XashBeta(size_t hash_bits, size_t alphabet_size = 37);
 /// Equation 3: number of size-k ordered column mappings out of n columns,
 /// n!/(n-k)!, saturating at UINT64_MAX.
 uint64_t PermutationCount(size_t n, size_t k);
+
+/// Nearest-rank percentile of an ascending-sorted sample: the smallest
+/// element whose rank r (1-based) satisfies r >= p * n, i.e.
+/// sorted[clamp(ceil(p * n), 1, n) - 1]. Always returns an actual sample
+/// value — no interpolation — so tiny batches have defined behavior:
+///   n == 0 -> 0.0 (no data);
+///   n == 1 -> the sample, for every p;
+///   n == 2 -> p <= 0.5 picks sorted[0], p > 0.5 picks sorted[1].
+/// `p` is clamped to [0, 1]; p == 0 picks the minimum, p == 1 the maximum.
+double PercentileSorted(const std::vector<double>& sorted, double p);
 
 }  // namespace mate
 

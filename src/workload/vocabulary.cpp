@@ -50,7 +50,9 @@ std::string GenerateDate(Rng* rng) {
   int year = 1990 + static_cast<int>(rng->Uniform(35));
   int month = 1 + static_cast<int>(rng->Uniform(12));
   int day = 1 + static_cast<int>(rng->Uniform(28));
-  char buf[32];
+  // Large enough for the worst-case int rendering, so -Wformat-truncation
+  // can prove no truncation regardless of what it infers about the ranges.
+  char buf[40];
   std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
   return buf;
 }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 namespace mate {
@@ -67,6 +68,59 @@ TEST(MathUtilTest, PermutationCount) {
 TEST(MathUtilTest, PermutationCountSaturates) {
   EXPECT_EQ(PermutationCount(1000, 50),
             std::numeric_limits<uint64_t>::max());
+}
+
+// ---- PercentileSorted: the tiny-batch edges are part of the contract ----
+
+TEST(PercentileSortedTest, EmptySampleIsZero) {
+  EXPECT_DOUBLE_EQ(PercentileSorted({}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted({}, 0.99), 0.0);
+}
+
+TEST(PercentileSortedTest, SingleSampleForEveryP) {
+  const std::vector<double> one = {3.5};
+  for (double p : {0.0, 0.01, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(PercentileSorted(one, p), 3.5) << p;
+  }
+}
+
+TEST(PercentileSortedTest, TwoSamplesSplitAtMedian) {
+  const std::vector<double> two = {1.0, 9.0};
+  EXPECT_DOUBLE_EQ(PercentileSorted(two, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(two, 0.5), 1.0);   // ceil(1.0) = rank 1
+  EXPECT_DOUBLE_EQ(PercentileSorted(two, 0.51), 9.0);  // ceil(1.02) = rank 2
+  EXPECT_DOUBLE_EQ(PercentileSorted(two, 0.9), 9.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(two, 0.99), 9.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(two, 1.0), 9.0);
+}
+
+TEST(PercentileSortedTest, ReturnsActualSamplesNeverInterpolates) {
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0, 5.0};
+  for (double p : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double v = PercentileSorted(sorted, p);
+    EXPECT_NE(std::find(sorted.begin(), sorted.end(), v), sorted.end())
+        << "p=" << p << " produced non-sample value " << v;
+  }
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 0.9), 5.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 0.8), 4.0);
+}
+
+TEST(PercentileSortedTest, ClampsPOutsideUnitInterval) {
+  const std::vector<double> sorted = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 1.5), 3.0);
+}
+
+TEST(PercentileSortedTest, MonotoneInP) {
+  const std::vector<double> sorted = {0.5, 1.0, 1.5, 2.0, 8.0, 9.0, 10.0};
+  double prev = PercentileSorted(sorted, 0.0);
+  for (double p = 0.05; p <= 1.0; p += 0.05) {
+    const double v = PercentileSorted(sorted, p);
+    EXPECT_GE(v, prev) << p;
+    prev = v;
+  }
 }
 
 }  // namespace

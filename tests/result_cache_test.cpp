@@ -1,0 +1,152 @@
+#include "core/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mate {
+namespace {
+
+DiscoveryResult MakeResult(int64_t joinability, uint64_t rows_checked = 0) {
+  DiscoveryResult result;
+  TableResult tr;
+  tr.table_id = 1;
+  tr.joinability = joinability;
+  tr.best_mapping = {0, 1};
+  result.top_k.push_back(tr);
+  result.stats.rows_checked = rows_checked;
+  result.stats.runtime_seconds = 0.25;
+  return result;
+}
+
+void ExpectSame(const DiscoveryResult& a, const DiscoveryResult& b) {
+  ASSERT_EQ(a.top_k.size(), b.top_k.size());
+  for (size_t i = 0; i < a.top_k.size(); ++i) {
+    EXPECT_EQ(a.top_k[i].table_id, b.top_k[i].table_id);
+    EXPECT_EQ(a.top_k[i].joinability, b.top_k[i].joinability);
+    EXPECT_EQ(a.top_k[i].best_mapping, b.top_k[i].best_mapping);
+  }
+  // The cached copy is verbatim: nondeterministic fields included.
+  EXPECT_EQ(a.stats.rows_checked, b.stats.rows_checked);
+  EXPECT_DOUBLE_EQ(a.stats.runtime_seconds, b.stats.runtime_seconds);
+}
+
+TEST(ResultCacheTest, MissThenHitReturnsVerbatimCopy) {
+  ResultCache cache(1 << 20);
+  DiscoveryResult out;
+  EXPECT_FALSE(cache.Lookup("q1", &out));
+  const DiscoveryResult original = MakeResult(7, 42);
+  cache.Insert("q1", original);
+  ASSERT_TRUE(cache.Lookup("q1", &out));
+  ExpectSame(original, out);
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  // Budget fits roughly three entries; key sizes dominate deterministically.
+  const std::string pad(200, 'x');
+  const size_t entry_bytes = pad.size() + 2 +
+                             ResultCache::ApproxResultBytes(MakeResult(1)) +
+                             128;
+  ResultCache cache(3 * entry_bytes + entry_bytes / 2);
+  cache.Insert("a-" + pad, MakeResult(1));
+  cache.Insert("b-" + pad, MakeResult(2));
+  cache.Insert("c-" + pad, MakeResult(3));
+  EXPECT_EQ(cache.stats().entries, 3u);
+
+  // Touch "a" so "b" becomes the LRU victim.
+  DiscoveryResult out;
+  ASSERT_TRUE(cache.Lookup("a-" + pad, &out));
+  cache.Insert("d-" + pad, MakeResult(4));
+
+  EXPECT_EQ(cache.stats().entries, 3u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.Lookup("a-" + pad, &out));
+  EXPECT_FALSE(cache.Lookup("b-" + pad, &out));  // evicted
+  EXPECT_TRUE(cache.Lookup("c-" + pad, &out));
+  EXPECT_TRUE(cache.Lookup("d-" + pad, &out));
+}
+
+TEST(ResultCacheTest, OversizedEntryIsNeverAdmitted) {
+  ResultCache cache(64);  // smaller than any entry's fixed overhead
+  cache.Insert("key", MakeResult(1));
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  DiscoveryResult out;
+  EXPECT_FALSE(cache.Lookup("key", &out));
+}
+
+TEST(ResultCacheTest, OversizedRefreshDropsTheKeyNotTheCache) {
+  // Refreshing an existing key with an over-budget value must honor the
+  // admission guard: the key is dropped, every other entry survives.
+  ResultCache cache(2048);
+  cache.Insert("victim", MakeResult(1));
+  cache.Insert("bystander", MakeResult(2));
+  ASSERT_EQ(cache.stats().entries, 2u);
+
+  DiscoveryResult huge = MakeResult(3);
+  huge.top_k.resize(200, huge.top_k[0]);  // far beyond the 2 KB budget
+  cache.Insert("victim", huge);
+
+  DiscoveryResult out;
+  EXPECT_FALSE(cache.Lookup("victim", &out));
+  EXPECT_TRUE(cache.Lookup("bystander", &out));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_LE(cache.stats().bytes, 2048u);
+}
+
+TEST(ResultCacheTest, ReinsertRefreshesValueWithoutDuplicating) {
+  ResultCache cache(1 << 20);
+  cache.Insert("q", MakeResult(1));
+  cache.Insert("q", MakeResult(2));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  DiscoveryResult out;
+  ASSERT_TRUE(cache.Lookup("q", &out));
+  EXPECT_EQ(out.top_k[0].joinability, 2);
+}
+
+TEST(ResultCacheTest, ClearDropsEntriesButKeepsCumulativeCounters) {
+  ResultCache cache(1 << 20);
+  cache.Insert("q", MakeResult(1));
+  DiscoveryResult out;
+  ASSERT_TRUE(cache.Lookup("q", &out));
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(cache.stats().hits, 1u);  // history survives invalidation
+  EXPECT_FALSE(cache.Lookup("q", &out));
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ResultCacheTest, ConcurrentProbesAndInsertsAreSafe) {
+  // 4 threads hammer a small working set; TSan/ASan runs make this a data
+  // -race canary for the shared-cache batch path.
+  ResultCache cache(1 << 16);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        std::string key = "k";
+        key += std::to_string((i * 7 + t) % 16);
+        DiscoveryResult out;
+        if (!cache.Lookup(key, &out)) {
+          cache.Insert(key, MakeResult((i * 7 + t) % 16));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 2000u);
+  EXPECT_LE(stats.entries, 16u);
+}
+
+}  // namespace
+}  // namespace mate

@@ -1,18 +1,21 @@
-// mate_cli — command-line front end for the MATE library.
+// mate_cli — command-line front end for the MATE library. Every command
+// runs through mate::Session, the library's owning service facade.
 //
 //   mate_cli index   --csv-dir DIR --corpus OUT.corpus --index OUT.index
 //                    [--hash Xash] [--bits 128] [--threads N]
 //   mate_cli search  --corpus F --index F --query Q.csv --key a,b[,c...]
 //                    [--k 10]
 //   mate_cli search  --corpus F --index F --batch DIR --key a,b[,c...]
-//                    [--k 10] [--threads N]
+//                    [--k 10] [--threads N] [--cache-mb 64] [--no-cache]
 //   mate_cli stats   --corpus F [--index F]
 //   mate_cli dups    --corpus F [--min-overlap 0.85]
 //   mate_cli union   --corpus F --query Q.csv [--k 10]
 //
 // Key columns are given by header name or zero-based position. `--batch`
 // points at a directory of query CSVs; all of them are resolved against the
-// same --key spec and discovered concurrently on --threads workers.
+// same --key spec and discovered concurrently on --threads workers, with
+// repeated queries served from the session's result cache (size it with
+// --cache-mb, disable with --no-cache).
 
 #include <filesystem>
 #include <iostream>
@@ -20,14 +23,10 @@
 #include <string>
 #include <vector>
 
-#include "core/discovery_engine.h"
-#include "core/mate.h"
+#include "core/session.h"
 #include "core/similarity.h"
 #include "core/union_search.h"
 #include "hash/xash.h"
-#include "index/index_builder.h"
-#include "index/index_io.h"
-#include "storage/corpus_io.h"
 #include "storage/csv.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -42,20 +41,29 @@ int Usage() {
       " [--hash Xash] [--bits 128] [--threads N]\n"
       "  mate_cli search --corpus F --index F --query Q.csv --key a,b [--k N]\n"
       "  mate_cli search --corpus F --index F --batch DIR --key a,b [--k N]"
-      " [--threads N]\n"
+      " [--threads N] [--cache-mb N] [--no-cache]\n"
       "  mate_cli stats  --corpus F [--index F]\n"
       "  mate_cli dups   --corpus F [--min-overlap 0.85]\n"
       "  mate_cli union  --corpus F --query Q.csv [--k N]\n";
   return 2;
 }
 
+// Flags that take no value; stored with the value "1".
+bool IsBooleanFlag(std::string_view name) { return name == "no-cache"; }
+
 // --flag value parsing into a map; returns false on malformed input.
 bool ParseFlags(int argc, char** argv, int first,
                 std::map<std::string, std::string>* flags) {
-  for (int i = first; i < argc; i += 2) {
+  for (int i = first; i < argc; ++i) {
     std::string key = argv[i];
-    if (key.rfind("--", 0) != 0 || i + 1 >= argc) return false;
-    (*flags)[key.substr(2)] = argv[i + 1];
+    if (key.rfind("--", 0) != 0) return false;
+    key = key.substr(2);
+    if (IsBooleanFlag(key)) {
+      (*flags)[key] = "1";
+      continue;
+    }
+    if (i + 1 >= argc) return false;
+    (*flags)[key] = argv[++i];
   }
   return true;
 }
@@ -134,28 +142,26 @@ int CmdIndex(const std::map<std::string, std::string>& flags) {
   }
   std::cout << "loaded " << corpus.NumTables() << " tables\n";
 
-  IndexBuildOptions options;
+  SessionOptions session_options;
+  session_options.corpus = std::move(corpus);
+  session_options.build_index = true;
   auto bits = ParseUintFlag("bits", FlagOr(flags, "bits", "128"), 512);
   if (!bits.ok()) return Fail(bits.status());
-  options.hash_bits = *bits;
+  session_options.build_options.hash_bits = *bits;
   auto num_threads = ParseThreads(FlagOr(flags, "threads", "1"));
   if (!num_threads.ok()) return Fail(num_threads.status());
-  options.num_threads = *num_threads;
+  session_options.build_options.num_threads = *num_threads;
   auto family = ParseHashFamily(FlagOr(flags, "hash", "Xash"));
   if (!family.ok()) return Fail(family.status());
-  options.hash_family = *family;
+  session_options.build_options.hash_family = *family;
 
   Stopwatch timer;
-  IndexBuildReport report;
-  auto index = BuildIndexWithReport(corpus, options, &report);
-  if (!index.ok()) return Fail(index.status());
+  auto session = Session::Open(std::move(session_options));
+  if (!session.ok()) return Fail(session.status());
   std::cout << "indexed in " << timer.ElapsedSeconds() << "s: "
-            << report.ToString() << "\n";
+            << session->build_report().ToString() << "\n";
 
-  if (Status s = SaveCorpus(corpus, corpus_out); !s.ok()) return Fail(s);
-  if (Status s = SaveIndex(**index, options.hash_family,
-                           report.corpus_stats, index_out);
-      !s.ok()) {
+  if (Status s = session->Save(corpus_out, index_out); !s.ok()) {
     return Fail(s);
   }
   std::cout << "wrote " << corpus_out << " and " << index_out << "\n";
@@ -186,13 +192,22 @@ int CmdSearch(const std::map<std::string, std::string>& flags) {
       (query_path.empty() == batch_dir.empty())) {
     return Usage();
   }
-  auto corpus = LoadCorpus(corpus_path);
-  if (!corpus.ok()) return Fail(corpus.status());
-  auto index = LoadIndex(index_path);
-  if (!index.ok()) return Fail(index.status());
+  SessionOptions session_options;
+  session_options.corpus_path = corpus_path;
+  session_options.index_path = index_path;
+  auto num_threads = ParseThreads(FlagOr(flags, "threads", "1"));
+  if (!num_threads.ok()) return Fail(num_threads.status());
+  session_options.num_threads = *num_threads;
+  auto cache_mb = ParseUintFlag("cache-mb", FlagOr(flags, "cache-mb", "64"),
+                                1u << 20);
+  if (!cache_mb.ok()) return Fail(cache_mb.status());
+  session_options.cache_bytes =
+      flags.count("no-cache") ? 0 : size_t{*cache_mb} << 20;
+  auto session = Session::Open(std::move(session_options));
+  if (!session.ok()) return Fail(session.status());
 
-  // Single query and batch both run through the discovery engine; a single
-  // query is just a batch of one.
+  // Single query and batch both run through the session; a single query is
+  // just a batch of one.
   std::vector<Table> query_tables;
   if (!query_path.empty()) {
     auto query = LoadCsvFile(query_path, "query");
@@ -230,10 +245,26 @@ int CmdSearch(const std::map<std::string, std::string>& flags) {
 
   // Same policy as unreadable CSVs above: warn and skip, keep the batch
   // going. A single query (no --batch) still fails hard.
-  std::vector<BatchQuery> batch_queries;
-  batch_queries.reserve(query_tables.size());
+  DiscoveryOptions options;
+  auto k = ParseUintFlag("k", FlagOr(flags, "k", "10"), 1000000);
+  if (!k.ok()) return Fail(k.status());
+  options.k = static_cast<int>(*k);
+
+  std::vector<QuerySpec> specs;
+  specs.reserve(query_tables.size());
   for (const Table& query : query_tables) {
+    QuerySpec spec;
+    spec.table = &query;
+    spec.options = options;
     auto key_columns = ResolveKeyColumns(query, key_spec);
+    if (key_columns.ok()) {
+      spec.key_columns = std::move(*key_columns);
+      // Surface malformed specs here (duplicate positions etc.) with the
+      // same warn-and-skip policy instead of failing the whole batch.
+      if (Status s = session->ValidateQuery(spec); !s.ok()) {
+        key_columns = s;
+      }
+    }
     if (!key_columns.ok()) {
       Status error = Status::InvalidArgument(
           "query '" + query.name() + "': " + key_columns.status().ToString());
@@ -241,52 +272,58 @@ int CmdSearch(const std::map<std::string, std::string>& flags) {
       std::cerr << "skipping " << error.ToString() << "\n";
       continue;
     }
-    batch_queries.push_back({&query, *key_columns});
+    specs.push_back(std::move(spec));
   }
-  if (batch_queries.empty()) {
+  if (specs.empty()) {
     return Fail(Status::NotFound("no query resolves key <" + key_spec + ">"));
   }
 
-  DiscoveryOptions options;
-  auto k = ParseUintFlag("k", FlagOr(flags, "k", "10"), 1000000);
-  if (!k.ok()) return Fail(k.status());
-  options.k = static_cast<int>(*k);
-  BatchOptions batch_options;
-  auto num_threads = ParseThreads(FlagOr(flags, "threads", "1"));
-  if (!num_threads.ok()) return Fail(num_threads.status());
-  batch_options.num_threads = *num_threads;
+  auto batch = session->DiscoverBatch(specs);
+  if (!batch.ok()) return Fail(batch.status());
 
-  DiscoveryEngine engine(&*corpus, index->get());
-  BatchResult batch = engine.DiscoverBatch(batch_queries, options,
-                                           batch_options);
-
-  for (size_t q = 0; q < batch.results.size(); ++q) {
-    const Table& query = *batch_queries[q].query;
+  for (size_t q = 0; q < batch->results.size(); ++q) {
+    const Table& query = *specs[q].table;
     std::cout << "[" << query.name() << "] top-" << options.k
               << " joinable tables on key <" << key_spec << ">:\n";
-    PrintTopK(*corpus, query, batch_queries[q].key_columns, batch.results[q]);
-    std::cout << "  stats: " << batch.results[q].stats.ToString() << "\n";
+    PrintTopK(session->corpus(), query, specs[q].key_columns,
+              batch->results[q]);
+    std::cout << "  stats: " << batch->results[q].stats.ToString() << "\n";
   }
-  if (batch.results.size() > 1) {
-    std::cout << "batch: " << batch.stats.ToString() << "\n";
+  if (batch->results.size() > 1) {
+    std::cout << "batch: " << batch->stats.ToString() << "\n";
   }
   return 0;
+}
+
+// Opens a corpus-only session (plus index when `index_path` is set) — the
+// stats/curation commands never construct storage readers directly.
+Result<Session> OpenSession(const std::string& corpus_path,
+                            const std::string& index_path = "") {
+  SessionOptions options;
+  options.corpus_path = corpus_path;
+  options.index_path = index_path;
+  options.cache_bytes = 0;  // no discovery happens in these commands
+  return Session::Open(std::move(options));
 }
 
 int CmdStats(const std::map<std::string, std::string>& flags) {
   const std::string corpus_path = FlagOr(flags, "corpus", "");
   if (corpus_path.empty()) return Usage();
-  auto corpus = LoadCorpus(corpus_path);
-  if (!corpus.ok()) return Fail(corpus.status());
-  std::cout << "corpus: " << corpus->ComputeStats().ToString() << "\n";
   const std::string index_path = FlagOr(flags, "index", "");
-  if (!index_path.empty()) {
-    auto index = LoadIndex(index_path);
-    if (!index.ok()) return Fail(index.status());
-    std::cout << "index: hash=" << (*index)->hash().Name() << "/"
-              << (*index)->hash_bits() << "b postings="
-              << (*index)->NumPostingEntries() << " bytes="
-              << (*index)->MemoryBytes() << "\n";
+  auto session = OpenSession(corpus_path, index_path);
+  if (!session.ok()) return Fail(session.status());
+  // Scan the corpus rather than echoing session->corpus_stats(): with
+  // --index that would be the snapshot stored in the index file, which can
+  // lag the corpus after maintenance edits — and stats is the diagnostic
+  // a user reaches for exactly then.
+  std::cout << "corpus: " << session->corpus().ComputeStats().ToString()
+            << "\n";
+  if (session->has_index()) {
+    const InvertedIndex& index = session->index();
+    std::cout << "index: hash=" << index.hash().Name() << "/"
+              << index.hash_bits() << "b postings="
+              << index.NumPostingEntries() << " bytes="
+              << index.MemoryBytes() << "\n";
   }
   return 0;
 }
@@ -294,20 +331,20 @@ int CmdStats(const std::map<std::string, std::string>& flags) {
 int CmdDups(const std::map<std::string, std::string>& flags) {
   const std::string corpus_path = FlagOr(flags, "corpus", "");
   if (corpus_path.empty()) return Usage();
-  auto corpus = LoadCorpus(corpus_path);
-  if (!corpus.ok()) return Fail(corpus.status());
-  auto stats = corpus->ComputeStats();
-  auto hash = Xash::FromCorpusStats(128, stats);
-  DuplicateRowFinder finder(&*corpus, hash.get());
+  auto session = OpenSession(corpus_path);
+  if (!session.ok()) return Fail(session.status());
+  auto hash = Xash::FromCorpusStats(128, session->corpus_stats());
+  DuplicateRowFinder finder(&session->corpus(), hash.get());
   DuplicateFinderOptions options;
   options.min_overlap = std::stod(FlagOr(flags, "min-overlap", "0.85"));
   auto pairs = finder.FindDuplicates(options);
   std::cout << pairs.size() << " near-duplicate row pairs (overlap >= "
             << options.min_overlap << "):\n";
   for (const DuplicateRowPair& pair : pairs) {
-    std::cout << "  " << corpus->table(pair.left_table).name() << "#"
+    const Corpus& corpus = session->corpus();
+    std::cout << "  " << corpus.table(pair.left_table).name() << "#"
               << pair.left_row << "  ~  "
-              << corpus->table(pair.right_table).name() << "#"
+              << corpus.table(pair.right_table).name() << "#"
               << pair.right_row << "  overlap=" << pair.overlap << "\n";
   }
   return 0;
@@ -317,24 +354,24 @@ int CmdUnion(const std::map<std::string, std::string>& flags) {
   const std::string corpus_path = FlagOr(flags, "corpus", "");
   const std::string query_path = FlagOr(flags, "query", "");
   if (corpus_path.empty() || query_path.empty()) return Usage();
-  auto corpus = LoadCorpus(corpus_path);
-  if (!corpus.ok()) return Fail(corpus.status());
+  auto session = OpenSession(corpus_path);
+  if (!session.ok()) return Fail(session.status());
   auto query = LoadCsvFile(query_path, "query");
   if (!query.ok()) return Fail(query.status());
-  auto stats = corpus->ComputeStats();
-  auto hash = Xash::FromCorpusStats(256, stats);
+  auto hash = Xash::FromCorpusStats(256, session->corpus_stats());
   UnionIndex union_index =
-      UnionIndex::Build(*corpus, hash.get(), /*sample_size=*/64);
+      UnionIndex::Build(session->corpus(), hash.get(), /*sample_size=*/64);
   UnionSearchOptions options;
   options.k = std::stoi(FlagOr(flags, "k", "10"));
   auto results = union_index.Discover(*query, options);
   std::cout << "top-" << options.k << " unionable tables:\n";
   for (const UnionResult& result : results) {
-    std::cout << "  " << corpus->table(result.table_id).name()
+    const Corpus& corpus = session->corpus();
+    std::cout << "  " << corpus.table(result.table_id).name()
               << "  score=" << result.score << "  alignment:";
     for (const ColumnAlignment& a : result.alignment) {
       std::cout << " " << query->column_name(a.query_column) << "->"
-                << corpus->table(result.table_id).column_name(
+                << corpus.table(result.table_id).column_name(
                        a.candidate_column);
     }
     std::cout << "\n";
