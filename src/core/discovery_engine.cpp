@@ -23,6 +23,12 @@ BatchStats AggregateBatchStats(const std::vector<DiscoveryResult>& results,
     stats.rows_checked += r.stats.rows_checked;
     stats.rows_sent_to_verification += r.stats.rows_sent_to_verification;
     stats.rows_true_positive += r.stats.rows_true_positive;
+    if (r.stats.shards_used > 1) {
+      ++stats.intra_parallel_queries;
+      stats.intra_shards_total += r.stats.shards_used;
+    }
+    stats.max_fanout_threads =
+        std::max(stats.max_fanout_threads, r.stats.fanout_threads);
     latencies.push_back(r.stats.runtime_seconds);
   }
   std::sort(latencies.begin(), latencies.end());
@@ -45,6 +51,11 @@ std::string BatchStats::ToString() const {
      << " tp_rows=" << rows_true_positive;
   if (cache_hits + cache_misses > 0) {
     os << " cache_hits=" << cache_hits << " cache_misses=" << cache_misses;
+  }
+  if (intra_parallel_queries > 0) {
+    os << " intra_parallel=" << intra_parallel_queries
+       << " shards_total=" << intra_shards_total
+       << " max_fanout=" << max_fanout_threads;
   }
   return os.str();
 }

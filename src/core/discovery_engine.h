@@ -68,6 +68,14 @@ struct BatchStats {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
 
+  // Intra-query parallelism traffic (core/query_executor.h): queries that
+  // ran the sharded executor (shards_used > 1), the shards they fanned out
+  // over in total, and the widest per-query fan-out seen. A cache hit
+  // reports the shape recorded when its result was originally computed.
+  uint64_t intra_parallel_queries = 0;
+  uint64_t intra_shards_total = 0;
+  uint64_t max_fanout_threads = 1;
+
   double QueriesPerSecond() const {
     return wall_seconds > 0.0 ? static_cast<double>(queries) / wall_seconds
                               : 0.0;

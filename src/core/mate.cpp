@@ -1,178 +1,21 @@
 #include "core/mate.h"
 
-#include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
-
-#include "util/stopwatch.h"
-#include "util/string_util.h"
+#include "core/query_executor.h"
 
 namespace mate {
-
-namespace {
-
-// One fetched PL item plus the distinct init-value it came from.
-struct FetchedItem {
-  PostingEntry entry;
-  uint32_t init_value_idx;
-};
-
-struct TableCandidates {
-  TableId table_id;
-  std::vector<FetchedItem> items;
-};
-
-}  // namespace
 
 DiscoveryResult MateSearch::Discover(const Table& query,
                                      const std::vector<ColumnId>& key_columns,
                                      const DiscoveryOptions& options) const {
-  Stopwatch timer;
-  DiscoveryResult result;
-  DiscoveryStats& stats = result.stats;
-  if (key_columns.empty() || options.k <= 0) {
-    result.stats.runtime_seconds = timer.ElapsedSeconds();
-    return result;
-  }
-
-  // ---- Initialization (§6.1, Alg. 1 lines 3-6) -----------------------
-  const size_t init_pos = SelectInitColumn(query, key_columns,
-                                           options.init_strategy, index_);
-
-  // Distinct key combos with their super keys.
-  const std::vector<std::vector<std::string>> combos =
-      ExtractKeyCombos(query, key_columns);
-  std::vector<BitVector> combo_keys;
-  combo_keys.reserve(combos.size());
-  for (const auto& combo : combos) {
-    combo_keys.push_back(index_->hash().MakeSuperKey(combo));
-  }
-
-  // Dictionary: distinct init value -> combo ids (Alg. 1 line 6).
-  std::vector<std::string> init_values;
-  std::vector<std::vector<uint32_t>> combos_of_value;
-  {
-    std::unordered_map<std::string_view, uint32_t> value_idx;
-    for (uint32_t combo_id = 0; combo_id < combos.size(); ++combo_id) {
-      const std::string& v = combos[combo_id][init_pos];
-      auto [it, inserted] =
-          value_idx.emplace(v, static_cast<uint32_t>(init_values.size()));
-      if (inserted) {
-        init_values.push_back(v);
-        combos_of_value.emplace_back();
-      }
-      combos_of_value[it->second].push_back(combo_id);
-    }
-  }
-
-  // ---- Fetch PL items and group by table (Alg. 1 lines 4-5) ----------
-  std::unordered_set<TableId> excluded(options.exclude_tables.begin(),
-                                       options.exclude_tables.end());
-  std::unordered_set<TableId> restricted(options.restrict_tables.begin(),
-                                         options.restrict_tables.end());
-  std::unordered_map<TableId, std::vector<FetchedItem>> by_table;
-  for (uint32_t v = 0; v < init_values.size(); ++v) {
-    const PostingList* pl = index_->Lookup(init_values[v]);
-    if (pl == nullptr) continue;
-    stats.pl_items_fetched += pl->size();
-    for (const PostingEntry& entry : *pl) {
-      if (excluded.count(entry.table_id)) continue;
-      if (!restricted.empty() && !restricted.count(entry.table_id)) continue;
-      by_table[entry.table_id].push_back({entry, v});
-    }
-  }
-  stats.candidate_tables = by_table.size();
-
-  // Evaluate promising tables first: PL-item count desc, table id asc.
-  std::vector<TableCandidates> candidates;
-  candidates.reserve(by_table.size());
-  for (auto& [table_id, items] : by_table) {
-    candidates.push_back({table_id, std::move(items)});
-  }
-  std::sort(candidates.begin(), candidates.end(),
-            [](const TableCandidates& a, const TableCandidates& b) {
-              if (a.items.size() != b.items.size()) {
-                return a.items.size() > b.items.size();
-              }
-              return a.table_id < b.table_id;
-            });
-
-  // ---- Per-table evaluation (Alg. 1 lines 7-22) -----------------------
-  TopKHeap<TableId> topk(static_cast<size_t>(options.k));
-  std::unordered_map<TableId, std::vector<ColumnId>> best_mappings;
-  const SuperKeyStore& superkeys = index_->superkeys();
-  MappingAccumulator acc;
-
-  for (size_t cand_idx = 0; cand_idx < candidates.size(); ++cand_idx) {
-    const TableCandidates& cand = candidates[cand_idx];
-    const int64_t items_in_table = static_cast<int64_t>(cand.items.size());
-
-    // Table filter rule 1 (line 9): tables arrive in decreasing PL-item
-    // order, so once a table cannot beat the current j_k nothing later can.
-    if (options.use_table_filters && topk.Full() &&
-        items_in_table < topk.KthScore()) {
-      stats.tables_pruned_rule1 += candidates.size() - cand_idx;
-      break;
-    }
-
-    ++stats.tables_evaluated;
-    const Table& table = corpus_->table(cand.table_id);
-    acc.Clear();
-    int64_t rows_checked_here = 0;
-    int64_t rows_matched_here = 0;  // r_match of rule 2
-    bool pruned_mid_table = false;
-
-    for (const FetchedItem& item : cand.items) {
-      // Table filter rule 2 (line 14): even if every remaining row is
-      // joinable, the table cannot beat the worst top-k entry.
-      if (options.use_table_filters && topk.Full() &&
-          items_in_table - rows_checked_here + rows_matched_here <
-              topk.KthScore()) {
-        ++stats.tables_pruned_rule2;
-        pruned_mid_table = true;
-        break;
-      }
-      ++rows_checked_here;
-      ++stats.rows_checked;
-
-      const RowId row = item.entry.row_id;
-      bool row_passed_filter = false;
-      bool row_matched = false;
-      for (uint32_t combo_id : combos_of_value[item.init_value_idx]) {
-        // Row filter (§6.3, line 18): the combo's super key must be masked
-        // by the row's super key.
-        if (options.use_row_filter &&
-            !superkeys.Covers(cand.table_id, row, combo_keys[combo_id])) {
-          continue;
-        }
-        row_passed_filter = true;
-        if (VerifyComboInRow(table, row, combos[combo_id],
-                             combo_id, item.entry.column_id, init_pos, &acc,
-                             &stats.value_comparisons)) {
-          row_matched = true;
-        }
-      }
-      if (row_passed_filter) ++stats.rows_sent_to_verification;
-      if (row_matched) ++stats.rows_true_positive;
-      // r_match: with the super-key filter the paper counts filter
-      // survivors (cheap, optimistic); without it, exact matches.
-      if (options.use_row_filter ? row_passed_filter : row_matched) {
-        ++rows_matched_here;
-      }
-    }
-
-    if (pruned_mid_table) continue;
-    const int64_t j = acc.MaxJoinability();
-    if (j > 0) {
-      if (topk.Add(cand.table_id, j)) {
-        best_mappings[cand.table_id] = acc.BestMapping();
-      }
-    }
-  }
-
-  result.top_k = FinalizeTopK(topk, best_mappings);
-  stats.runtime_seconds = timer.ElapsedSeconds();
-  return result;
+  // Serial execution is the one-shard special case of the intra-query
+  // executor — a single code path, so the sharded runs cannot drift from
+  // this reference.
+  QueryExecutor executor(corpus_, index_);
+  ExecutorOptions exec;
+  exec.intra_query_threads = 1;
+  exec.num_shards = 1;
+  return executor.Discover(query, key_columns, options, exec,
+                           /*pool=*/nullptr);
 }
 
 }  // namespace mate

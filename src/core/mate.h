@@ -1,7 +1,10 @@
 // MATE's online discovery phase (Algorithm 1, §6): initialization (init
 // column + query super keys), table filtering (two pruning rules), super-key
 // row filtering, and exact joinability calculation, maintaining a top-k
-// heap of candidate tables.
+// heap of candidate tables. The phases themselves live in
+// core/query_executor.{h,cpp}; MateSearch::Discover is the serial
+// (one-shard, no-pool) execution of that same code path, and the sharded
+// intra-query executor is guaranteed bit-identical to it.
 //
 // The same engine also powers the SCR baseline: with
 // DiscoveryOptions::use_row_filter = false every fetched row goes straight

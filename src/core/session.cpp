@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "core/query_executor.h"
 #include "hash/md5.h"
 #include "index/index_io.h"
 #include "storage/corpus_io.h"
@@ -142,6 +143,11 @@ Status Session::ValidateQuery(const QuerySpec& spec) const {
 }
 
 std::string Session::FingerprintQuery(const QuerySpec& spec) const {
+  // Only result-affecting state enters the stream. Execution-only knobs —
+  // QuerySpec::intra_query_threads / intra_query_shards and the session's
+  // pool width — are deliberately absent: the executor guarantees
+  // bit-identical top_k at every setting, so the same logical query must
+  // hit the cache no matter how it is parallelized.
   std::string stream;
   stream.reserve(256);
   PutVarint32(&stream, static_cast<uint32_t>(spec.options.k));
@@ -176,20 +182,26 @@ std::string Session::FingerprintQuery(const QuerySpec& spec) const {
                      digest.bytes.size());
 }
 
+DiscoveryResult Session::RunQuery(const QuerySpec& spec, bool intra_parallel) {
+  QueryExecutor executor(&corpus_, index_.get());
+  ExecutorOptions exec;
+  exec.intra_query_threads = intra_parallel ? spec.intra_query_threads : 1;
+  exec.num_shards = intra_parallel ? spec.intra_query_shards : 0;
+  return executor.Discover(*spec.table, spec.key_columns, spec.options, exec,
+                           intra_parallel ? pool_.get() : nullptr);
+}
+
 Result<DiscoveryResult> Session::Discover(const QuerySpec& spec) {
   if (!has_index()) {
     return Status::InvalidArgument(
         "session has no index; open with index_path, index, or build_index");
   }
   MATE_RETURN_IF_ERROR(ValidateQuery(spec));
-  MateSearch search(&corpus_, index_.get());
-  if (cache_ == nullptr) {
-    return search.Discover(*spec.table, spec.key_columns, spec.options);
-  }
+  if (cache_ == nullptr) return RunQuery(spec, /*intra_parallel=*/true);
   const std::string key = FingerprintQuery(spec);
   DiscoveryResult result;
   if (cache_->Lookup(key, &result)) return result;
-  result = search.Discover(*spec.table, spec.key_columns, spec.options);
+  result = RunQuery(spec, /*intra_parallel=*/true);
   cache_->Insert(key, result);
   return result;
 }
@@ -206,12 +218,25 @@ Result<BatchResult> Session::DiscoverBatch(
                                      status.message());
     }
   }
-  MateSearch search(&corpus_, index_.get());
-  const auto run_spec = [&search, &specs](size_t i) {
-    const QuerySpec& spec = specs[i];
-    return search.Discover(*spec.table, spec.key_columns, spec.options);
+  // The pool serves one parallelism axis at a time (its Wait() is global,
+  // so shard fan-out cannot nest inside a query fan-out): a batch that
+  // boils down to one uncached query routes it through the intra-query
+  // executor; otherwise queries fan out and each runs serially.
+  const auto run_serial = [this, &specs](size_t i) {
+    return RunQuery(specs[i], /*intra_parallel=*/false);
   };
-  if (cache_ == nullptr) return RunBatch(specs.size(), run_spec);
+  const auto single_query_batch = [this](const QuerySpec& spec) {
+    Stopwatch wall;
+    BatchResult batch;
+    batch.results.push_back(RunQuery(spec, /*intra_parallel=*/true));
+    batch.stats = AggregateBatchStats(batch.results, wall.ElapsedSeconds(),
+                                      pool_->num_threads());
+    return batch;
+  };
+  if (cache_ == nullptr) {
+    if (specs.size() == 1) return single_query_batch(specs[0]);
+    return RunBatch(specs.size(), run_serial);
+  }
 
   Stopwatch wall;
   BatchResult batch;
@@ -247,9 +272,15 @@ Result<BatchResult> Session::DiscoverBatch(
   }
 
   if (!leaders.empty()) {
-    BatchResult computed = RunDiscoveryBatch(
-        leaders.size(), [&](size_t j) { return run_spec(leaders[j]); },
-        pool_.get());
+    BatchResult computed;
+    if (leaders.size() == 1) {
+      computed.results.push_back(
+          RunQuery(specs[leaders[0]], /*intra_parallel=*/true));
+    } else {
+      computed = RunDiscoveryBatch(
+          leaders.size(), [&](size_t j) { return run_serial(leaders[j]); },
+          pool_.get());
+    }
     size_t j = 0;
     for (const std::vector<size_t>& group : groups) {
       const size_t first = group.front();

@@ -5,7 +5,9 @@
 //   * owns the corpus + inverted index pair (loaded from disk, adopted
 //     in-memory, or built on open) and validates at Open that they match;
 //   * owns one long-lived work-stealing ThreadPool reused across batches
-//     (the per-batch worker spin-up of the raw engine is gone);
+//     (the per-batch worker spin-up of the raw engine is gone) and fans a
+//     single large query's sharded evaluation out over the same pool
+//     (core/query_executor.h — intra-query parallelism);
 //   * owns the keyed result cache (query fingerprint -> DiscoveryResult,
 //     LRU under a byte budget) with an explicit InvalidateCache() hook for
 //     index updates;
@@ -58,6 +60,20 @@ struct QuerySpec {
   const Table* table = nullptr;
   std::vector<ColumnId> key_columns;
   DiscoveryOptions options;
+
+  // ---- execution-only knobs (core/query_executor.h) ------------------
+  // They change how fast the answer is computed, never the answer, and are
+  // therefore excluded from the result-cache fingerprint: the same logical
+  // query hits the cache at any parallelism setting.
+
+  /// Intra-query fan-out. 0 = auto: the whole session pool, but only when
+  /// the query's estimated PL traffic clears
+  /// QueryExecutor::kAutoParallelMinItems; 1 = serial (the pre-sharding
+  /// path); N > 1 = fan out over min(N, pool width) workers.
+  unsigned intra_query_threads = 0;
+  /// Evaluation shards; 0 derives one per resolved worker. Explicit values
+  /// are honored even at width 1 (shards then run sequentially).
+  size_t intra_query_shards = 0;
 };
 
 struct SessionOptions {
@@ -119,14 +135,24 @@ class Session {
   /// exclude/restrict ids outside the corpus.
   Status ValidateQuery(const QuerySpec& spec) const;
 
-  /// Top-k discovery for one query (validated, cached). A cache hit
-  /// returns the originally computed DiscoveryResult verbatim.
+  /// Top-k discovery for one query (validated, cached). Runs the sharded
+  /// intra-query executor on the session pool per the spec's
+  /// intra_query_threads/intra_query_shards knobs — results are
+  /// bit-identical at every setting. A cache hit returns the originally
+  /// computed DiscoveryResult verbatim (including the execution shape its
+  /// stats recorded).
   Result<DiscoveryResult> Discover(const QuerySpec& spec);
 
   /// Batch discovery over the session pool. All specs are validated before
   /// any query runs (the error names the failing spec's position). With
   /// the cache enabled, duplicate specs inside the batch compute once and
   /// count as hits; batch-level hit/miss traffic lands in BatchStats.
+  /// The pool is spent on one axis at a time: a batch that boils down to a
+  /// single uncached query runs it through the intra-query executor
+  /// (honoring its knobs); batches with several distinct uncached queries
+  /// fan out across queries, each evaluated serially. Duplicate specs that
+  /// differ only in execution knobs share one computation (the leader's
+  /// knobs win — the knobs are absent from the fingerprint by design).
   Result<BatchResult> DiscoverBatch(const std::vector<QuerySpec>& specs);
 
   /// Uncached generic fan-out of `run_one(i)` for i in [0, n) over the
@@ -191,8 +217,14 @@ class Session {
   Session() = default;
 
   /// Canonical cache key: a 128-bit digest of the key-column contents plus
-  /// every result-affecting option. Precondition: spec validated.
+  /// every result-affecting option — and nothing execution-only (thread or
+  /// shard knobs). Precondition: spec validated.
   std::string FingerprintQuery(const QuerySpec& spec) const;
+
+  /// Uncached execution of one validated spec. `intra_parallel` routes it
+  /// through the sharded executor on the session pool (top-level calls);
+  /// false forces the serial path (queries already running *on* the pool).
+  DiscoveryResult RunQuery(const QuerySpec& spec, bool intra_parallel);
 
   Corpus corpus_;
   std::unique_ptr<InvertedIndex> index_;

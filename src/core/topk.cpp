@@ -1,5 +1,6 @@
 #include "core/topk.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace mate {
@@ -15,6 +16,10 @@ void DiscoveryStats::Merge(const DiscoveryStats& other) {
   rows_sent_to_verification += other.rows_sent_to_verification;
   rows_true_positive += other.rows_true_positive;
   value_comparisons += other.value_comparisons;
+  // Execution shape is not additive: merging per-shard or per-query stats
+  // keeps the widest configuration seen.
+  shards_used = std::max(shards_used, other.shards_used);
+  fanout_threads = std::max(fanout_threads, other.fanout_threads);
 }
 
 std::string DiscoveryStats::ToString() const {
@@ -25,6 +30,9 @@ std::string DiscoveryStats::ToString() const {
      << tables_pruned_rule2 << " rows(checked/verify/tp)=" << rows_checked
      << "/" << rows_sent_to_verification << "/" << rows_true_positive
      << " cmp=" << value_comparisons << " precision=" << Precision();
+  if (shards_used > 1 || fanout_threads > 1) {
+    os << " shards=" << shards_used << " fanout=" << fanout_threads;
+  }
   return os.str();
 }
 

@@ -39,6 +39,15 @@ struct DiscoveryStats {
   uint64_t rows_true_positive = 0;     // verified joinable (>= 1 combo)
   uint64_t value_comparisons = 0;      // cell comparisons during verification
 
+  /// Intra-query execution shape (core/query_executor.h): evaluation shards
+  /// and resolved fan-out width this query ran with; 1/1 is the serial
+  /// path. Execution-only — top_k never depends on them — and deterministic
+  /// for a given query + executor configuration. Work counters above are
+  /// deterministic per shard count but legitimately vary *across* shard
+  /// counts (local pruning replaces the serial shared-heap pruning).
+  uint64_t shards_used = 1;
+  uint64_t fanout_threads = 1;
+
   /// §7.4: TP / (TP + FP) over rows that reached verification.
   double Precision() const {
     if (rows_sent_to_verification == 0) return 1.0;

@@ -1,0 +1,66 @@
+#include "index/index_shards.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace mate {
+
+IndexShards IndexShards::Build(const Corpus& corpus, size_t num_shards) {
+  std::vector<uint64_t> weights;
+  weights.reserve(corpus.NumTables());
+  for (TableId t = 0; t < corpus.NumTables(); ++t) {
+    const Table& table = corpus.table(t);
+    weights.push_back(static_cast<uint64_t>(table.NumRows()) *
+                      static_cast<uint64_t>(table.NumColumns()));
+  }
+  return BuildFromWeights(weights, num_shards);
+}
+
+IndexShards IndexShards::BuildFromWeights(const std::vector<uint64_t>& weights,
+                                          size_t num_shards) {
+  IndexShards shards;
+  const size_t num_tables = weights.size();
+  if (num_tables == 0 || num_shards == 0) return shards;
+  num_shards = std::min(num_shards, num_tables);
+
+  uint64_t remaining =
+      std::accumulate(weights.begin(), weights.end(), uint64_t{0});
+  TableId next = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t shards_left = num_shards - s;
+    // Chase the running average of what is left: heavier-than-average
+    // prefixes close early and the average of the remainder adapts, so one
+    // giant table cannot starve the shards after it.
+    const uint64_t target = remaining / shards_left;
+    ShardRange range;
+    range.begin = next;
+    uint64_t acc = 0;
+    // Always take one table, then extend while under target — but leave at
+    // least one table for each shard still to come.
+    do {
+      acc += weights[next++];
+    } while (acc < target && num_tables - next > shards_left - 1);
+    if (s + 1 == num_shards) {
+      while (next < num_tables) acc += weights[next++];
+    }
+    range.end = next;
+    assert(range.end > range.begin);
+    shards.ranges_.push_back(range);
+    shards.weights_.push_back(acc);
+    remaining -= std::min(acc, remaining);
+  }
+  assert(shards.ranges_.back().end == num_tables);
+  return shards;
+}
+
+size_t IndexShards::ShardOf(TableId t) const {
+  assert(!ranges_.empty());
+  assert(t >= ranges_.front().begin && t < ranges_.back().end);
+  const auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), t,
+      [](TableId id, const ShardRange& r) { return id < r.end; });
+  return static_cast<size_t>(it - ranges_.begin());
+}
+
+}  // namespace mate

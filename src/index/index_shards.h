@@ -1,0 +1,66 @@
+// Sharding plan over the inverted index's candidate space: the table-id
+// range [0, NumTables) is partitioned into S contiguous ranges of
+// approximately equal posting weight. Posting lists are sorted by
+// (table_id, row, column), so one shard's slice of any PL is a contiguous
+// run found with two binary searches — a shard can fetch and evaluate its
+// candidate tables without ever touching a sibling's, which is what lets
+// one query's Algorithm-1 loop fan out across the thread pool
+// (core/query_executor.h) with zero coordination until the final top-k
+// merge.
+//
+// The plan is a pure layout decision: it affects which worker evaluates
+// which candidate table, never the query answer.
+
+#ifndef MATE_INDEX_INDEX_SHARDS_H_
+#define MATE_INDEX_INDEX_SHARDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/corpus.h"
+
+namespace mate {
+
+/// Half-open table-id range [begin, end).
+struct ShardRange {
+  TableId begin = 0;
+  TableId end = 0;
+
+  size_t NumTables() const { return end - begin; }
+};
+
+class IndexShards {
+ public:
+  /// Partitions the corpus's tables into at most `num_shards` contiguous
+  /// ranges balanced by cell count (rows x columns — the corpus-side proxy
+  /// for posting entries per table). Produces fewer ranges when the corpus
+  /// has fewer tables than `num_shards`; zero ranges for an empty corpus or
+  /// `num_shards` == 0. Every range is non-empty and the ranges cover
+  /// [0, NumTables) in order.
+  static IndexShards Build(const Corpus& corpus, size_t num_shards);
+
+  /// Same partition from explicit per-table weights (tests, callers with
+  /// better knowledge of per-table cost). weights[t] belongs to table t.
+  static IndexShards BuildFromWeights(const std::vector<uint64_t>& weights,
+                                      size_t num_shards);
+
+  size_t num_shards() const { return ranges_.size(); }
+  const ShardRange& range(size_t s) const { return ranges_[s]; }
+  const std::vector<ShardRange>& ranges() const { return ranges_; }
+
+  /// Planned weight of shard `s` (diagnostics; the realized per-query load
+  /// depends on where the query's candidates land).
+  uint64_t planned_weight(size_t s) const { return weights_[s]; }
+
+  /// Shard owning table `t`. Precondition: num_shards() > 0 and `t` is
+  /// inside the partitioned range.
+  size_t ShardOf(TableId t) const;
+
+ private:
+  std::vector<ShardRange> ranges_;
+  std::vector<uint64_t> weights_;  // planned weight per range
+};
+
+}  // namespace mate
+
+#endif  // MATE_INDEX_INDEX_SHARDS_H_

@@ -1,0 +1,129 @@
+#include "index/index_shards.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace mate {
+namespace {
+
+// Every partition must tile [0, n) exactly: contiguous, disjoint, in order,
+// no empty range.
+void ExpectTiles(const IndexShards& shards, size_t num_tables) {
+  ASSERT_GT(shards.num_shards(), 0u);
+  EXPECT_EQ(shards.range(0).begin, 0u);
+  for (size_t s = 0; s < shards.num_shards(); ++s) {
+    const ShardRange& r = shards.range(s);
+    EXPECT_LT(r.begin, r.end) << "empty shard " << s;
+    if (s > 0) EXPECT_EQ(r.begin, shards.range(s - 1).end);
+  }
+  EXPECT_EQ(shards.range(shards.num_shards() - 1).end, num_tables);
+}
+
+TEST(IndexShardsTest, UniformWeightsSplitEvenly) {
+  const std::vector<uint64_t> weights(12, 10);
+  IndexShards shards = IndexShards::BuildFromWeights(weights, 4);
+  ASSERT_EQ(shards.num_shards(), 4u);
+  ExpectTiles(shards, weights.size());
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(shards.range(s).NumTables(), 3u);
+    EXPECT_EQ(shards.planned_weight(s), 30u);
+  }
+}
+
+TEST(IndexShardsTest, FewerTablesThanShardsCapsShardCount) {
+  const std::vector<uint64_t> weights = {5, 5, 5};
+  IndexShards shards = IndexShards::BuildFromWeights(weights, 8);
+  ASSERT_EQ(shards.num_shards(), 3u);
+  ExpectTiles(shards, weights.size());
+  for (size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(shards.range(s).NumTables(), 1u);
+  }
+}
+
+TEST(IndexShardsTest, EmptyInputsYieldNoShards) {
+  EXPECT_EQ(IndexShards::BuildFromWeights({}, 4).num_shards(), 0u);
+  EXPECT_EQ(IndexShards::BuildFromWeights({1, 2, 3}, 0).num_shards(), 0u);
+  Corpus empty;
+  EXPECT_EQ(IndexShards::Build(empty, 4).num_shards(), 0u);
+}
+
+TEST(IndexShardsTest, OneGiantTableDoesNotStarveLaterShards) {
+  // Table 0 carries ~all the weight; the remaining tables must still be
+  // spread over the remaining shards instead of piling into shard 0.
+  std::vector<uint64_t> weights = {1000, 1, 1, 1, 1, 1, 1, 1, 1};
+  IndexShards shards = IndexShards::BuildFromWeights(weights, 4);
+  ASSERT_EQ(shards.num_shards(), 4u);
+  ExpectTiles(shards, weights.size());
+  EXPECT_EQ(shards.range(0).NumTables(), 1u);  // the giant, alone
+  // The eight light tables spread over the remaining three shards.
+  size_t light_tables = 0;
+  for (size_t s = 1; s < 4; ++s) light_tables += shards.range(s).NumTables();
+  EXPECT_EQ(light_tables, 8u);
+  for (size_t s = 1; s < 4; ++s) {
+    EXPECT_GE(shards.range(s).NumTables(), 2u);
+  }
+}
+
+TEST(IndexShardsTest, AllZeroWeightsStillTileTheTableSpace) {
+  const std::vector<uint64_t> weights(6, 0);
+  IndexShards shards = IndexShards::BuildFromWeights(weights, 3);
+  ASSERT_EQ(shards.num_shards(), 3u);
+  ExpectTiles(shards, weights.size());
+}
+
+TEST(IndexShardsTest, SkewedWeightsStayNearBalanced) {
+  // A mildly skewed corpus: no planned shard should exceed 2x the ideal
+  // share (the greedy remaining-average rule adapts as it walks).
+  std::vector<uint64_t> weights;
+  for (size_t t = 0; t < 100; ++t) weights.push_back(10 + (t % 7) * 5);
+  const uint64_t total =
+      std::accumulate(weights.begin(), weights.end(), uint64_t{0});
+  IndexShards shards = IndexShards::BuildFromWeights(weights, 8);
+  ASSERT_EQ(shards.num_shards(), 8u);
+  ExpectTiles(shards, weights.size());
+  uint64_t planned_total = 0;
+  for (size_t s = 0; s < 8; ++s) {
+    EXPECT_LE(shards.planned_weight(s), 2 * total / 8) << "shard " << s;
+    planned_total += shards.planned_weight(s);
+  }
+  EXPECT_EQ(planned_total, total);
+}
+
+TEST(IndexShardsTest, ShardOfAgreesWithRanges) {
+  std::vector<uint64_t> weights = {3, 9, 1, 1, 7, 2, 2, 5, 4, 6};
+  IndexShards shards = IndexShards::BuildFromWeights(weights, 4);
+  ExpectTiles(shards, weights.size());
+  for (TableId t = 0; t < weights.size(); ++t) {
+    const size_t s = shards.ShardOf(t);
+    EXPECT_GE(t, shards.range(s).begin);
+    EXPECT_LT(t, shards.range(s).end);
+  }
+}
+
+TEST(IndexShardsTest, BuildFromCorpusWeighsCells) {
+  Corpus corpus;
+  // Table 0: 8 rows x 2 cols = 16 cells; tables 1-4: 2x2 = 4 cells each.
+  for (int i = 0; i < 5; ++i) {
+    Table t("t" + std::to_string(i));
+    t.AddColumn("a");
+    t.AddColumn("b");
+    const int rows = i == 0 ? 8 : 2;
+    for (int r = 0; r < rows; ++r) {
+      (void)t.AppendRow({"x" + std::to_string(r), "y"});
+    }
+    corpus.AddTable(std::move(t));
+  }
+  IndexShards shards = IndexShards::Build(corpus, 2);
+  ASSERT_EQ(shards.num_shards(), 2u);
+  ExpectTiles(shards, corpus.NumTables());
+  // The 16-cell table alone outweighs the four 4-cell tables together.
+  EXPECT_EQ(shards.range(0).NumTables(), 1u);
+  EXPECT_EQ(shards.planned_weight(0), 16u);
+  EXPECT_EQ(shards.planned_weight(1), 16u);
+}
+
+}  // namespace
+}  // namespace mate

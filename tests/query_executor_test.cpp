@@ -1,0 +1,354 @@
+// Determinism contract of the intra-query executor: `top_k` is
+// bit-identical to serial MateSearch::Discover at every shard x thread
+// combination, fetch-side counters match serial exactly, and for a fixed
+// shard count the full stats are deterministic at any thread count.
+
+#include "core/query_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mate.h"
+#include "core/session.h"
+#include "index/index_builder.h"
+#include "util/thread_pool.h"
+
+namespace mate {
+namespace {
+
+// 40 small tables with heavy joinability ties: table t matches the first
+// 1 + (t % 5) query combos, so every joinability level is shared by eight
+// tables and the top-k boundary always cuts through a tie (id tie-break).
+constexpr size_t kNumTables = 40;
+
+Table MakeQuery() {
+  Table q("q");
+  q.AddColumn("first");
+  q.AddColumn("second");
+  for (int i = 0; i < 10; ++i) {
+    (void)q.AppendRow({"k" + std::to_string(i), "v" + std::to_string(i)});
+  }
+  return q;
+}
+
+Corpus MakeTieCorpus() {
+  Corpus corpus;
+  for (size_t t = 0; t < kNumTables; ++t) {
+    Table table("t" + std::to_string(t));
+    table.AddColumn("a");
+    table.AddColumn("b");
+    table.AddColumn("c");
+    const size_t joinability = 1 + (t % 5);
+    for (size_t i = 0; i < joinability; ++i) {
+      (void)table.AppendRow({"k" + std::to_string(i),
+                             "v" + std::to_string(i),
+                             "pad" + std::to_string(t)});
+    }
+    // Noise rows sharing single values but never a full combo.
+    (void)table.AppendRow({"k0", "v9", "noise"});
+    (void)table.AppendRow({"own" + std::to_string(t), "z", "noise"});
+    corpus.AddTable(std::move(table));
+  }
+  return corpus;
+}
+
+std::unique_ptr<InvertedIndex> Build(const Corpus& corpus) {
+  auto index = BuildIndex(corpus, IndexBuildOptions{});
+  EXPECT_TRUE(index.ok());
+  return std::move(*index);
+}
+
+void ExpectSameResult(const DiscoveryResult& expected,
+                      const DiscoveryResult& actual,
+                      const std::string& label) {
+  ASSERT_EQ(expected.top_k.size(), actual.top_k.size()) << label;
+  for (size_t i = 0; i < expected.top_k.size(); ++i) {
+    EXPECT_EQ(expected.top_k[i].table_id, actual.top_k[i].table_id)
+        << label << " rank " << i;
+    EXPECT_EQ(expected.top_k[i].joinability, actual.top_k[i].joinability)
+        << label << " rank " << i;
+    EXPECT_EQ(expected.top_k[i].best_mapping, actual.top_k[i].best_mapping)
+        << label << " rank " << i;
+  }
+}
+
+// Work counters must agree field-by-field (used for the fixed-shard-count,
+// varying-thread-count determinism check).
+void ExpectSameWorkStats(const DiscoveryStats& a, const DiscoveryStats& b,
+                         const std::string& label) {
+  EXPECT_EQ(a.pl_items_fetched, b.pl_items_fetched) << label;
+  EXPECT_EQ(a.candidate_tables, b.candidate_tables) << label;
+  EXPECT_EQ(a.tables_evaluated, b.tables_evaluated) << label;
+  EXPECT_EQ(a.tables_pruned_rule1, b.tables_pruned_rule1) << label;
+  EXPECT_EQ(a.tables_pruned_rule2, b.tables_pruned_rule2) << label;
+  EXPECT_EQ(a.rows_checked, b.rows_checked) << label;
+  EXPECT_EQ(a.rows_sent_to_verification, b.rows_sent_to_verification)
+      << label;
+  EXPECT_EQ(a.rows_true_positive, b.rows_true_positive) << label;
+  EXPECT_EQ(a.value_comparisons, b.value_comparisons) << label;
+}
+
+TEST(QueryExecutorTest, BitIdenticalAcrossShardAndThreadCounts) {
+  const Corpus corpus = MakeTieCorpus();
+  const auto index = Build(corpus);
+  const Table query = MakeQuery();
+  const std::vector<ColumnId> keys = {0, 1};
+  QueryExecutor executor(&corpus, index.get());
+
+  for (int k : {1, 7, 100}) {
+    DiscoveryOptions options;
+    options.k = k;
+    const DiscoveryResult serial =
+        MateSearch(&corpus, index.get()).Discover(query, keys, options);
+    for (size_t shards : {1, 2, 3, 8}) {
+      DiscoveryResult at_one_thread;
+      for (unsigned threads : {1u, 4u}) {
+        ThreadPool pool(threads);
+        ExecutorOptions exec;
+        exec.intra_query_threads = threads;
+        exec.num_shards = shards;
+        const DiscoveryResult result =
+            executor.Discover(query, keys, options, exec, &pool);
+        const std::string label = "k=" + std::to_string(k) + " shards=" +
+                                  std::to_string(shards) + " threads=" +
+                                  std::to_string(threads);
+        ExpectSameResult(serial, result, label);
+        // Fetch-side counters match serial at ANY shard count.
+        EXPECT_EQ(result.stats.pl_items_fetched,
+                  serial.stats.pl_items_fetched)
+            << label;
+        EXPECT_EQ(result.stats.candidate_tables,
+                  serial.stats.candidate_tables)
+            << label;
+        EXPECT_EQ(result.stats.shards_used, shards) << label;
+        // Full work stats match across thread counts at a FIXED shard
+        // count (shard outcomes merge in shard order).
+        if (threads == 1u) {
+          at_one_thread = result;
+        } else {
+          ExpectSameWorkStats(at_one_thread.stats, result.stats, label);
+        }
+      }
+    }
+  }
+}
+
+TEST(QueryExecutorTest, ExcludeAndRestrictSurviveSharding) {
+  const Corpus corpus = MakeTieCorpus();
+  const auto index = Build(corpus);
+  const Table query = MakeQuery();
+  const std::vector<ColumnId> keys = {0, 1};
+  QueryExecutor executor(&corpus, index.get());
+
+  DiscoveryOptions options;
+  options.k = 5;
+  options.exclude_tables = {4, 9, 14};
+  options.restrict_tables = {2, 4, 9, 14, 19, 24, 29, 34, 39};
+  const DiscoveryResult serial =
+      MateSearch(&corpus, index.get()).Discover(query, keys, options);
+  for (size_t shards : {2, 8}) {
+    ThreadPool pool(4);
+    ExecutorOptions exec;
+    exec.intra_query_threads = 4;
+    exec.num_shards = shards;
+    ExpectSameResult(serial,
+                     executor.Discover(query, keys, options, exec, &pool),
+                     "shards=" + std::to_string(shards));
+  }
+}
+
+TEST(QueryExecutorTest, EmptyCandidateSet) {
+  const Corpus corpus = MakeTieCorpus();
+  const auto index = Build(corpus);
+  Table query("q");
+  query.AddColumn("a");
+  query.AddColumn("b");
+  (void)query.AppendRow({"absent1", "absent2"});
+  const std::vector<ColumnId> keys = {0, 1};
+  QueryExecutor executor(&corpus, index.get());
+
+  DiscoveryOptions options;
+  options.k = 3;
+  for (size_t shards : {1, 2, 3, 8}) {
+    ThreadPool pool(4);
+    ExecutorOptions exec;
+    exec.intra_query_threads = 4;
+    exec.num_shards = shards;
+    const DiscoveryResult result =
+        executor.Discover(query, keys, options, exec, &pool);
+    EXPECT_TRUE(result.top_k.empty()) << "shards=" << shards;
+    EXPECT_EQ(result.stats.candidate_tables, 0u) << "shards=" << shards;
+    EXPECT_EQ(result.stats.shards_used, shards) << "shards=" << shards;
+  }
+}
+
+TEST(QueryExecutorTest, SingletonCandidateSet) {
+  const Corpus corpus = MakeTieCorpus();
+  const auto index = Build(corpus);
+  Table query("q");
+  query.AddColumn("a");
+  query.AddColumn("b");
+  // "own7" exists only in table 7 (paired with "z").
+  (void)query.AppendRow({"own7", "z"});
+  const std::vector<ColumnId> keys = {0, 1};
+  QueryExecutor executor(&corpus, index.get());
+
+  DiscoveryOptions options;
+  options.k = 3;
+  const DiscoveryResult serial =
+      MateSearch(&corpus, index.get()).Discover(query, keys, options);
+  ASSERT_EQ(serial.top_k.size(), 1u);
+  EXPECT_EQ(serial.top_k[0].table_id, 7u);
+  for (size_t shards : {1, 2, 3, 8}) {
+    ThreadPool pool(4);
+    ExecutorOptions exec;
+    exec.intra_query_threads = 4;
+    exec.num_shards = shards;
+    ExpectSameResult(serial,
+                     executor.Discover(query, keys, options, exec, &pool),
+                     "shards=" + std::to_string(shards));
+  }
+}
+
+TEST(QueryExecutorTest, ShardCountCappedByCorpusTables) {
+  Corpus corpus;
+  for (int t = 0; t < 2; ++t) {
+    Table table("t" + std::to_string(t));
+    table.AddColumn("a");
+    table.AddColumn("b");
+    (void)table.AppendRow({"k1", "v1"});
+    corpus.AddTable(std::move(table));
+  }
+  const auto index = Build(corpus);
+  Table query("q");
+  query.AddColumn("a");
+  query.AddColumn("b");
+  (void)query.AppendRow({"k1", "v1"});
+  QueryExecutor executor(&corpus, index.get());
+
+  ThreadPool pool(4);
+  ExecutorOptions exec;
+  exec.intra_query_threads = 4;
+  exec.num_shards = 8;
+  DiscoveryOptions options;
+  const DiscoveryResult result =
+      executor.Discover(query, {0, 1}, options, exec, &pool);
+  EXPECT_EQ(result.stats.shards_used, 2u);
+  EXPECT_EQ(result.top_k.size(), 2u);
+}
+
+TEST(QueryExecutorTest, AutoModeKeepsSmallQueriesSerial) {
+  const Corpus corpus = MakeTieCorpus();
+  const auto index = Build(corpus);
+  const Table query = MakeQuery();
+  QueryExecutor executor(&corpus, index.get());
+
+  ThreadPool pool(4);
+  ExecutorOptions exec;  // intra_query_threads = 0: auto
+  DiscoveryOptions options;
+  const DiscoveryResult result =
+      executor.Discover(query, {0, 1}, options, exec, &pool);
+  // The tie corpus yields a few hundred PL items — far under the gate.
+  EXPECT_EQ(result.stats.shards_used, 1u);
+  EXPECT_EQ(result.stats.fanout_threads, 1u);
+}
+
+TEST(QueryExecutorTest, AutoModeFansOutLargeQueries) {
+  // One hot value whose posting list alone clears the auto gate.
+  Corpus corpus;
+  {
+    Table big("big");
+    big.AddColumn("a");
+    big.AddColumn("b");
+    for (uint64_t r = 0;
+         r < QueryExecutor::kAutoParallelMinItems + 100; ++r) {
+      (void)big.AppendRow({"dup", "v" + std::to_string(r % 7)});
+    }
+    corpus.AddTable(std::move(big));
+  }
+  for (int t = 0; t < 7; ++t) {
+    Table table("small" + std::to_string(t));
+    table.AddColumn("a");
+    table.AddColumn("b");
+    (void)table.AppendRow({"dup", "v" + std::to_string(t)});
+    corpus.AddTable(std::move(table));
+  }
+  const auto index = Build(corpus);
+  Table query("q");
+  query.AddColumn("a");
+  query.AddColumn("b");
+  for (int i = 0; i < 5; ++i) {
+    (void)query.AppendRow({"dup", "v" + std::to_string(i)});
+  }
+  QueryExecutor executor(&corpus, index.get());
+
+  DiscoveryOptions options;
+  const DiscoveryResult serial =
+      MateSearch(&corpus, index.get()).Discover(query, {0, 1}, options);
+
+  ThreadPool pool(4);
+  ExecutorOptions exec;  // auto
+  const DiscoveryResult result =
+      executor.Discover(query, {0, 1}, options, exec, &pool);
+  EXPECT_GT(result.stats.shards_used, 1u);
+  EXPECT_EQ(result.stats.fanout_threads, 4u);
+  ExpectSameResult(serial, result, "auto large");
+}
+
+TEST(QueryExecutorTest, SessionRoutesKnobsAndReportsShape) {
+  SessionOptions session_options;
+  session_options.corpus = MakeTieCorpus();
+  session_options.build_index = true;
+  session_options.num_threads = 4;
+  session_options.cache_bytes = 0;
+  auto session = Session::Open(std::move(session_options));
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  const Table query = MakeQuery();
+  QuerySpec spec;
+  spec.table = &query;
+  spec.key_columns = {0, 1};
+  spec.options.k = 7;
+  spec.intra_query_threads = 8;  // capped by the 4-wide pool
+  spec.intra_query_shards = 3;
+
+  QuerySpec serial_spec = spec;
+  serial_spec.intra_query_threads = 1;
+  serial_spec.intra_query_shards = 1;
+  auto serial = session->Discover(serial_spec);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(serial->stats.shards_used, 1u);
+
+  auto sharded = session->Discover(spec);
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ(sharded->stats.shards_used, 3u);
+  EXPECT_EQ(sharded->stats.fanout_threads, 3u);  // min(width 4, shards 3)
+  ExpectSameResult(*serial, *sharded, "session discover");
+
+  // A single-spec batch routes through the intra-query executor and the
+  // batch stats surface the fan-out.
+  auto batch = session->DiscoverBatch({spec});
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->results.size(), 1u);
+  ExpectSameResult(*serial, batch->results[0], "single-spec batch");
+  EXPECT_EQ(batch->stats.intra_parallel_queries, 1u);
+  EXPECT_EQ(batch->stats.intra_shards_total, 3u);
+  EXPECT_EQ(batch->stats.max_fanout_threads, 3u);
+
+  // A batch with several distinct queries spends the pool across queries:
+  // every per-query result reports the serial shape.
+  QuerySpec spec2 = spec;
+  spec2.options.k = 3;
+  auto multi = session->DiscoverBatch({spec, spec2});
+  ASSERT_TRUE(multi.ok());
+  for (const DiscoveryResult& r : multi->results) {
+    EXPECT_EQ(r.stats.shards_used, 1u);
+  }
+  EXPECT_EQ(multi->stats.intra_parallel_queries, 0u);
+}
+
+}  // namespace
+}  // namespace mate

@@ -422,6 +422,37 @@ TEST(SessionCacheTest, ExcludeOrderInsensitiveFingerprint) {
   EXPECT_EQ(session.cache_stats().hits, 1u);
 }
 
+TEST(SessionCacheTest, ExecutionKnobsDoNotChangeTheFingerprint) {
+  // Regression (PR 3): intra_query_threads / intra_query_shards and the
+  // session's pool width are execution-only knobs. The same logical query
+  // must hit the cache at any parallelism setting — and the hit serves the
+  // originally computed result verbatim, execution shape included.
+  Session session = OpenLakeSession(/*cache_bytes=*/1 << 20,
+                                    /*num_threads=*/1);
+  const Table query = MakeQuery();
+  QuerySpec serial = MakeSpec(&query, {0, 1});
+  serial.intra_query_threads = 1;
+  auto first = session.Discover(serial);
+  ASSERT_TRUE(first.ok());
+
+  QuerySpec sharded = MakeSpec(&query, {0, 1});
+  sharded.intra_query_threads = 8;
+  sharded.intra_query_shards = 3;
+  session.SetNumThreads(4);  // pool width must not enter the key either
+  auto second = session.Discover(sharded);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(session.cache_stats().hits, 1u);
+  EXPECT_EQ(session.cache_stats().misses, 1u);
+  ExpectBitIdentical(*first, *second, /*include_runtime=*/true);
+  EXPECT_EQ(second->stats.shards_used, first->stats.shards_used);
+  EXPECT_EQ(second->stats.fanout_threads, first->stats.fanout_threads);
+
+  // Auto mode (the default spec) fingerprints identically as well.
+  auto third = session.Discover(MakeSpec(&query, {0, 1}));
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(session.cache_stats().hits, 2u);
+}
+
 TEST(SessionCacheTest, QueryContentChangeMissesCache) {
   Session session = OpenLakeSession(/*cache_bytes=*/1 << 20);
   Table query = MakeQuery();

@@ -4,9 +4,11 @@
 //   mate_cli index   --csv-dir DIR --corpus OUT.corpus --index OUT.index
 //                    [--hash Xash] [--bits 128] [--threads N]
 //   mate_cli search  --corpus F --index F --query Q.csv --key a,b[,c...]
-//                    [--k 10]
+//                    [--k 10] [--threads N] [--intra-threads N |
+//                    --auto-parallel]
 //   mate_cli search  --corpus F --index F --batch DIR --key a,b[,c...]
 //                    [--k 10] [--threads N] [--cache-mb 64] [--no-cache]
+//                    [--intra-threads N | --auto-parallel]
 //   mate_cli stats   --corpus F [--index F]
 //   mate_cli dups    --corpus F [--min-overlap 0.85]
 //   mate_cli union   --corpus F --query Q.csv [--k 10]
@@ -16,6 +18,13 @@
 // same --key spec and discovered concurrently on --threads workers, with
 // repeated queries served from the session's result cache (size it with
 // --cache-mb, disable with --no-cache).
+//
+// Intra-query parallelism: `--intra-threads N` shards a single query's
+// evaluation over min(N, --threads) workers (`0` = auto); `--auto-parallel`
+// is shorthand for `--intra-threads 0`, letting the session fan out only
+// when a query is large enough to pay off. Results are bit-identical at
+// every setting; the per-query "exec:" line reports the shard/fan-out
+// shape actually used. Default is serial (today's single-query behavior).
 
 #include <filesystem>
 #include <iostream>
@@ -39,9 +48,11 @@ int Usage() {
       "usage:\n"
       "  mate_cli index  --csv-dir DIR --corpus OUT --index OUT"
       " [--hash Xash] [--bits 128] [--threads N]\n"
-      "  mate_cli search --corpus F --index F --query Q.csv --key a,b [--k N]\n"
+      "  mate_cli search --corpus F --index F --query Q.csv --key a,b [--k N]"
+      " [--threads N] [--intra-threads N | --auto-parallel]\n"
       "  mate_cli search --corpus F --index F --batch DIR --key a,b [--k N]"
-      " [--threads N] [--cache-mb N] [--no-cache]\n"
+      " [--threads N] [--cache-mb N] [--no-cache]"
+      " [--intra-threads N | --auto-parallel]\n"
       "  mate_cli stats  --corpus F [--index F]\n"
       "  mate_cli dups   --corpus F [--min-overlap 0.85]\n"
       "  mate_cli union  --corpus F --query Q.csv [--k N]\n";
@@ -49,7 +60,9 @@ int Usage() {
 }
 
 // Flags that take no value; stored with the value "1".
-bool IsBooleanFlag(std::string_view name) { return name == "no-cache"; }
+bool IsBooleanFlag(std::string_view name) {
+  return name == "no-cache" || name == "auto-parallel";
+}
 
 // --flag value parsing into a map; returns false on malformed input.
 bool ParseFlags(int argc, char** argv, int first,
@@ -250,12 +263,25 @@ int CmdSearch(const std::map<std::string, std::string>& flags) {
   if (!k.ok()) return Fail(k.status());
   options.k = static_cast<int>(*k);
 
+  // Intra-query execution shape: serial by default; `--auto-parallel` lets
+  // the session decide per query; an explicit `--intra-threads` wins.
+  unsigned intra_threads = 1;
+  if (flags.count("auto-parallel")) intra_threads = 0;
+  if (flags.count("intra-threads")) {
+    auto parsed =
+        ParseUintFlag("intra-threads", FlagOr(flags, "intra-threads", "0"),
+                      1024);
+    if (!parsed.ok()) return Fail(parsed.status());
+    intra_threads = *parsed;
+  }
+
   std::vector<QuerySpec> specs;
   specs.reserve(query_tables.size());
   for (const Table& query : query_tables) {
     QuerySpec spec;
     spec.table = &query;
     spec.options = options;
+    spec.intra_query_threads = intra_threads;
     auto key_columns = ResolveKeyColumns(query, key_spec);
     if (key_columns.ok()) {
       spec.key_columns = std::move(*key_columns);
@@ -287,9 +313,14 @@ int CmdSearch(const std::map<std::string, std::string>& flags) {
               << " joinable tables on key <" << key_spec << ">:\n";
     PrintTopK(session->corpus(), query, specs[q].key_columns,
               batch->results[q]);
-    std::cout << "  stats: " << batch->results[q].stats.ToString() << "\n";
+    const DiscoveryStats& stats = batch->results[q].stats;
+    std::cout << "  stats: " << stats.ToString() << "\n";
+    std::cout << "  exec: shards=" << stats.shards_used
+              << " fanout=" << stats.fanout_threads << "\n";
   }
   if (batch->results.size() > 1) {
+    // Batch line carries the cache hit/miss counters plus the intra-query
+    // fan-out traffic when any query ran sharded.
     std::cout << "batch: " << batch->stats.ToString() << "\n";
   }
   return 0;
