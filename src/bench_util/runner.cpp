@@ -175,6 +175,12 @@ Session OpenOrDie(SessionOptions options) {
               << "\n";
     std::exit(1);
   }
+  // Benches time queries, not warmup: drain the phased load (and surface
+  // deferred load corruption) before the first measured Discover.
+  if (Status ready = session->WaitUntilReady(); !ready.ok()) {
+    std::cerr << "Session load failed: " << ready.ToString() << "\n";
+    std::exit(1);
+  }
   return std::move(session).value();
 }
 

@@ -1,6 +1,7 @@
 #include "core/session.h"
 
 #include <algorithm>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -16,48 +17,104 @@ namespace mate {
 
 namespace {
 
-// Cross-checks that the index's super keys cover exactly the corpus's
-// tables and rows — the cheap shape invariant that catches a corpus/index
-// file mix-up at Open instead of as an out-of-bounds probe mid-query.
-Status ValidateIndexMatchesCorpus(const Corpus& corpus,
-                                  const InvertedIndex& index) {
-  const SuperKeyStore& superkeys = index.superkeys();
-  if (superkeys.num_tables() != corpus.NumTables()) {
+// Cross-checks that the index covers exactly the corpus's tables and rows
+// — the cheap shape invariant that catches a corpus/index file mix-up at
+// Open instead of as an out-of-bounds probe mid-query. `rows_per_table`
+// comes from the super keys for in-memory indexes and from the file's
+// shape header for phased loads (where the super keys are not resident
+// yet).
+Status ValidateShapeMatchesCorpus(const Corpus& corpus,
+                                  const std::vector<uint64_t>& rows_per_table) {
+  if (rows_per_table.size() != corpus.NumTables()) {
     return Status::Corruption(
-        "index covers " + std::to_string(superkeys.num_tables()) +
+        "index covers " + std::to_string(rows_per_table.size()) +
         " tables but the corpus has " + std::to_string(corpus.NumTables()));
   }
   for (TableId t = 0; t < corpus.NumTables(); ++t) {
-    if (superkeys.NumRows(t) != corpus.table(t).NumRows()) {
+    if (rows_per_table[t] != corpus.table(t).NumRows()) {
       return Status::Corruption(
           "index table " + std::to_string(t) + " has " +
-          std::to_string(superkeys.NumRows(t)) + " super keys but the corpus "
+          std::to_string(rows_per_table[t]) + " super keys but the corpus "
           "table has " + std::to_string(corpus.table(t).NumRows()) + " rows");
     }
   }
   return Status::OK();
 }
 
+Status ValidateIndexMatchesCorpus(const Corpus& corpus,
+                                  const InvertedIndex& index) {
+  return ValidateShapeMatchesCorpus(corpus, index.superkeys().RowCounts());
+}
+
 }  // namespace
+
+// Phase-2 streaming state shared between the session and its loader
+// task/thread. The task captures the shared_ptr (so the state survives
+// Session moves) and writes into the index through the PhasedIndexLoad's
+// internal pointer — stable because the index lives behind a unique_ptr.
+// `status` is written before the latch counts down, so readers returning
+// from Wait observe it.
+struct Session::PendingLoad {
+  explicit PendingLoad(PhasedIndexLoad load_in) : load(std::move(load_in)) {}
+  ~PendingLoad() {
+    if (thread.joinable()) thread.join();
+  }
+
+  PhasedIndexLoad load;
+  Latch done{1};
+  Status status;
+  std::thread thread;  // set when the pool is serial (inline Submit)
+};
+
+Session::~Session() { QuiesceLoad(); }
+
+Session::Session(Session&&) noexcept = default;
+
+Session& Session::operator=(Session&& other) noexcept {
+  if (this != &other) {
+    // Our loader (if any) must be fully stopped before our index goes
+    // away; the pool's destructor only covers the pool-task flavor.
+    QuiesceLoad();
+    corpus_ = std::move(other.corpus_);
+    index_ = std::move(other.index_);
+    pool_ = std::move(other.pool_);
+    cache_ = std::move(other.cache_);
+    corpus_stats_ = std::move(other.corpus_stats_);
+    hash_family_ = other.hash_family_;
+    build_report_ = std::move(other.build_report_);
+    pending_ = std::move(other.pending_);
+  }
+  return *this;
+}
+
+void Session::QuiesceLoad() const {
+  if (pending_ == nullptr) return;
+  pending_->done.Wait();
+  if (pending_->thread.joinable()) pending_->thread.join();
+}
+
+Status Session::WaitUntilReady() const {
+  if (pending_ == nullptr) return Status::OK();
+  pending_->done.Wait();
+  return pending_->status;
+}
+
+bool Session::index_ready() const {
+  return pending_ == nullptr || pending_->done.TryWait();
+}
 
 Result<Session> Session::Open(SessionOptions options) {
   Session session;
 
-  // ---- corpus (exactly one source) ----------------------------------
+  // ---- option validation (no I/O yet) -------------------------------
   if (options.corpus.has_value() && !options.corpus_path.empty()) {
     return Status::InvalidArgument(
         "SessionOptions sets both corpus and corpus_path; pick one");
   }
-  if (options.corpus.has_value()) {
-    session.corpus_ = std::move(*options.corpus);
-  } else if (!options.corpus_path.empty()) {
-    MATE_ASSIGN_OR_RETURN(session.corpus_, LoadCorpus(options.corpus_path));
-  } else {
+  if (!options.corpus.has_value() && options.corpus_path.empty()) {
     return Status::InvalidArgument(
         "SessionOptions needs a corpus source (corpus or corpus_path)");
   }
-
-  // ---- index (at most one source) -----------------------------------
   const int index_sources = (options.index != nullptr ? 1 : 0) +
                             (!options.index_path.empty() ? 1 : 0) +
                             (options.build_index ? 1 : 0);
@@ -66,16 +123,68 @@ Result<Session> Session::Open(SessionOptions options) {
         "SessionOptions sets more than one of index, index_path, and "
         "build_index; pick one");
   }
+
+  session.pool_ = std::make_unique<ThreadPool>(options.num_threads);
+
+  // ---- index phase 1, before the corpus is read ---------------------
+  // A phased load kicks off its posting/super-key streaming here so phase
+  // 2 overlaps the corpus deserialization below — the two big sequential
+  // reads of the old blocking Open. Every query path blocks on `done`
+  // before touching the index, and QuiesceLoad covers teardown (including
+  // the early error returns further down: ~Session waits the latch).
   bool have_stats = false;
+  if (!options.index_path.empty()) {
+    MATE_ASSIGN_OR_RETURN(PhasedIndexLoad load,
+                          PhasedIndexLoad::Begin(options.index_path));
+    session.hash_family_ = load.hash_family();
+    session.corpus_stats_ = load.corpus_stats();
+    have_stats = session.corpus_stats_.num_cells > 0;
+    session.index_ = load.TakeIndex();
+    if (options.eager_load) {
+      MATE_RETURN_IF_ERROR(load.Finish());
+    } else {
+      auto pending = std::make_shared<PendingLoad>(std::move(load));
+      session.pending_ = pending;
+      auto run = [state = pending] {
+        state->status = state->load.Finish();
+        state->done.CountDown();
+      };
+      if (session.pool_->num_threads() > 1) {
+        session.pool_->Submit(std::move(run));
+      } else {
+        // A serial pool runs Submit inline on the caller; a dedicated
+        // loader thread keeps Open non-blocking even at num_threads = 1.
+        pending->thread = std::thread(std::move(run));
+      }
+    }
+  }
+
+  // ---- corpus (overlapped by phase 2 when phased) -------------------
+  if (options.corpus.has_value()) {
+    session.corpus_ = std::move(*options.corpus);
+  } else {
+    MATE_ASSIGN_OR_RETURN(session.corpus_, LoadCorpus(options.corpus_path));
+  }
+
+  // ---- remaining index sources + cross-validation -------------------
   if (options.index != nullptr) {
     session.index_ = std::move(options.index);
     session.hash_family_ = options.index_family;
+    if (options.validate) {
+      MATE_RETURN_IF_ERROR(
+          ValidateIndexMatchesCorpus(session.corpus_, *session.index_));
+    }
   } else if (!options.index_path.empty()) {
-    MATE_ASSIGN_OR_RETURN(
-        session.index_,
-        LoadIndex(options.index_path, &session.hash_family_,
-                  &session.corpus_stats_));
-    have_stats = session.corpus_stats_.num_cells > 0;
+    if (options.validate) {
+      // Against the shape header parsed in phase 1 — the super keys may
+      // still be streaming.
+      const std::vector<uint64_t>& rows_per_table =
+          session.pending_ != nullptr
+              ? session.pending_->load.rows_per_table()
+              : session.index_->superkeys().RowCounts();
+      MATE_RETURN_IF_ERROR(
+          ValidateShapeMatchesCorpus(session.corpus_, rows_per_table));
+    }
   } else if (options.build_index) {
     MATE_ASSIGN_OR_RETURN(
         session.index_,
@@ -84,15 +193,13 @@ Result<Session> Session::Open(SessionOptions options) {
     session.corpus_stats_ = session.build_report_.corpus_stats;
     session.hash_family_ = options.build_options.hash_family;
     have_stats = true;
-  }
-
-  if (options.validate && session.index_ != nullptr) {
-    MATE_RETURN_IF_ERROR(
-        ValidateIndexMatchesCorpus(session.corpus_, *session.index_));
+    if (options.validate) {
+      MATE_RETURN_IF_ERROR(
+          ValidateIndexMatchesCorpus(session.corpus_, *session.index_));
+    }
   }
   if (!have_stats) session.corpus_stats_ = session.corpus_.ComputeStats();
 
-  session.pool_ = std::make_unique<ThreadPool>(options.num_threads);
   if (options.cache_bytes > 0) {
     session.cache_ = std::make_unique<ResultCache>(options.cache_bytes);
   }
@@ -197,6 +304,9 @@ Result<DiscoveryResult> Session::Discover(const QuerySpec& spec) {
         "session has no index; open with index_path, index, or build_index");
   }
   MATE_RETURN_IF_ERROR(ValidateQuery(spec));
+  // The first query after a phased Open blocks here until postings and
+  // super keys are hot (and surfaces any deferred load corruption).
+  MATE_RETURN_IF_ERROR(WaitUntilReady());
   if (cache_ == nullptr) return RunQuery(spec, /*intra_parallel=*/true);
   const std::string key = FingerprintQuery(spec);
   DiscoveryResult result;
@@ -218,6 +328,7 @@ Result<BatchResult> Session::DiscoverBatch(
                                      status.message());
     }
   }
+  MATE_RETURN_IF_ERROR(WaitUntilReady());
   // The pool serves one parallelism axis at a time (its Wait() is global,
   // so shard fan-out cannot nest inside a query fan-out): a batch that
   // boils down to one uncached query routes it through the intra-query
@@ -332,6 +443,7 @@ Status Session::ResetHash(HashFamily family,
   if (!has_index()) {
     return Status::InvalidArgument("session has no index to re-key");
   }
+  MATE_RETURN_IF_ERROR(WaitUntilReady());
   MATE_RETURN_IF_ERROR(
       index_->ResetHash(corpus_, std::move(hash), pool_->num_threads()));
   hash_family_ = family;
@@ -341,6 +453,7 @@ Status Session::ResetHash(HashFamily family,
 
 Status Session::Save(const std::string& corpus_path,
                      const std::string& index_path) const {
+  MATE_RETURN_IF_ERROR(WaitUntilReady());
   MATE_RETURN_IF_ERROR(SaveCorpus(corpus_, corpus_path));
   if (index_ != nullptr) {
     MATE_RETURN_IF_ERROR(

@@ -4,6 +4,11 @@
 //
 //   * owns the corpus + inverted index pair (loaded from disk, adopted
 //     in-memory, or built on open) and validates at Open that they match;
+//   * opens *phased* when loading an index from disk: Open returns once
+//     the header, dictionary, and corpus/index cross-validation are done,
+//     the mmap'd posting region and super keys stream in on the pool, and
+//     the first Discover blocks on a readiness latch (WaitUntilReady /
+//     SessionOptions::eager_load give explicit control);
 //   * owns one long-lived work-stealing ThreadPool reused across batches
 //     (the per-batch worker spin-up of the raw engine is gone) and fans a
 //     single large query's sharded evaluation out over the same pool
@@ -104,6 +109,18 @@ struct SessionOptions {
   /// Long-lived discovery pool (IndexBuilder convention: 0 = hardware
   /// concurrency, 1 = serial on the calling thread).
   unsigned num_threads = 1;
+  /// Path-based index loads are *phased* by default: Open returns once the
+  /// corpus, index header + value dictionary, and the corpus/index
+  /// cross-validation are done, while the posting lists and super keys
+  /// stream in from the mmap'd file on the session pool (a dedicated
+  /// loader thread when the pool is serial). The first
+  /// Discover/DiscoverBatch blocks on the readiness latch, so results are
+  /// bit-identical to a blocking open — only the time at which a load
+  /// error in the bulky sections surfaces moves (to WaitUntilReady / the
+  /// first query, as kCorruption). Set true to force the old fully
+  /// blocking Open: it returns only with the index hot and every load
+  /// error surfaces from Open itself.
+  bool eager_load = false;
   /// Result-cache byte budget; 0 disables caching entirely.
   size_t cache_bytes = kDefaultCacheBytes;
   /// Cross-check that index super keys cover exactly the corpus's tables
@@ -120,12 +137,35 @@ class Session {
   ///   * InvalidArgument — no corpus source, or two of them;
   ///   * IOError / Corruption — unreadable or malformed files;
   ///   * Corruption — index does not match the corpus (table/row skew).
+  /// Under the default phased load (see SessionOptions::eager_load) the
+  /// index's posting lists and super keys stream in after Open returns;
+  /// corruption confined to those trailing sections surfaces as
+  /// kCorruption from WaitUntilReady / the first query instead of here.
   static Result<Session> Open(SessionOptions options);
 
-  Session(Session&&) = default;
-  Session& operator=(Session&&) = default;
+  /// Quiesces any in-flight phased load (waits for the loader task / joins
+  /// the loader thread) before tearing the index down.
+  ~Session();
+  Session(Session&&) noexcept;
+  Session& operator=(Session&&) noexcept;
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
+
+  // ---- readiness ----------------------------------------------------
+
+  /// Blocks until the phased load (if any) has finished streaming the
+  /// posting lists and super keys, and returns its status (kCorruption on
+  /// a malformed posting/super-key region). Returns OK immediately for
+  /// eager, built, adopted, and corpus-only sessions.
+  /// Discover/DiscoverBatch/Save/ResetHash all call this themselves; call
+  /// it directly to surface load errors early or before touching index()
+  /// by hand.
+  Status WaitUntilReady() const;
+
+  /// Non-blocking readiness probe: true once the index (if any) is fully
+  /// loaded — whether the load succeeded or failed (WaitUntilReady tells
+  /// which).
+  bool index_ready() const;
 
   // ---- queries ------------------------------------------------------
 
@@ -180,12 +220,15 @@ class Session {
 
   const Corpus& corpus() const { return corpus_; }
   bool has_index() const { return index_ != nullptr; }
-  /// Precondition: has_index().
+  /// Precondition: has_index() — and, after a phased open, that
+  /// WaitUntilReady() returned OK (the loader may still be streaming
+  /// postings into the object otherwise).
   const InvertedIndex& index() const { return *index_; }
 
   /// Mutable access for §5.4 maintenance flows. The cache is NOT
   /// implicitly invalidated — call InvalidateCache() once the edit batch
   /// is complete (stale entries otherwise serve pre-edit results).
+  /// mutable_index() has the same WaitUntilReady precondition as index().
   Corpus* mutable_corpus() { return &corpus_; }
   InvertedIndex* mutable_index() { return index_.get(); }
 
@@ -216,6 +259,12 @@ class Session {
  private:
   Session() = default;
 
+  /// Blocks until no loader task can touch this session's index again:
+  /// waits the readiness latch and joins the dedicated loader thread, if
+  /// any. Called before destruction / move-assignment tears the index
+  /// down.
+  void QuiesceLoad() const;
+
   /// Canonical cache key: a 128-bit digest of the key-column contents plus
   /// every result-affecting option — and nothing execution-only (thread or
   /// shard knobs). Precondition: spec validated.
@@ -233,6 +282,10 @@ class Session {
   CorpusStats corpus_stats_;
   HashFamily hash_family_ = HashFamily::kXash;
   IndexBuildReport build_report_;
+  // Phase-2 streaming state of a phased open (null otherwise): the loader
+  // task/thread shares it via shared_ptr, so it survives Session moves.
+  struct PendingLoad;
+  std::shared_ptr<PendingLoad> pending_;
 };
 
 }  // namespace mate

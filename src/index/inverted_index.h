@@ -45,6 +45,9 @@ class InvertedIndex {
 
   /// Total posting entries across all lists.
   size_t NumPostingEntries() const { return num_posting_entries_; }
+  /// Distinct values with a posting list (the loader streams exactly this
+  /// many lists in phase 2; stats/bench reporting).
+  size_t NumPostingLists() const { return postings_.size(); }
 
   /// Approximate bytes: postings + dictionary + super keys.
   size_t MemoryBytes() const;

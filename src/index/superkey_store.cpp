@@ -49,6 +49,15 @@ BitVector SuperKeyStore::Get(TableId t, RowId r) const {
   return key;
 }
 
+std::vector<uint64_t> SuperKeyStore::RowCounts() const {
+  std::vector<uint64_t> counts;
+  counts.reserve(tables_.size());
+  for (const auto& table : tables_) {
+    counts.push_back(table.size() / words_per_key_);
+  }
+  return counts;
+}
+
 size_t SuperKeyStore::MemoryBytes() const {
   size_t bytes = 0;
   for (const auto& table : tables_) bytes += table.size() * sizeof(uint64_t);
@@ -71,14 +80,17 @@ Result<SuperKeyStore> SuperKeyStore::ParseFrom(std::string_view* input) {
     return Status::Corruption("superkey store: bad hash width");
   }
   uint64_t num_tables = 0;
-  if (!GetVarint64(input, &num_tables)) {
+  // Size bounds before any resize: a flipped byte must fail the parse, not
+  // drive a multi-exabyte allocation (each table costs >= 1 byte, each word
+  // exactly 8).
+  if (!GetVarint64(input, &num_tables) || num_tables > input->size()) {
     return Status::Corruption("superkey store: bad table count");
   }
   SuperKeyStore store(static_cast<size_t>(hash_bits));
   store.tables_.resize(num_tables);
   for (uint64_t t = 0; t < num_tables; ++t) {
     uint64_t num_words = 0;
-    if (!GetVarint64(input, &num_words)) {
+    if (!GetVarint64(input, &num_words) || num_words > input->size() / 8) {
       return Status::Corruption("superkey store: bad word count");
     }
     if (num_words % store.words_per_key_ != 0) {

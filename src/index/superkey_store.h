@@ -66,6 +66,11 @@ class SuperKeyStore {
     return tables_[t].size() / words_per_key_;
   }
 
+  /// Per-table row counts — the shape the serialized index advertises in
+  /// its header so phase-1 loading can cross-validate against the corpus
+  /// before the super keys themselves are streamed in.
+  std::vector<uint64_t> RowCounts() const;
+
   /// Total bytes of key payload (for the §7.1 index-size stats).
   size_t MemoryBytes() const;
 

@@ -2,6 +2,26 @@
 
 namespace mate {
 
+void Latch::CountDown() {
+  bool release;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (count_ > 0) --count_;
+    release = count_ == 0;
+  }
+  if (release) cv_.notify_all();
+}
+
+void Latch::Wait() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return count_ == 0; });
+}
+
+bool Latch::TryWait() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0;
+}
+
 ThreadPool::ThreadPool(unsigned num_threads) : num_threads_(num_threads) {
   if (num_threads_ == 0) num_threads_ = std::thread::hardware_concurrency();
   if (num_threads_ == 0) num_threads_ = 1;

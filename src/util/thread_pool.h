@@ -23,6 +23,35 @@
 
 namespace mate {
 
+/// One-shot countdown latch: Wait blocks until CountDown has been called
+/// `count` times. Session's phased open arms one with count 1 — the loader
+/// task counts it down when postings and super keys are resident, and every
+/// query path waits on it before touching the index. Writes made before
+/// CountDown are visible to threads returning from Wait/TryWait. Unlike
+/// std::latch, TryWait is a reliable non-blocking probe (no spurious
+/// failures), which readiness status lines rely on.
+class Latch {
+ public:
+  explicit Latch(size_t count) : count_(count) {}
+
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  /// Decrements the count (saturating at zero); wakes waiters at zero.
+  void CountDown();
+
+  /// Blocks until the count reaches zero.
+  void Wait() const;
+
+  /// True iff the count has reached zero; never blocks.
+  bool TryWait() const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  size_t count_;
+};
+
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (0 = hardware concurrency; 1 = inline

@@ -1,0 +1,280 @@
+// Loader hardening: every malformed index image must surface kCorruption —
+// from phase 1 (PhasedIndexLoad::Begin / Session::Open) when the damage is
+// visible in the header, shape, dictionary, or posting-region extent, or
+// from the readiness check (WaitUntilReady / the first Discover) when it
+// hides in the streamed sections. Never a crash, and never a silently
+// empty or partial index. Includes a fuzz-style loop over random
+// truncation offsets and checks the section/offset-bearing error messages.
+
+#include "index/index_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "index/index_builder.h"
+#include "storage/corpus_io.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace mate {
+namespace {
+
+Corpus MakeCorpus() {
+  Vocabulary vocab = Vocabulary::Generate(200, Vocabulary::Style::kMixed, 7);
+  CorpusSpec spec;
+  spec.num_tables = 12;
+  spec.seed = 5;
+  return GenerateCorpus(spec, vocab);
+}
+
+// One serialized world: corpus + index files plus the pristine index bytes
+// and the offset where the super-key section starts (everything before it
+// is header/shape/dictionary/postings).
+struct Fixture {
+  Corpus corpus;
+  std::string corpus_path;
+  std::string index_path;
+  std::string index_bytes;
+  size_t superkey_offset = 0;
+};
+
+Fixture MakeFixture(const std::string& tag) {
+  Fixture f;
+  f.corpus = MakeCorpus();
+  IndexBuildOptions options;
+  IndexBuildReport report;
+  auto index = BuildIndexWithReport(f.corpus, options, &report);
+  EXPECT_TRUE(index.ok()) << index.status().ToString();
+  SerializeIndex(**index, HashFamily::kXash, report.corpus_stats,
+                 &f.index_bytes);
+  // The super-key section is exactly what AppendToString emits, and it is
+  // the image's suffix.
+  std::string superkeys;
+  (*index)->superkeys().AppendToString(&superkeys);
+  f.superkey_offset = f.index_bytes.size() - superkeys.size();
+  f.corpus_path = testing::TempDir() + "/mate_corrupt_" + tag + ".corpus";
+  f.index_path = testing::TempDir() + "/mate_corrupt_" + tag + ".index";
+  EXPECT_TRUE(SaveCorpus(f.corpus, f.corpus_path).ok());
+  EXPECT_TRUE(WriteFileAtomic(f.index_path, f.index_bytes).ok());
+  return f;
+}
+
+void RemoveFixture(const Fixture& f) {
+  std::remove(f.corpus_path.c_str());
+  std::remove(f.index_path.c_str());
+}
+
+// Writes `bytes` over the fixture's index file.
+void OverwriteIndex(const Fixture& f, std::string_view bytes) {
+  ASSERT_TRUE(WriteFileAtomic(f.index_path, bytes).ok());
+}
+
+// Opens a phased session over the (possibly tampered) files and returns
+// the combined verdict: OK only if Open, readiness, and a real probe all
+// succeed — the "silently empty index" failure mode would pass Open but
+// must be caught by the readiness check.
+Status PhasedOpenVerdict(const Fixture& f) {
+  SessionOptions options;
+  options.corpus_path = f.corpus_path;
+  options.index_path = f.index_path;
+  options.num_threads = 2;
+  auto session = Session::Open(std::move(options));
+  if (!session.ok()) return session.status();
+  return session->WaitUntilReady();
+}
+
+// ---- phase-1 failures ----------------------------------------------
+
+TEST(IndexIoCorruptionTest, BadMagicFailsPhaseOne) {
+  Fixture f = MakeFixture("magic");
+  std::string bytes = f.index_bytes;
+  bytes[0] ^= 0x5a;
+  OverwriteIndex(f, bytes);
+
+  auto direct = PhasedIndexLoad::Begin(f.index_path);
+  ASSERT_FALSE(direct.ok());
+  EXPECT_TRUE(direct.status().IsCorruption()) << direct.status().ToString();
+
+  Status verdict = PhasedOpenVerdict(f);
+  EXPECT_TRUE(verdict.IsCorruption()) << verdict.ToString();
+  RemoveFixture(f);
+}
+
+TEST(IndexIoCorruptionTest, UnsupportedVersionNamesTheVersion) {
+  Fixture f = MakeFixture("version");
+  std::string bytes = f.index_bytes;
+  bytes[8] = 99;  // little-endian fixed32 version right after the magic
+  OverwriteIndex(f, bytes);
+  auto loaded = LoadIndex(f.index_path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos)
+      << loaded.status().ToString();
+  RemoveFixture(f);
+}
+
+TEST(IndexIoCorruptionTest, ShortPostingRegionFailsPhaseOne) {
+  Fixture f = MakeFixture("shortpl");
+  // Cut inside the posting region: the declared extent overruns the file,
+  // so Begin itself must reject — before any postings are parsed.
+  ASSERT_GT(f.superkey_offset, 1u);
+  OverwriteIndex(f, std::string_view(f.index_bytes)
+                        .substr(0, f.superkey_offset - 1));
+  auto begin = PhasedIndexLoad::Begin(f.index_path);
+  ASSERT_FALSE(begin.ok());
+  EXPECT_TRUE(begin.status().IsCorruption()) << begin.status().ToString();
+  EXPECT_NE(begin.status().message().find("posting"), std::string::npos)
+      << begin.status().ToString();
+  RemoveFixture(f);
+}
+
+TEST(IndexIoCorruptionTest, TableAndRowCountSkewFailPhaseOne) {
+  Fixture f = MakeFixture("skew");
+  {
+    // Corpus with an extra table: table-count skew against the shape
+    // header, caught synchronously by Open.
+    Corpus bigger = MakeCorpus();
+    Table extra("extra");
+    extra.AddColumn("a");
+    (void)extra.AppendRow({"x"});
+    bigger.AddTable(std::move(extra));
+    ASSERT_TRUE(SaveCorpus(bigger, f.corpus_path).ok());
+    SessionOptions options;
+    options.corpus_path = f.corpus_path;
+    options.index_path = f.index_path;
+    auto session = Session::Open(std::move(options));
+    ASSERT_FALSE(session.ok());
+    EXPECT_TRUE(session.status().IsCorruption())
+        << session.status().ToString();
+  }
+  {
+    // Extra row in one table: row-count skew.
+    Corpus edited = MakeCorpus();
+    std::vector<std::string> row(edited.table(0).NumColumns(), "zzz");
+    (void)edited.mutable_table(0)->AppendRow(std::move(row));
+    ASSERT_TRUE(SaveCorpus(edited, f.corpus_path).ok());
+    SessionOptions options;
+    options.corpus_path = f.corpus_path;
+    options.index_path = f.index_path;
+    auto session = Session::Open(std::move(options));
+    ASSERT_FALSE(session.ok());
+    EXPECT_TRUE(session.status().IsCorruption())
+        << session.status().ToString();
+  }
+  RemoveFixture(f);
+}
+
+// ---- deferred (readiness-check) failures ---------------------------
+
+TEST(IndexIoCorruptionTest, TruncatedSuperKeysFailAtReadinessNotOpen) {
+  Fixture f = MakeFixture("sktrunc");
+  // Cut inside the super-key section: phase 1 sees an intact posting
+  // region, so Open succeeds — the corruption must surface from the
+  // readiness check (and from the first Discover), never as a silently
+  // partial index.
+  const size_t cut = f.superkey_offset + (f.index_bytes.size() -
+                                          f.superkey_offset) / 2;
+  ASSERT_GT(f.index_bytes.size(), cut);
+  OverwriteIndex(f, std::string_view(f.index_bytes).substr(0, cut));
+
+  SessionOptions options;
+  options.corpus_path = f.corpus_path;
+  options.index_path = f.index_path;
+  options.num_threads = 2;
+  auto session = Session::Open(std::move(options));
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  Status ready = session->WaitUntilReady();
+  EXPECT_TRUE(ready.IsCorruption()) << ready.ToString();
+  EXPECT_NE(ready.message().find("super"), std::string::npos)
+      << ready.ToString();
+
+  // Discover reports the same deferred corruption instead of running on a
+  // half-built index.
+  Table query("q");
+  query.AddColumn("a");
+  (void)query.AppendRow({"x"});
+  QuerySpec spec;
+  spec.table = &query;
+  spec.key_columns = {0};
+  spec.options.k = 3;
+  auto result = session->Discover(spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption()) << result.status().ToString();
+  RemoveFixture(f);
+}
+
+TEST(IndexIoCorruptionTest, TrailingGarbageFailsAtReadiness) {
+  Fixture f = MakeFixture("trailing");
+  std::string bytes = f.index_bytes + "garbage";
+  OverwriteIndex(f, bytes);
+  Status verdict = PhasedOpenVerdict(f);
+  EXPECT_TRUE(verdict.IsCorruption()) << verdict.ToString();
+  EXPECT_NE(verdict.message().find("trailing"), std::string::npos)
+      << verdict.ToString();
+  RemoveFixture(f);
+}
+
+// ---- fuzz-style truncation sweep -----------------------------------
+
+TEST(IndexIoCorruptionTest, RandomTruncationsNeverCrashOrPassSilently) {
+  Fixture f = MakeFixture("fuzz");
+  Rng rng(2024);
+  std::vector<size_t> cuts = {0, 1, 7, 8, 9, 11, 12, 13,
+                              f.index_bytes.size() - 1};
+  for (int i = 0; i < 48; ++i) {
+    cuts.push_back(rng.Uniform(f.index_bytes.size()));
+  }
+  for (size_t cut : cuts) {
+    SCOPED_TRACE("cut=" + std::to_string(cut) + "/" +
+                 std::to_string(f.index_bytes.size()));
+    const std::string_view truncated =
+        std::string_view(f.index_bytes).substr(0, cut);
+
+    // Blocking load: must reject.
+    auto direct = DeserializeIndex(truncated);
+    ASSERT_FALSE(direct.ok());
+    EXPECT_TRUE(direct.status().IsCorruption()) << direct.status().ToString();
+
+    // Phased session open: Open may accept (damage past phase 1), but then
+    // the readiness check must reject. Every 4th cut to keep runtime sane.
+    if (cut % 4 == 0) {
+      OverwriteIndex(f, truncated);
+      Status verdict = PhasedOpenVerdict(f);
+      EXPECT_TRUE(verdict.IsCorruption()) << verdict.ToString();
+    }
+  }
+  RemoveFixture(f);
+}
+
+// ---- error messages carry section + offset (the LoadIndex fix) ------
+
+TEST(IndexIoCorruptionTest, MidPostingErrorsNameSectionAndOffset) {
+  Fixture f = MakeFixture("offsets");
+  // A truncation that lands in the posting region: the declared extent
+  // overruns the file and the error must say which section and where.
+  OverwriteIndex(f, std::string_view(f.index_bytes)
+                        .substr(0, f.superkey_offset - 1));
+  auto loaded = LoadIndex(f.index_path);
+  ASSERT_FALSE(loaded.ok());
+  const std::string& message = loaded.status().message();
+  EXPECT_NE(message.find("postings section"), std::string::npos) << message;
+  EXPECT_NE(message.find("byte offset"), std::string::npos) << message;
+
+  // And a cut inside the super keys names that section.
+  const size_t cut = f.index_bytes.size() - 4;
+  OverwriteIndex(f, std::string_view(f.index_bytes).substr(0, cut));
+  auto sk = LoadIndex(f.index_path);
+  ASSERT_FALSE(sk.ok());
+  EXPECT_NE(sk.status().message().find("super-key section"),
+            std::string::npos)
+      << sk.status().ToString();
+  RemoveFixture(f);
+}
+
+}  // namespace
+}  // namespace mate

@@ -1,0 +1,275 @@
+// Phased Session::Open (async cold start): a lazily opened session must be
+// observationally identical to an eagerly opened one. Discover issued
+// immediately after Open returns races the warmup latch on purpose — it
+// must block on readiness and return results bit-identical to eager load
+// across threads {1,4} and shards {1,8} (the serial-pool case exercises the
+// dedicated loader thread, the 4-thread case the pool task; TSan guards the
+// latch discipline). Also covers: DiscoverBatch racing the latch, Save
+// draining the load, move/destroy while warming, and the eager_load escape
+// hatch.
+
+#include "core/session.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/query_gen.h"
+#include "workload/vocabulary.h"
+
+namespace mate {
+namespace {
+
+// Deterministic planted-join world (same recipe as session_test.cpp).
+struct World {
+  Corpus corpus;
+  std::vector<QueryCase> queries;
+};
+
+World MakeWorld() {
+  World w;
+  Rng rng(7);
+  Vocabulary vocab = Vocabulary::Generate(120, Vocabulary::Style::kWords, 11);
+  for (size_t t = 0; t < 20; ++t) {
+    Table table("t" + std::to_string(t));
+    size_t cols = 3 + rng.Uniform(3);
+    for (size_t c = 0; c < cols; ++c) table.AddColumn("c" + std::to_string(c));
+    size_t rows = 4 + rng.Uniform(16);
+    for (size_t r = 0; r < rows; ++r) {
+      std::vector<std::string> cells;
+      for (size_t c = 0; c < cols; ++c) {
+        cells.push_back(vocab.word(rng.Uniform(vocab.size())));
+      }
+      (void)table.AppendRow(std::move(cells));
+    }
+    w.corpus.AddTable(std::move(table));
+  }
+  QuerySetSpec spec;
+  spec.num_queries = 6;
+  spec.query_rows = 20;
+  spec.query_columns = 4;
+  spec.key_size = 2;
+  spec.planted_tables = 5;
+  spec.seed = 3;
+  w.queries = GenerateQueries(&w.corpus, vocab, spec);
+  return w;
+}
+
+struct SavedWorld {
+  World world;
+  std::string corpus_path;
+  std::string index_path;
+};
+
+// Builds the world's index once and persists the pair for path-based opens.
+SavedWorld SaveWorld(const std::string& tag) {
+  SavedWorld saved;
+  saved.world = MakeWorld();
+  saved.corpus_path = testing::TempDir() + "/mate_async_" + tag + ".corpus";
+  saved.index_path = testing::TempDir() + "/mate_async_" + tag + ".index";
+  SessionOptions build;
+  build.corpus = MakeWorld().corpus;  // identical bytes to saved.world
+  build.build_index = true;
+  auto session = Session::Open(std::move(build));
+  EXPECT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_TRUE(session->Save(saved.corpus_path, saved.index_path).ok());
+  return saved;
+}
+
+void RemoveWorld(const SavedWorld& saved) {
+  std::remove(saved.corpus_path.c_str());
+  std::remove(saved.index_path.c_str());
+}
+
+Session OpenPaths(const std::string& corpus_path,
+                  const std::string& index_path, unsigned num_threads,
+                  bool eager) {
+  SessionOptions options;
+  options.corpus_path = corpus_path;
+  options.index_path = index_path;
+  options.num_threads = num_threads;
+  options.cache_bytes = 0;  // every query pays full cost: real races only
+  options.eager_load = eager;
+  auto session = Session::Open(std::move(options));
+  EXPECT_TRUE(session.ok()) << session.status().ToString();
+  return std::move(*session);
+}
+
+Session OpenSaved(const SavedWorld& saved, unsigned num_threads, bool eager) {
+  return OpenPaths(saved.corpus_path, saved.index_path, num_threads, eager);
+}
+
+std::vector<QuerySpec> MakeSpecs(const World& world, unsigned threads,
+                                 size_t shards) {
+  std::vector<QuerySpec> specs;
+  for (const QueryCase& qc : world.queries) {
+    QuerySpec spec;
+    spec.table = &qc.query;
+    spec.key_columns = qc.key_columns;
+    spec.options.k = 5;
+    spec.intra_query_threads = threads;
+    spec.intra_query_shards = shards;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+void ExpectBitIdentical(const DiscoveryResult& a, const DiscoveryResult& b) {
+  ASSERT_EQ(a.top_k.size(), b.top_k.size());
+  for (size_t i = 0; i < a.top_k.size(); ++i) {
+    EXPECT_EQ(a.top_k[i].table_id, b.top_k[i].table_id);
+    EXPECT_EQ(a.top_k[i].joinability, b.top_k[i].joinability);
+    EXPECT_EQ(a.top_k[i].best_mapping, b.top_k[i].best_mapping);
+  }
+  EXPECT_EQ(a.stats.pl_items_fetched, b.stats.pl_items_fetched);
+  EXPECT_EQ(a.stats.candidate_tables, b.stats.candidate_tables);
+  EXPECT_EQ(a.stats.tables_evaluated, b.stats.tables_evaluated);
+  EXPECT_EQ(a.stats.rows_checked, b.stats.rows_checked);
+  EXPECT_EQ(a.stats.rows_sent_to_verification,
+            b.stats.rows_sent_to_verification);
+  EXPECT_EQ(a.stats.rows_true_positive, b.stats.rows_true_positive);
+  EXPECT_EQ(a.stats.value_comparisons, b.stats.value_comparisons);
+}
+
+// ---- the core property ---------------------------------------------
+
+TEST(SessionOpenAsyncTest, LazyMatchesEagerAcrossThreadsAndShards) {
+  SavedWorld saved = SaveWorld("property");
+  for (unsigned threads : {1u, 4u}) {
+    for (size_t shards : {size_t{1}, size_t{8}}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " shards=" + std::to_string(shards));
+      // Eager reference at the same execution knobs (the knobs change work
+      // counters, so the reference must share them for a full bit-compare).
+      Session eager = OpenSaved(saved, threads, /*eager=*/true);
+      EXPECT_TRUE(eager.index_ready());
+      const std::vector<QuerySpec> specs =
+          MakeSpecs(saved.world, threads, shards);
+      std::vector<DiscoveryResult> reference;
+      for (const QuerySpec& spec : specs) {
+        auto result = eager.Discover(spec);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        reference.push_back(std::move(*result));
+      }
+
+      // Lazy session: the first Discover races the warmup latch.
+      Session lazy = OpenSaved(saved, threads, /*eager=*/false);
+      for (size_t q = 0; q < specs.size(); ++q) {
+        auto result = lazy.Discover(specs[q]);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        ExpectBitIdentical(reference[q], *result);
+      }
+      EXPECT_TRUE(lazy.index_ready());
+      EXPECT_TRUE(lazy.WaitUntilReady().ok());
+    }
+  }
+  RemoveWorld(saved);
+}
+
+TEST(SessionOpenAsyncTest, BatchIssuedImmediatelyAfterOpenMatchesEager) {
+  SavedWorld saved = SaveWorld("batch");
+  const std::vector<QuerySpec> specs = MakeSpecs(saved.world, 1, 0);
+
+  Session eager = OpenSaved(saved, /*num_threads=*/4, /*eager=*/true);
+  auto reference = eager.DiscoverBatch(specs);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  Session lazy = OpenSaved(saved, /*num_threads=*/4, /*eager=*/false);
+  auto raced = lazy.DiscoverBatch(specs);  // races the pool-task warmup
+  ASSERT_TRUE(raced.ok()) << raced.status().ToString();
+  ASSERT_EQ(reference->results.size(), raced->results.size());
+  for (size_t q = 0; q < reference->results.size(); ++q) {
+    ExpectBitIdentical(reference->results[q], raced->results[q]);
+  }
+  RemoveWorld(saved);
+}
+
+// ---- lifecycle around the latch ------------------------------------
+
+TEST(SessionOpenAsyncTest, WaitUntilReadyIsIdempotentAndSettles) {
+  SavedWorld saved = SaveWorld("settle");
+  Session lazy = OpenSaved(saved, /*num_threads=*/1, /*eager=*/false);
+  EXPECT_TRUE(lazy.WaitUntilReady().ok());
+  EXPECT_TRUE(lazy.index_ready());
+  EXPECT_TRUE(lazy.WaitUntilReady().ok());  // second wait returns instantly
+  RemoveWorld(saved);
+}
+
+TEST(SessionOpenAsyncTest, SaveImmediatelyAfterPhasedOpenRoundTrips) {
+  SavedWorld saved = SaveWorld("resave");
+  const std::string corpus_copy = testing::TempDir() + "/mate_async_c2.corpus";
+  const std::string index_copy = testing::TempDir() + "/mate_async_c2.index";
+  {
+    Session lazy = OpenSaved(saved, /*num_threads=*/4, /*eager=*/false);
+    // Save must drain the load — a half-streamed index must never hit disk.
+    ASSERT_TRUE(lazy.Save(corpus_copy, index_copy).ok());
+  }
+  Session reopened =
+      OpenPaths(corpus_copy, index_copy, /*num_threads=*/1, /*eager=*/true);
+  Session original = OpenSaved(saved, /*num_threads=*/1, /*eager=*/true);
+  for (const QuerySpec& spec : MakeSpecs(saved.world, 1, 0)) {
+    auto a = original.Discover(spec);
+    auto b = reopened.Discover(spec);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectBitIdentical(*a, *b);
+  }
+  std::remove(corpus_copy.c_str());
+  std::remove(index_copy.c_str());
+  RemoveWorld(saved);
+}
+
+TEST(SessionOpenAsyncTest, MoveWhileWarmingStaysSafe) {
+  SavedWorld saved = SaveWorld("move");
+  const std::vector<QuerySpec> specs = MakeSpecs(saved.world, 1, 0);
+  Session reference = OpenSaved(saved, /*num_threads=*/1, /*eager=*/true);
+  for (unsigned threads : {1u, 4u}) {
+    Session lazy = OpenSaved(saved, threads, /*eager=*/false);
+    Session moved = std::move(lazy);  // latch state survives the move
+    Session target = OpenSaved(saved, threads, /*eager=*/false);
+    target = std::move(moved);  // move-assign quiesces the old load
+    auto result = target.Discover(specs[0]);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    auto expected = reference.Discover(specs[0]);
+    ASSERT_TRUE(expected.ok());
+    ExpectBitIdentical(*expected, *result);
+  }
+  RemoveWorld(saved);
+}
+
+TEST(SessionOpenAsyncTest, DestroyWhileWarmingIsClean) {
+  SavedWorld saved = SaveWorld("destroy");
+  // Never queried: the destructor alone must quiesce the loader (ASan/TSan
+  // turn a lifetime bug here into a hard failure).
+  for (unsigned threads : {1u, 4u}) {
+    for (int round = 0; round < 3; ++round) {
+      Session lazy = OpenSaved(saved, threads, /*eager=*/false);
+    }
+  }
+  RemoveWorld(saved);
+}
+
+TEST(SessionOpenAsyncTest, CorpusOnlySessionIsAlwaysReady) {
+  SessionOptions options;
+  options.corpus = MakeWorld().corpus;
+  auto session = Session::Open(std::move(options));
+  ASSERT_TRUE(session.ok());
+  EXPECT_TRUE(session->index_ready());
+  EXPECT_TRUE(session->WaitUntilReady().ok());
+}
+
+TEST(SessionOpenAsyncTest, EagerLoadEscapeHatchIsReadyAtOpenReturn) {
+  SavedWorld saved = SaveWorld("eager");
+  Session eager = OpenSaved(saved, /*num_threads=*/4, /*eager=*/true);
+  EXPECT_TRUE(eager.index_ready());  // no latch, no background work
+  EXPECT_TRUE(eager.WaitUntilReady().ok());
+  EXPECT_GT(eager.index().NumPostingEntries(), 0u);
+  RemoveWorld(saved);
+}
+
+}  // namespace
+}  // namespace mate

@@ -98,5 +98,47 @@ TEST(ThreadPoolTest, StealingKeepsWorkersBusyWithUnevenTasks) {
   EXPECT_EQ(done.load(), 64);
 }
 
+// ---- Latch (the readiness primitive behind phased Session::Open) ------
+
+TEST(LatchTest, TryWaitTracksTheCount) {
+  Latch latch(2);
+  EXPECT_FALSE(latch.TryWait());
+  latch.CountDown();
+  EXPECT_FALSE(latch.TryWait());
+  latch.CountDown();
+  EXPECT_TRUE(latch.TryWait());
+  latch.CountDown();  // saturates at zero, no underflow
+  EXPECT_TRUE(latch.TryWait());
+  latch.Wait();  // returns immediately at zero
+}
+
+TEST(LatchTest, ZeroCountIsImmediatelyOpen) {
+  Latch latch(0);
+  EXPECT_TRUE(latch.TryWait());
+  latch.Wait();
+}
+
+TEST(LatchTest, WaitersObserveWritesMadeBeforeCountDown) {
+  // The Session readiness pattern: a loader publishes a value, counts the
+  // latch down, and many waiters read the value after Wait. TSan verifies
+  // the happens-before edge.
+  Latch latch(1);
+  int payload = 0;
+  std::atomic<int> seen{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit([&] {
+        latch.Wait();
+        if (payload == 42) seen.fetch_add(1);
+      });
+    }
+    payload = 42;
+    latch.CountDown();
+    pool.Wait();
+  }
+  EXPECT_EQ(seen.load(), 8);
+}
+
 }  // namespace
 }  // namespace mate
