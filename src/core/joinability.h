@@ -6,6 +6,11 @@
 //     verification MATE and the baselines share (Algorithm 1's calculateJ).
 //   * BruteForceJoinability: the P(|T'|,|Q|)-mapping reference used as
 //     ground truth in tests and as the "Ideal" oracle in benches.
+//
+// Everything here takes `const Table&` — already-materialized tables.
+// Callers holding a lazy corpus resolve candidates through the accessor API
+// (Corpus::table materializes on first touch; shape-only decisions use the
+// table_* accessors) before handing tables down to these kernels.
 
 #ifndef MATE_CORE_JOINABILITY_H_
 #define MATE_CORE_JOINABILITY_H_

@@ -191,6 +191,11 @@ bool EvaluateCandidates(const Corpus& corpus, const InvertedIndex& index,
     }
 
     ++stats.tables_evaluated;
+    // The lazy corpus's materialization point: cells parse here, on first
+    // touch, for evaluated candidates only. Keeping this access *after* the
+    // rule-1 break above matters — pruned tables never materialize, which
+    // is what lets a small query finish without paying for a cold giant
+    // table it would only have pruned.
     const Table& table = corpus.table(cand.table_id);
     acc.Clear();
     int64_t rows_checked_here = 0;

@@ -31,11 +31,13 @@ Status ValidateShapeMatchesCorpus(const Corpus& corpus,
         " tables but the corpus has " + std::to_string(corpus.NumTables()));
   }
   for (TableId t = 0; t < corpus.NumTables(); ++t) {
-    if (rows_per_table[t] != corpus.table(t).NumRows()) {
+    // Shape accessor: cross-validation against a lazily opened corpus must
+    // parse zero cells (both sides come from their files' shape headers).
+    if (rows_per_table[t] != corpus.table_num_rows(t)) {
       return Status::Corruption(
           "index table " + std::to_string(t) + " has " +
           std::to_string(rows_per_table[t]) + " super keys but the corpus "
-          "table has " + std::to_string(corpus.table(t).NumRows()) + " rows");
+          "table has " + std::to_string(corpus.table_num_rows(t)) + " rows");
     }
   }
   return Status::OK();
@@ -66,6 +68,24 @@ struct Session::PendingLoad {
   std::thread thread;  // set when the pool is serial (inline Submit)
 };
 
+// Background corpus-warmer state. The warmer callable co-owns the table
+// store (Corpus::MakeWarmer), so materialization stays valid across Session
+// moves; the latch + join give QuiesceLoad a reliable drain. Always a
+// dedicated thread: pool Wait() is global, and a query's shard barrier must
+// never absorb a cold giant table's parse.
+struct Session::PendingWarm {
+  explicit PendingWarm(std::function<Status()> warmer_in)
+      : warmer(std::move(warmer_in)) {}
+  ~PendingWarm() {
+    if (thread.joinable()) thread.join();
+  }
+
+  std::function<Status()> warmer;
+  Latch done{1};
+  Status status;
+  std::thread thread;
+};
+
 Session::~Session() { QuiesceLoad(); }
 
 Session::Session(Session&&) noexcept = default;
@@ -83,14 +103,20 @@ Session& Session::operator=(Session&& other) noexcept {
     hash_family_ = other.hash_family_;
     build_report_ = std::move(other.build_report_);
     pending_ = std::move(other.pending_);
+    warm_ = std::move(other.warm_);
   }
   return *this;
 }
 
 void Session::QuiesceLoad() const {
-  if (pending_ == nullptr) return;
-  pending_->done.Wait();
-  if (pending_->thread.joinable()) pending_->thread.join();
+  if (pending_ != nullptr) {
+    pending_->done.Wait();
+    if (pending_->thread.joinable()) pending_->thread.join();
+  }
+  if (warm_ != nullptr) {
+    warm_->done.Wait();
+    if (warm_->thread.joinable()) warm_->thread.join();
+  }
 }
 
 Status Session::WaitUntilReady() const {
@@ -102,6 +128,18 @@ Status Session::WaitUntilReady() const {
 bool Session::index_ready() const {
   return pending_ == nullptr || pending_->done.TryWait();
 }
+
+Status Session::WaitCorpusResident() const {
+  if (warm_ != nullptr) {
+    warm_->done.Wait();
+    return warm_->status;
+  }
+  // No warmer running (eager/adopted corpora are already resident, this
+  // returns immediately; warm_corpus=false sessions materialize here).
+  return corpus_.MaterializeAll();
+}
+
+bool Session::corpus_resident() const { return corpus_.fully_resident(); }
 
 Result<Session> Session::Open(SessionOptions options) {
   Session session;
@@ -160,10 +198,27 @@ Result<Session> Session::Open(SessionOptions options) {
   }
 
   // ---- corpus (overlapped by phase 2 when phased) -------------------
+  // The default path-based load is *lazy*: mmap + stats header + table
+  // directory only, so the shape cross-validation below parses zero cells
+  // and Open's corpus cost is the directory walk. v1 files fall back to
+  // the eager legacy parse inside OpenCorpusLazy.
+  bool corpus_file_stats = false;
+  CorpusStats corpus_header_stats;
   if (options.corpus.has_value()) {
     session.corpus_ = std::move(*options.corpus);
+  } else if (options.eager_corpus) {
+    // Eager load keeps the v2 header's persisted stats too — eagerness
+    // changes residency, not whether Open must pay a ComputeStats scan.
+    MATE_ASSIGN_OR_RETURN(std::string data,
+                          ReadFileToString(options.corpus_path));
+    MATE_ASSIGN_OR_RETURN(
+        session.corpus_,
+        DeserializeCorpus(data, &corpus_header_stats, &corpus_file_stats));
   } else {
-    MATE_ASSIGN_OR_RETURN(session.corpus_, LoadCorpus(options.corpus_path));
+    MATE_ASSIGN_OR_RETURN(
+        session.corpus_,
+        OpenCorpusLazy(options.corpus_path, &corpus_header_stats,
+                       &corpus_file_stats));
   }
 
   // ---- remaining index sources + cross-validation -------------------
@@ -198,10 +253,30 @@ Result<Session> Session::Open(SessionOptions options) {
           ValidateIndexMatchesCorpus(session.corpus_, *session.index_));
     }
   }
+  // Stats priority: what the index was built with (hash parameterization
+  // must match), else the corpus v2 header's persisted stats (satisfying a
+  // lazy open without a scan), else the full ComputeStats scan — which
+  // materializes a lazy corpus, making it effectively eager.
+  if (!have_stats && corpus_file_stats) {
+    session.corpus_stats_ = corpus_header_stats;
+    have_stats = true;
+  }
   if (!have_stats) session.corpus_stats_ = session.corpus_.ComputeStats();
 
   if (options.cache_bytes > 0) {
     session.cache_ = std::make_unique<ResultCache>(options.cache_bytes);
+  }
+
+  // ---- background corpus warmer (last: no error return may follow) ---
+  // Spawned only when tables are actually cold; built/adopted/eager
+  // corpora (and lazy ones fully drained by a stats scan above) skip it.
+  if (options.warm_corpus && !session.corpus_.fully_resident()) {
+    auto warm = std::make_shared<PendingWarm>(session.corpus_.MakeWarmer());
+    session.warm_ = warm;
+    warm->thread = std::thread([state = warm] {
+      state->status = state->warmer();
+      state->done.CountDown();
+    });
   }
   return session;
 }
@@ -305,13 +380,25 @@ Result<DiscoveryResult> Session::Discover(const QuerySpec& spec) {
   }
   MATE_RETURN_IF_ERROR(ValidateQuery(spec));
   // The first query after a phased Open blocks here until postings and
-  // super keys are hot (and surfaces any deferred load corruption).
+  // super keys are hot (and surfaces any deferred load corruption). It
+  // does NOT wait for corpus residency: candidate tables materialize on
+  // demand, and a malformed cell blob — hit by this query or latched
+  // earlier by the warmer — surfaces as the sticky corpus status instead
+  // of a silently stubbed result.
   MATE_RETURN_IF_ERROR(WaitUntilReady());
-  if (cache_ == nullptr) return RunQuery(spec, /*intra_parallel=*/true);
+  MATE_RETURN_IF_ERROR(corpus_.load_status());
+  if (cache_ == nullptr) {
+    DiscoveryResult result = RunQuery(spec, /*intra_parallel=*/true);
+    MATE_RETURN_IF_ERROR(corpus_.load_status());
+    return result;
+  }
   const std::string key = FingerprintQuery(spec);
   DiscoveryResult result;
   if (cache_->Lookup(key, &result)) return result;
   result = RunQuery(spec, /*intra_parallel=*/true);
+  // Re-check before caching: a result computed over a stub table must
+  // neither be returned nor poison future hits.
+  MATE_RETURN_IF_ERROR(corpus_.load_status());
   cache_->Insert(key, result);
   return result;
 }
@@ -329,6 +416,7 @@ Result<BatchResult> Session::DiscoverBatch(
     }
   }
   MATE_RETURN_IF_ERROR(WaitUntilReady());
+  MATE_RETURN_IF_ERROR(corpus_.load_status());
   // The pool serves one parallelism axis at a time (its Wait() is global,
   // so shard fan-out cannot nest inside a query fan-out): a batch that
   // boils down to one uncached query routes it through the intra-query
@@ -345,8 +433,14 @@ Result<BatchResult> Session::DiscoverBatch(
     return batch;
   };
   if (cache_ == nullptr) {
-    if (specs.size() == 1) return single_query_batch(specs[0]);
-    return RunBatch(specs.size(), run_serial);
+    Result<BatchResult> batch = specs.size() == 1
+                                    ? single_query_batch(specs[0])
+                                    : RunBatch(specs.size(), run_serial);
+    // Queries racing the warmer materialize tables on demand; any blob
+    // corruption either side hit is latched — surface it, not a result
+    // computed over a shape stub.
+    MATE_RETURN_IF_ERROR(corpus_.load_status());
+    return batch;
   }
 
   Stopwatch wall;
@@ -392,6 +486,9 @@ Result<BatchResult> Session::DiscoverBatch(
           leaders.size(), [&](size_t j) { return run_serial(leaders[j]); },
           pool_.get());
     }
+    // Before any result is cached or distributed: results computed over a
+    // corrupt (stubbed) table must not be served or poison the cache.
+    MATE_RETURN_IF_ERROR(corpus_.load_status());
     size_t j = 0;
     for (const std::vector<size_t>& group : groups) {
       const size_t first = group.front();
@@ -444,6 +541,9 @@ Status Session::ResetHash(HashFamily family,
     return Status::InvalidArgument("session has no index to re-key");
   }
   MATE_RETURN_IF_ERROR(WaitUntilReady());
+  // Re-keying scans every cell: make the corpus resident first and refuse
+  // to hash shape stubs left behind by a corrupt blob.
+  MATE_RETURN_IF_ERROR(WaitCorpusResident());
   MATE_RETURN_IF_ERROR(
       index_->ResetHash(corpus_, std::move(hash), pool_->num_threads()));
   hash_family_ = family;
@@ -454,7 +554,13 @@ Status Session::ResetHash(HashFamily family,
 Status Session::Save(const std::string& corpus_path,
                      const std::string& index_path) const {
   MATE_RETURN_IF_ERROR(WaitUntilReady());
-  MATE_RETURN_IF_ERROR(SaveCorpus(corpus_, corpus_path));
+  // Serialization needs every cell: drain the warmer (or materialize
+  // inline) and refuse to persist a corpus whose blobs failed to parse.
+  MATE_RETURN_IF_ERROR(WaitCorpusResident());
+  // The stats land in the corpus v2 header, so reopening lazily needs no
+  // ComputeStats scan. Like the index's stored stats, they snapshot the
+  // corpus as of the last build/scan; maintenance edits can lag them.
+  MATE_RETURN_IF_ERROR(SaveCorpus(corpus_, corpus_stats_, corpus_path));
   if (index_ != nullptr) {
     MATE_RETURN_IF_ERROR(
         SaveIndex(*index_, hash_family_, corpus_stats_, index_path));

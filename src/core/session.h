@@ -9,6 +9,11 @@
 //     the mmap'd posting region and super keys stream in on the pool, and
 //     the first Discover blocks on a readiness latch (WaitUntilReady /
 //     SessionOptions::eager_load give explicit control);
+//   * loads the corpus *lazily* from a v2 file: Open parses only the shape
+//     header (stats + table directory) over the mmap'd image, queries
+//     materialize just the candidate tables they evaluate, and a dedicated
+//     background warmer streams the rest (WaitCorpusResident /
+//     SessionOptions::eager_corpus / warm_corpus give explicit control);
 //   * owns one long-lived work-stealing ThreadPool reused across batches
 //     (the per-batch worker spin-up of the raw engine is gone) and fans a
 //     single large query's sharded evaluation out over the same pool
@@ -121,6 +126,23 @@ struct SessionOptions {
   /// blocking Open: it returns only with the index hot and every load
   /// error surfaces from Open itself.
   bool eager_load = false;
+  /// Path-based corpus loads are *lazy* by default (corpus format v2): Open
+  /// mmaps the file, parses only the stats header and table directory, and
+  /// cross-validates shape against the index with zero cell parsing; each
+  /// table's cells materialize on its first access (queries touch only the
+  /// candidate tables the index surfaces) while a background warmer streams
+  /// the rest in. Results are bit-identical to an eager open — only *when*
+  /// cells parse moves. Set true to force the old fully materialized load:
+  /// Open returns with every cell resident and every corpus error surfaces
+  /// from Open itself. v1 corpus files always load eagerly (legacy path).
+  bool eager_corpus = false;
+  /// Background corpus warmer (lazy corpus only): a dedicated thread
+  /// materializes every table after Open returns, so steady-state queries
+  /// stop paying first-touch parses. It is a *dedicated* thread, not a pool
+  /// task — the pool's Wait() is global, and a query's shard barrier must
+  /// not absorb a giant table's parse. Set false to materialize strictly
+  /// on demand (benches isolating first-touch cost use this).
+  bool warm_corpus = true;
   /// Result-cache byte budget; 0 disables caching entirely.
   size_t cache_bytes = kDefaultCacheBytes;
   /// Cross-check that index super keys cover exactly the corpus's tables
@@ -166,6 +188,17 @@ class Session {
   /// loaded — whether the load succeeded or failed (WaitUntilReady tells
   /// which).
   bool index_ready() const;
+
+  /// Blocks until every corpus table is resident — draining the background
+  /// warmer when one is running, materializing inline otherwise — and
+  /// returns the corpus's sticky load status (kCorruption naming the table,
+  /// section, and byte offset on a malformed cell blob). Returns OK
+  /// immediately for eager, adopted, and built corpora. Queries do NOT wait
+  /// on this (on-demand materialization is the point); Save does.
+  Status WaitCorpusResident() const;
+
+  /// Non-blocking probe: true once every corpus table is resident.
+  bool corpus_resident() const;
 
   // ---- queries ------------------------------------------------------
 
@@ -228,8 +261,15 @@ class Session {
   /// Mutable access for §5.4 maintenance flows. The cache is NOT
   /// implicitly invalidated — call InvalidateCache() once the edit batch
   /// is complete (stale entries otherwise serve pre-edit results).
+  /// mutable_corpus() first drains corpus residency (the background warmer
+  /// writes table slots, and the store's mutation contract requires it to
+  /// be idle — AddTable may even reallocate under the warmer otherwise);
+  /// a materialization error is latched in corpus().load_status().
   /// mutable_index() has the same WaitUntilReady precondition as index().
-  Corpus* mutable_corpus() { return &corpus_; }
+  Corpus* mutable_corpus() {
+    (void)WaitCorpusResident();
+    return &corpus_;
+  }
   InvertedIndex* mutable_index() { return index_.get(); }
 
   /// Swaps the super-key hash (re-keying on the session pool) and
@@ -286,6 +326,11 @@ class Session {
   // task/thread shares it via shared_ptr, so it survives Session moves.
   struct PendingLoad;
   std::shared_ptr<PendingLoad> pending_;
+  // Background corpus-warmer state (null unless a lazy corpus is warming):
+  // the warmer thread runs a callable that co-owns the table store, so it
+  // survives Session moves; QuiesceLoad drains it before teardown.
+  struct PendingWarm;
+  std::shared_ptr<PendingWarm> warm_;
 };
 
 }  // namespace mate

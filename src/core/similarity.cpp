@@ -71,6 +71,9 @@ std::vector<DuplicateRowPair> DuplicateRowFinder::FindDuplicates(
     return (static_cast<uint64_t>(t) << 32) | r;
   };
   for (TableId t = 0; t < corpus_->NumTables(); ++t) {
+    // Shape check first: tables with no live rows contribute nothing, so a
+    // lazily loaded corpus never materializes them for this scan.
+    if (corpus_->table_num_live_rows(t) == 0) continue;
     const Table& table = corpus_->table(t);
     for (RowId r = 0; r < table.NumRows(); ++r) {
       if (table.IsRowDeleted(r)) continue;

@@ -8,6 +8,7 @@
 #include "storage/corpus_io.h"
 #include "util/coding.h"
 #include "util/mapped_file.h"
+#include "util/parse_cursor.h"
 
 namespace mate {
 
@@ -16,65 +17,6 @@ constexpr char kMagic[] = "MATEINDX";
 constexpr size_t kMagicLen = 8;
 // v2: shape section ahead of the dictionary, size-prefixed posting region.
 constexpr uint32_t kVersion = 2;
-
-void PutDouble(std::string* out, double d) {
-  uint64_t bits;
-  static_assert(sizeof(bits) == sizeof(d));
-  std::memcpy(&bits, &d, sizeof(bits));
-  PutFixed64(out, bits);
-}
-
-bool GetDouble(std::string_view* input, double* d) {
-  uint64_t bits = 0;
-  if (!GetFixed64(input, &bits)) return false;
-  std::memcpy(d, &bits, sizeof(bits));
-  return true;
-}
-
-void PutStats(std::string* out, const CorpusStats& stats) {
-  PutVarint64(out, stats.num_tables);
-  PutVarint64(out, stats.num_columns);
-  PutVarint64(out, stats.num_rows);
-  PutVarint64(out, stats.num_cells);
-  PutVarint64(out, stats.num_unique_values);
-  PutDouble(out, stats.avg_columns_per_table);
-  PutDouble(out, stats.avg_rows_per_table);
-  for (uint64_t count : stats.char_counts) PutVarint64(out, count);
-}
-
-bool GetStats(std::string_view* input, CorpusStats* stats) {
-  if (!GetVarint64(input, &stats->num_tables)) return false;
-  if (!GetVarint64(input, &stats->num_columns)) return false;
-  if (!GetVarint64(input, &stats->num_rows)) return false;
-  if (!GetVarint64(input, &stats->num_cells)) return false;
-  if (!GetVarint64(input, &stats->num_unique_values)) return false;
-  if (!GetDouble(input, &stats->avg_columns_per_table)) return false;
-  if (!GetDouble(input, &stats->avg_rows_per_table)) return false;
-  for (uint64_t& count : stats->char_counts) {
-    if (!GetVarint64(input, &count)) return false;
-  }
-  return true;
-}
-
-// Parse position over one image; every corruption error names the section
-// being parsed and the byte offset where parsing stopped, so a failure in a
-// multi-hundred-MB file is actionable instead of "bad index".
-struct ParseCursor {
-  std::string_view remaining;
-  const char* base = nullptr;
-  size_t image_size = 0;
-  const char* section = "header";
-
-  size_t offset() const {
-    return base == nullptr ? 0
-                           : static_cast<size_t>(remaining.data() - base);
-  }
-  Status Corrupt(const std::string& what) const {
-    return Status::Corruption(
-        "index: " + what + " (" + section + " section, byte offset " +
-        std::to_string(offset()) + " of " + std::to_string(image_size) + ")");
-  }
-};
 
 }  // namespace
 
@@ -126,7 +68,9 @@ class IndexLoader {
     if (data->empty()) return cursor.Corrupt("truncated stats flag");
     const uint8_t used_stats = static_cast<uint8_t>((*data)[0]);
     data->remove_prefix(1);
-    if (!GetStats(data, &impl->stats)) {
+    // Shared CorpusStats codec (storage/corpus.h) — the corpus v2 header
+    // persists the same block.
+    if (!ParseCorpusStats(data, &impl->stats)) {
       return cursor.Corrupt("bad corpus stats");
     }
 
@@ -204,7 +148,7 @@ class IndexLoader {
   static Status ParsePhase2(PhasedIndexLoad::Impl* impl) {
     InvertedIndex* index = impl->target;
     ParseCursor cursor{impl->posting_region, impl->cursor.base,
-                       impl->cursor.image_size, "postings"};
+                       impl->cursor.image_size, "index", "postings"};
     std::string_view* data = &cursor.remaining;
     index->postings_.reserve(static_cast<size_t>(impl->num_lists));
     for (uint64_t i = 0; i < impl->num_lists; ++i) {
@@ -244,7 +188,7 @@ class IndexLoader {
 
     // Super keys.
     cursor = ParseCursor{impl->superkey_region, impl->cursor.base,
-                         impl->cursor.image_size, "super-key"};
+                         impl->cursor.image_size, "index", "super-key"};
     const size_t section_start = cursor.offset();
     data = &cursor.remaining;
     auto store = SuperKeyStore::ParseFrom(data);
@@ -291,7 +235,8 @@ class IndexLoader {
                                                         HashFamily* family,
                                                         CorpusStats* stats) {
     PhasedIndexLoad::Impl impl;
-    impl.cursor = ParseCursor{data, data.data(), data.size(), "header"};
+    impl.cursor =
+        ParseCursor{data, data.data(), data.size(), "index", "header"};
     MATE_RETURN_IF_ERROR(ParsePhase1(&impl));
     if (family != nullptr) *family = impl.family;
     if (stats != nullptr) *stats = impl.stats;
@@ -311,7 +256,7 @@ Result<PhasedIndexLoad> PhasedIndexLoad::Begin(const std::string& path) {
   MATE_ASSIGN_OR_RETURN(load.impl_->file, MappedFile::Open(path));
   const std::string_view image = load.impl_->file.view();
   load.impl_->cursor = ParseCursor{image, image.data(), image.size(),
-                                   "header"};
+                                   "index", "header"};
   MATE_RETURN_IF_ERROR(IndexLoader::ParsePhase1(load.impl_.get()));
   return load;
 }
@@ -356,7 +301,7 @@ void SerializeIndex(const InvertedIndex& index, HashFamily family,
   PutVarint64(out, index.hash_bits());
   // Heuristic: stats were "used" iff they are non-empty.
   out->push_back(stats.num_cells > 0 ? '\x01' : '\x00');
-  PutStats(out, stats);
+  AppendCorpusStats(out, stats);
 
   // Shape section (v2): per-table super-key row counts.
   const std::vector<uint64_t> rows_per_table = index.superkeys().RowCounts();

@@ -10,9 +10,10 @@ IndexShards IndexShards::Build(const Corpus& corpus, size_t num_shards) {
   std::vector<uint64_t> weights;
   weights.reserve(corpus.NumTables());
   for (TableId t = 0; t < corpus.NumTables(); ++t) {
-    const Table& table = corpus.table(t);
-    weights.push_back(static_cast<uint64_t>(table.NumRows()) *
-                      static_cast<uint64_t>(table.NumColumns()));
+    // Shape accessors only: shard planning runs on every sharded query and
+    // must not materialize a lazily loaded corpus to weigh it.
+    weights.push_back(static_cast<uint64_t>(corpus.table_num_rows(t)) *
+                      static_cast<uint64_t>(corpus.table_num_columns(t)));
   }
   return BuildFromWeights(weights, num_shards);
 }

@@ -1,11 +1,31 @@
 #include "storage/corpus.h"
 
+#include <cstring>
 #include <sstream>
 #include <unordered_set>
 
+#include "util/coding.h"
 #include "util/string_util.h"
 
 namespace mate {
+
+namespace {
+
+void PutDouble(std::string* out, double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  PutFixed64(out, bits);
+}
+
+bool GetDouble(std::string_view* input, double* d) {
+  uint64_t bits = 0;
+  if (!GetFixed64(input, &bits)) return false;
+  std::memcpy(d, &bits, sizeof(bits));
+  return true;
+}
+
+}  // namespace
 
 std::string CorpusStats::ToString() const {
   std::ostringstream os;
@@ -17,16 +37,46 @@ std::string CorpusStats::ToString() const {
   return os.str();
 }
 
-TableId Corpus::AddTable(Table table) {
-  tables_.push_back(std::move(table));
-  return static_cast<TableId>(tables_.size() - 1);
+bool operator==(const CorpusStats& a, const CorpusStats& b) {
+  return a.num_tables == b.num_tables && a.num_columns == b.num_columns &&
+         a.num_rows == b.num_rows && a.num_cells == b.num_cells &&
+         a.num_unique_values == b.num_unique_values &&
+         a.avg_columns_per_table == b.avg_columns_per_table &&
+         a.avg_rows_per_table == b.avg_rows_per_table &&
+         a.char_counts == b.char_counts;
+}
+
+void AppendCorpusStats(std::string* out, const CorpusStats& stats) {
+  PutVarint64(out, stats.num_tables);
+  PutVarint64(out, stats.num_columns);
+  PutVarint64(out, stats.num_rows);
+  PutVarint64(out, stats.num_cells);
+  PutVarint64(out, stats.num_unique_values);
+  PutDouble(out, stats.avg_columns_per_table);
+  PutDouble(out, stats.avg_rows_per_table);
+  for (uint64_t count : stats.char_counts) PutVarint64(out, count);
+}
+
+bool ParseCorpusStats(std::string_view* input, CorpusStats* stats) {
+  if (!GetVarint64(input, &stats->num_tables)) return false;
+  if (!GetVarint64(input, &stats->num_columns)) return false;
+  if (!GetVarint64(input, &stats->num_rows)) return false;
+  if (!GetVarint64(input, &stats->num_cells)) return false;
+  if (!GetVarint64(input, &stats->num_unique_values)) return false;
+  if (!GetDouble(input, &stats->avg_columns_per_table)) return false;
+  if (!GetDouble(input, &stats->avg_rows_per_table)) return false;
+  for (uint64_t& count : stats->char_counts) {
+    if (!GetVarint64(input, &count)) return false;
+  }
+  return true;
 }
 
 CorpusStats Corpus::ComputeStats() const {
   CorpusStats stats;
   std::unordered_set<std::string> uniques;
-  stats.num_tables = tables_.size();
-  for (const Table& t : tables_) {
+  stats.num_tables = NumTables();
+  for (TableId id = 0; id < NumTables(); ++id) {
+    const Table& t = table(id);
     stats.num_columns += t.NumColumns();
     stats.num_rows += t.NumLiveRows();
     for (RowId r = 0; r < t.NumRows(); ++r) {
@@ -47,6 +97,29 @@ CorpusStats Corpus::ComputeStats() const {
         static_cast<double>(stats.num_rows) / stats.num_tables;
   }
   return stats;
+}
+
+bool CorporaEqual(const Corpus& a, const Corpus& b) {
+  if (a.NumTables() != b.NumTables()) return false;
+  for (TableId t = 0; t < a.NumTables(); ++t) {
+    const Table& ta = a.table(t);
+    const Table& tb = b.table(t);
+    if (ta.name() != tb.name() || ta.NumColumns() != tb.NumColumns() ||
+        ta.NumRows() != tb.NumRows() ||
+        ta.NumLiveRows() != tb.NumLiveRows()) {
+      return false;
+    }
+    for (ColumnId c = 0; c < ta.NumColumns(); ++c) {
+      if (ta.column_name(c) != tb.column_name(c)) return false;
+    }
+    for (RowId r = 0; r < ta.NumRows(); ++r) {
+      if (ta.IsRowDeleted(r) != tb.IsRowDeleted(r)) return false;
+      for (ColumnId c = 0; c < ta.NumColumns(); ++c) {
+        if (ta.cell(r, c) != tb.cell(r, c)) return false;
+      }
+    }
+  }
+  return true;
 }
 
 }  // namespace mate

@@ -1,11 +1,27 @@
 // Binary corpus persistence. The format is versioned and length-prefixed so
 // readers can detect truncation and corruption.
 //
-//   [magic "MATECORP"] [version u32]
-//   [num_tables varint]
-//   per table: [name lp] [num_cols varint] [col names lp...]
-//              [num_rows varint] [deleted bitmap bytes]
-//              cells column-major, each length-prefixed
+// Format v2 is laid out for lazy materialization, mirroring index format
+// v2: everything a serving process needs to validate shape and answer
+// "which tables could matter" sits ahead of the bulky cells, and the cell
+// region is size-prefixed so its extent is bounds-checked without parsing
+// a single cell.
+//
+//   [magic "MATECORP"] [version u32 = 2]
+//   stats section:    [stats-present u8] [CorpusStats]
+//   table directory:  [num_tables varint]
+//     per table: [name lp] [num_cols varint] [col names lp...]
+//                [num_rows varint] [deleted bitmap lp] [cell_bytes varint]
+//   cell region:      [region total fixed64]
+//     per table: cells column-major, each length-prefixed (cell_bytes each)
+//
+// Format v1 (no stats, cells inline with each table header) still loads —
+// eagerly — through every reader here; `mate_cli convert-corpus` migrates
+// v1 files in place.
+//
+// Load errors are section- and offset-aware: a truncated or corrupt image
+// names the section ("table directory", "cell region", ...) and the byte
+// offset where parsing stopped, not just a generic failure.
 
 #ifndef MATE_STORAGE_CORPUS_IO_H_
 #define MATE_STORAGE_CORPUS_IO_H_
@@ -17,17 +33,44 @@
 
 namespace mate {
 
-/// Serializes `corpus` into `out` (replacing its contents).
+/// Serializes `corpus` into `out` (replacing its contents) without
+/// persisted stats — lazy opens of the result fall back to a ComputeStats
+/// scan. Prefer the stats overload when stats are at hand (Session::Save
+/// passes its own).
 void SerializeCorpus(const Corpus& corpus, std::string* out);
 
-/// Parses a corpus serialized by SerializeCorpus.
-Result<Corpus> DeserializeCorpus(std::string_view data);
+/// Same, embedding `stats` in the v2 header so a lazy open loads them
+/// instead of re-scanning the corpus.
+void SerializeCorpus(const Corpus& corpus, const CorpusStats& stats,
+                     std::string* out);
+
+/// The legacy v1 writer, kept for migration round-trip tests (v1 images
+/// exercise the compatibility path in every reader).
+void SerializeCorpusV1(const Corpus& corpus, std::string* out);
+
+/// Parses a corpus serialized by any SerializeCorpus flavor, fully
+/// materialized. When non-null, `stats`/`stats_present` receive the v2
+/// header's persisted statistics (v1 images report stats_present = false).
+Result<Corpus> DeserializeCorpus(std::string_view data,
+                                 CorpusStats* stats = nullptr,
+                                 bool* stats_present = nullptr);
 
 /// Writes the serialized corpus to `path` (atomically via rename).
 Status SaveCorpus(const Corpus& corpus, const std::string& path);
+Status SaveCorpus(const Corpus& corpus, const CorpusStats& stats,
+                  const std::string& path);
 
-/// Reads a corpus written by SaveCorpus.
+/// Reads a corpus written by SaveCorpus, fully materialized.
 Result<Corpus> LoadCorpus(const std::string& path);
+
+/// Opens `path` lazily: mmaps the image, parses only the stats section and
+/// table directory (bounds-checking the cell region extent), and returns a
+/// corpus whose tables materialize on first access — Session::Open's
+/// default corpus path. v1 images fall back to the eager legacy load
+/// (fully resident on return). `stats`/`stats_present` as above.
+Result<Corpus> OpenCorpusLazy(const std::string& path,
+                              CorpusStats* stats = nullptr,
+                              bool* stats_present = nullptr);
 
 /// Reads/writes a whole file (shared with index_io).
 Status WriteFileAtomic(const std::string& path, std::string_view contents);

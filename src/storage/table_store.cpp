@@ -1,0 +1,273 @@
+#include "storage/table_store.h"
+
+#include <atomic>
+#include <mutex>
+#include <utility>
+
+#include "util/coding.h"
+
+namespace mate {
+
+namespace {
+
+// Rebuilds a table of `shape` with every cell empty — what a failed blob
+// parse leaves behind. Shape-complete (columns, row count, tombstones), so
+// downstream cell accesses stay in bounds; the sticky status is what makes
+// the failure visible.
+Table MakeShapeStub(const TableShape& shape) {
+  Table stub(shape.name);
+  for (const std::string& column : shape.column_names) stub.AddColumn(column);
+  std::vector<std::string> empty_row(shape.column_names.size());
+  for (uint64_t r = 0; r < shape.num_rows; ++r) {
+    (void)stub.AppendRow(empty_row);
+    if ((shape.deleted_bitmap[r / 8] >> (r % 8)) & 1) {
+      (void)stub.DeleteRow(static_cast<RowId>(r));
+    }
+  }
+  return stub;
+}
+
+}  // namespace
+
+struct TableStore::Impl {
+  // Slots [0, num_lazy) are backed by `shapes`; anything beyond was Add'ed
+  // resident. The vector is sized once at Lazy() — concurrent materializers
+  // write distinct slots and never resize, so element addresses are stable.
+  std::vector<Table> tables;
+  std::vector<TableShape> shapes;
+  std::unique_ptr<std::once_flag[]> once;
+  // resident[t] is stored with release order after the slot's parse; shape
+  // accessors acquire-load it to decide between the header and the live
+  // table (which Mutable may have reshaped).
+  std::unique_ptr<std::atomic<uint8_t>[]> resident;
+  MappedFile backing;
+  size_t num_lazy = 0;
+  uint64_t image_size = 0;
+  std::atomic<size_t> resident_count{0};
+  std::atomic<bool> has_error{false};
+  mutable std::mutex mu;  // guards `error` and the backing release
+  Status error;
+
+  bool SlotResident(TableId t) const {
+    return t >= num_lazy ||
+           resident[t].load(std::memory_order_acquire) != 0;
+  }
+
+  // The body run under the slot's once-latch: parse (or stub), publish.
+  void Materialize(TableId t) {
+    const TableShape& shape = shapes[t];
+    Table table(shape.name);
+    for (const std::string& column : shape.column_names) {
+      table.AddColumn(column);
+    }
+    const std::string_view image = backing.view();
+    Status status =
+        ParseTableCells(shape,
+                        image.substr(static_cast<size_t>(shape.cell_offset),
+                                     static_cast<size_t>(shape.cell_bytes)),
+                        image_size, &table);
+    if (!status.ok()) {
+      table = MakeShapeStub(shape);
+      std::lock_guard<std::mutex> lock(mu);
+      if (!has_error.load(std::memory_order_relaxed)) {
+        error = status;
+        has_error.store(true, std::memory_order_release);
+      }
+    }
+    tables[t] = std::move(table);
+    resident[t].store(1, std::memory_order_release);
+    // The thread whose slot completes the set releases the mapping: every
+    // other slot's parse has finished (its count preceded ours), so nothing
+    // reads the image again.
+    if (resident_count.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        num_lazy) {
+      std::lock_guard<std::mutex> lock(mu);
+      backing.Release();
+    }
+  }
+
+  void Ensure(TableId t) {
+    if (t < num_lazy && resident[t].load(std::memory_order_acquire) == 0) {
+      std::call_once(once[t], [this, t] { Materialize(t); });
+    }
+  }
+
+  Status LoadStatus() const {
+    if (!has_error.load(std::memory_order_acquire)) return Status::OK();
+    std::lock_guard<std::mutex> lock(mu);
+    return error;
+  }
+
+  Status MaterializeAll() {
+    for (TableId t = 0; t < num_lazy; ++t) Ensure(t);
+    return LoadStatus();
+  }
+};
+
+TableStore::TableStore() : impl_(std::make_shared<Impl>()) {}
+TableStore::~TableStore() = default;
+TableStore::TableStore(TableStore&&) noexcept = default;
+TableStore& TableStore::operator=(TableStore&&) noexcept = default;
+
+TableStore TableStore::Lazy(std::vector<TableShape> shapes,
+                            MappedFile backing) {
+  TableStore store;
+  Impl* impl = store.impl_.get();
+  impl->num_lazy = shapes.size();
+  impl->image_size = backing.size();
+  impl->shapes = std::move(shapes);
+  impl->backing = std::move(backing);
+  impl->tables.resize(impl->num_lazy);
+  impl->once = std::make_unique<std::once_flag[]>(impl->num_lazy);
+  impl->resident =
+      std::make_unique<std::atomic<uint8_t>[]>(impl->num_lazy);
+  for (size_t t = 0; t < impl->num_lazy; ++t) {
+    impl->resident[t].store(0, std::memory_order_relaxed);
+  }
+  if (impl->num_lazy == 0) impl->backing.Release();
+  return store;
+}
+
+size_t TableStore::NumTables() const { return impl_->tables.size(); }
+
+TableId TableStore::Add(Table table) {
+  impl_->tables.push_back(std::move(table));
+  return static_cast<TableId>(impl_->tables.size() - 1);
+}
+
+const Table& TableStore::Get(TableId t) const {
+  impl_->Ensure(t);
+  return impl_->tables[t];
+}
+
+Status TableStore::EnsureTable(TableId t) const {
+  impl_->Ensure(t);
+  return impl_->LoadStatus();
+}
+
+Status TableStore::MaterializeAll() const { return impl_->MaterializeAll(); }
+
+std::function<Status()> TableStore::MakeWarmer() const {
+  std::shared_ptr<Impl> impl = impl_;
+  return [impl] { return impl->MaterializeAll(); };
+}
+
+Table* TableStore::Mutable(TableId t) {
+  impl_->Ensure(t);
+  return &impl_->tables[t];
+}
+
+const std::string& TableStore::table_name(TableId t) const {
+  const Impl* impl = impl_.get();
+  if (!impl->SlotResident(t)) return impl->shapes[t].name;
+  return impl->tables[t].name();
+}
+
+size_t TableStore::table_num_columns(TableId t) const {
+  const Impl* impl = impl_.get();
+  if (!impl->SlotResident(t)) return impl->shapes[t].column_names.size();
+  return impl->tables[t].NumColumns();
+}
+
+const std::string& TableStore::column_name(TableId t, ColumnId c) const {
+  const Impl* impl = impl_.get();
+  if (!impl->SlotResident(t)) return impl->shapes[t].column_names[c];
+  return impl->tables[t].column_name(c);
+}
+
+size_t TableStore::table_num_rows(TableId t) const {
+  const Impl* impl = impl_.get();
+  if (!impl->SlotResident(t)) {
+    return static_cast<size_t>(impl->shapes[t].num_rows);
+  }
+  return impl->tables[t].NumRows();
+}
+
+size_t TableStore::table_num_live_rows(TableId t) const {
+  const Impl* impl = impl_.get();
+  if (!impl->SlotResident(t)) {
+    return static_cast<size_t>(impl->shapes[t].num_rows -
+                               impl->shapes[t].num_deleted_rows);
+  }
+  return impl->tables[t].NumLiveRows();
+}
+
+bool TableStore::IsResident(TableId t) const {
+  return impl_->SlotResident(t);
+}
+
+size_t TableStore::tables_resident() const {
+  const Impl* impl = impl_.get();
+  return impl->resident_count.load(std::memory_order_acquire) +
+         (impl->tables.size() - impl->num_lazy);
+}
+
+bool TableStore::fully_resident() const {
+  const Impl* impl = impl_.get();
+  return impl->resident_count.load(std::memory_order_acquire) ==
+         impl->num_lazy;
+}
+
+Status TableStore::load_status() const { return impl_->LoadStatus(); }
+
+Status ParseTableCells(const TableShape& shape, std::string_view blob,
+                       uint64_t image_size, Table* out) {
+  std::string_view data = blob;
+  const auto corrupt = [&](const std::string& what) {
+    return Status::Corruption(
+        "corpus: " + what + " (cell region, table '" + shape.name +
+        "', byte offset " +
+        std::to_string(shape.cell_offset + (blob.size() - data.size())) +
+        " of " + std::to_string(image_size) + ")");
+  };
+  const size_t num_cols = shape.column_names.size();
+  const uint64_t num_rows = shape.num_rows;
+  // Cells are column-major on disk; gather them row-wise to append.
+  std::vector<std::vector<std::string>> cols(num_cols);
+  for (size_t c = 0; c < num_cols; ++c) {
+    cols[c].reserve(static_cast<size_t>(num_rows));
+    for (uint64_t r = 0; r < num_rows; ++r) {
+      std::string_view cell;
+      if (!GetLengthPrefixed(&data, &cell)) {
+        return corrupt("truncated cell");
+      }
+      cols[c].emplace_back(cell);
+    }
+  }
+  if (!data.empty()) {
+    return corrupt(std::to_string(data.size()) +
+                   " trailing bytes after the table's cells");
+  }
+  for (uint64_t r = 0; r < num_rows; ++r) {
+    std::vector<std::string> row;
+    row.reserve(num_cols);
+    for (size_t c = 0; c < num_cols; ++c) row.push_back(std::move(cols[c][r]));
+    Result<RowId> row_id = out->AppendRow(std::move(row));
+    if (!row_id.ok()) return row_id.status();
+    if ((shape.deleted_bitmap[r / 8] >> (r % 8)) & 1) {
+      MATE_RETURN_IF_ERROR(out->DeleteRow(*row_id));
+    }
+  }
+  return Status::OK();
+}
+
+void AppendTableCells(const Table& table, std::string* out) {
+  for (ColumnId c = 0; c < table.NumColumns(); ++c) {
+    for (RowId r = 0; r < table.NumRows(); ++r) {
+      PutLengthPrefixed(out, table.cell(r, c));
+    }
+  }
+}
+
+uint64_t TableCellBytes(const Table& table) {
+  uint64_t bytes = 0;
+  for (ColumnId c = 0; c < table.NumColumns(); ++c) {
+    for (RowId r = 0; r < table.NumRows(); ++r) {
+      const size_t cell = table.cell(r, c).size();
+      bytes += VarintLength(cell) + cell;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace mate

@@ -1,0 +1,149 @@
+// TableStore — the residency layer under a Corpus. It decouples "the corpus
+// exists and has this shape" from "this table's cells are resident":
+//
+//   * a *resident* store owns fully materialized Tables (the classic
+//     in-memory corpus: built from CSVs, adopted, or eagerly deserialized);
+//   * a *lazy* store is built from a corpus-format-v2 shape header plus the
+//     mmap'd file image: names, column names, row counts, and tombstone
+//     bitmaps are known up front, while each table's cells parse on the
+//     first Get(t) — thread-safe via a per-table once-latch, so concurrent
+//     queries (and the session's background warmer) race safely and parse
+//     each table exactly once.
+//
+// The discovery loop (Algorithm 1, §6) only ever touches the candidate
+// tables the index surfaces, so a lake of thousands of tables pays
+// materialization cost only for the handful a query evaluates — the same
+// access-locality argument storage engines make for lazy page/record
+// materialization.
+//
+// Failure model: a table whose cell blob is corrupt materializes as a
+// *shape-complete stub* (declared columns and row count, empty cells, the
+// header's tombstones) so no caller indexes out of bounds, and the first
+// error is latched into load_status() with the section and byte offset —
+// a corrupt table is therefore never silently empty: the sticky status
+// names it, and Session surfaces it from every query path.
+//
+// Thread-safety: Get/EnsureTable/MaterializeAll/shape accessors and the
+// warmer may run concurrently. Add/Mutable (and moving the store) require
+// the store to be otherwise idle, mirroring Session's mutation contract.
+
+#ifndef MATE_STORAGE_TABLE_STORE_H_
+#define MATE_STORAGE_TABLE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/table.h"
+#include "storage/types.h"
+#include "util/mapped_file.h"
+#include "util/status.h"
+
+namespace mate {
+
+/// Everything the corpus-format-v2 table directory records about one table:
+/// the full shape and the byte extent of its cell blob in the backing image.
+struct TableShape {
+  std::string name;
+  std::vector<std::string> column_names;
+  uint64_t num_rows = 0;
+  uint64_t num_deleted_rows = 0;
+  /// Tombstones, bit r of byte r/8; (num_rows + 7) / 8 bytes.
+  std::string deleted_bitmap;
+  /// Absolute byte offset / size of the cell blob in the backing image.
+  uint64_t cell_offset = 0;
+  uint64_t cell_bytes = 0;
+};
+
+class TableStore {
+ public:
+  /// An empty resident store (Add tables to it).
+  TableStore();
+  ~TableStore();
+
+  TableStore(TableStore&&) noexcept;
+  TableStore& operator=(TableStore&&) noexcept;
+  TableStore(const TableStore&) = delete;
+  TableStore& operator=(const TableStore&) = delete;
+
+  /// A lazy store over `backing`: the shapes come from a parsed v2 table
+  /// directory whose cell extents the parser has already bounds-checked
+  /// against the image. Cells materialize per table on first access; the
+  /// mapping is released once every table is resident.
+  static TableStore Lazy(std::vector<TableShape> shapes, MappedFile backing);
+
+  size_t NumTables() const;
+
+  /// Appends a resident table. Requires the store to be idle.
+  TableId Add(Table table);
+
+  // ---- cells (materialize on demand) --------------------------------
+
+  /// The table, materializing its cells on first access (blocking; other
+  /// threads asking for the same table wait on the per-table once-latch).
+  /// A failed parse yields a shape-complete stub and latches load_status().
+  const Table& Get(TableId t) const;
+
+  /// Get + error channel: materializes `t` and returns the store's sticky
+  /// status, so callers that can propagate errors see the parse failure
+  /// (with section + byte offset) instead of a stub.
+  Status EnsureTable(TableId t) const;
+
+  /// Materializes every table (the warmer's body; also what Save uses).
+  /// Returns the sticky status — OK iff every cell blob parsed.
+  Status MaterializeAll() const;
+
+  /// A self-contained callable running MaterializeAll: it shares ownership
+  /// of the store's state, so a background warmer stays valid even if the
+  /// store (or its owning Corpus/Session) is moved while it runs.
+  std::function<Status()> MakeWarmer() const;
+
+  /// Mutable access materializes first (§5.4 maintenance edits need the
+  /// cells). Requires the store to be otherwise idle.
+  Table* Mutable(TableId t);
+
+  // ---- shape (never materializes) -----------------------------------
+
+  const std::string& table_name(TableId t) const;
+  size_t table_num_columns(TableId t) const;
+  const std::string& column_name(TableId t, ColumnId c) const;
+  size_t table_num_rows(TableId t) const;
+  size_t table_num_live_rows(TableId t) const;
+
+  // ---- residency ----------------------------------------------------
+
+  bool IsResident(TableId t) const;
+  size_t tables_resident() const;
+  bool fully_resident() const;
+
+  /// Sticky first materialization error (section + byte offset), OK while
+  /// every parse so far has succeeded.
+  Status load_status() const;
+
+ private:
+  struct Impl;
+  // Shared with warmers so background materialization survives moves.
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Parses one table's cell blob (cells column-major, each length-prefixed —
+/// the encoding shared by corpus formats v1 and v2) into `out`, which must
+/// already carry the shape's name and columns; appends the rows and applies
+/// the tombstone bitmap. Errors name the table and the absolute byte offset
+/// within the `image_size`-byte image (the blob starts at
+/// `shape.cell_offset`).
+Status ParseTableCells(const TableShape& shape, std::string_view blob,
+                       uint64_t image_size, Table* out);
+
+/// Serializes `table`'s cells in the same blob encoding.
+void AppendTableCells(const Table& table, std::string* out);
+
+/// Byte size AppendTableCells would append — the directory's cell_bytes.
+uint64_t TableCellBytes(const Table& table);
+
+}  // namespace mate
+
+#endif  // MATE_STORAGE_TABLE_STORE_H_

@@ -1,0 +1,38 @@
+// Parse position over one serialized image, shared by the corpus and index
+// loaders. Every corruption error names the format, the section being
+// parsed, and the byte offset where parsing stopped, so a failure in a
+// multi-GB file is actionable instead of "bad file".
+
+#ifndef MATE_UTIL_PARSE_CURSOR_H_
+#define MATE_UTIL_PARSE_CURSOR_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace mate {
+
+struct ParseCursor {
+  std::string_view remaining;
+  const char* base = nullptr;
+  size_t image_size = 0;
+  /// Format tag for messages, e.g. "index" or "corpus".
+  const char* format = "image";
+  const char* section = "header";
+
+  size_t offset() const {
+    return base == nullptr ? 0
+                           : static_cast<size_t>(remaining.data() - base);
+  }
+  Status Corrupt(const std::string& what) const {
+    return Status::Corruption(
+        std::string(format) + ": " + what + " (" + section +
+        " section, byte offset " + std::to_string(offset()) + " of " +
+        std::to_string(image_size) + ")");
+  }
+};
+
+}  // namespace mate
+
+#endif  // MATE_UTIL_PARSE_CURSOR_H_

@@ -80,7 +80,9 @@ std::vector<QueryCase> GenerateQueries(Corpus* corpus,
   // Corpus tables wide enough to host a planted mapping.
   std::vector<TableId> plantable;
   for (TableId t = 0; t < corpus->NumTables(); ++t) {
-    if (corpus->table(t).NumColumns() >= spec.key_size) plantable.push_back(t);
+    if (corpus->table_num_columns(t) >= spec.key_size) {
+      plantable.push_back(t);
+    }
   }
 
   for (size_t q = 0; q < spec.num_queries; ++q) {

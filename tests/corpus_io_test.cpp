@@ -94,5 +94,53 @@ TEST(CorpusIoTest, EmptyCorpusRoundTrip) {
   EXPECT_EQ(loaded->NumTables(), 0u);
 }
 
+TEST(CorpusIoTest, StatsRoundTripThroughTheHeader) {
+  Corpus corpus = MakeCorpus();
+  const CorpusStats stats = corpus.ComputeStats();
+  std::string bytes;
+  SerializeCorpus(corpus, stats, &bytes);
+  CorpusStats loaded_stats;
+  bool present = false;
+  auto loaded = DeserializeCorpus(bytes, &loaded_stats, &present);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(present);
+  EXPECT_TRUE(loaded_stats == stats);
+  ExpectCorporaEqual(corpus, *loaded);
+
+  // The stats-less writer marks them absent (all-zero payload).
+  SerializeCorpus(corpus, &bytes);
+  present = true;
+  auto plain = DeserializeCorpus(bytes, &loaded_stats, &present);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(present);
+}
+
+TEST(CorpusIoTest, LazyOpenRoundTripsAndServesStats) {
+  Corpus corpus = MakeCorpus();
+  const CorpusStats stats = corpus.ComputeStats();
+  const std::string path = testing::TempDir() + "/mate_corpus_io_lazy.bin";
+  ASSERT_TRUE(SaveCorpus(corpus, stats, path).ok());
+  CorpusStats loaded_stats;
+  bool present = false;
+  auto lazy = OpenCorpusLazy(path, &loaded_stats, &present);
+  ASSERT_TRUE(lazy.ok()) << lazy.status().ToString();
+  EXPECT_TRUE(present);
+  EXPECT_TRUE(loaded_stats == stats);
+  EXPECT_FALSE(lazy->fully_resident());  // header only so far
+  ExpectCorporaEqual(corpus, *lazy);     // materializes on access
+  EXPECT_TRUE(lazy->fully_resident());
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, V1WriterRoundTripsThroughEveryReader) {
+  Corpus corpus = MakeCorpus();
+  std::string v1;
+  SerializeCorpusV1(corpus, &v1);
+  auto eager = DeserializeCorpus(v1);
+  ASSERT_TRUE(eager.ok()) << eager.status().ToString();
+  ExpectCorporaEqual(corpus, *eager);
+  EXPECT_TRUE(CorporaEqual(corpus, *eager));
+}
+
 }  // namespace
 }  // namespace mate

@@ -4,9 +4,13 @@
 // must block on readiness and return results bit-identical to eager load
 // across threads {1,4} and shards {1,8} (the serial-pool case exercises the
 // dedicated loader thread, the 4-thread case the pool task; TSan guards the
-// latch discipline). Also covers: DiscoverBatch racing the latch, Save
-// draining the load, move/destroy while warming, and the eager_load escape
-// hatch.
+// latch discipline). Lazy sessions here are lazy on BOTH axes: the index
+// streams behind the readiness latch while corpus tables materialize on
+// demand, with queries racing the background corpus warmer. Also covers:
+// DiscoverBatch racing the latches, Save draining load + warmer,
+// move/destroy while warming, the eager_load / eager_corpus escape
+// hatches, header-served corpus stats, cold-table residency, v1 corpus
+// compatibility, and cell-blob corruption surfacing from the query paths.
 
 #include "core/session.h"
 
@@ -17,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "storage/corpus_io.h"
 #include "util/rng.h"
 #include "workload/query_gen.h"
 #include "workload/vocabulary.h"
@@ -87,20 +92,26 @@ void RemoveWorld(const SavedWorld& saved) {
 
 Session OpenPaths(const std::string& corpus_path,
                   const std::string& index_path, unsigned num_threads,
-                  bool eager) {
+                  bool eager, bool warm_corpus = true) {
   SessionOptions options;
   options.corpus_path = corpus_path;
   options.index_path = index_path;
   options.num_threads = num_threads;
   options.cache_bytes = 0;  // every query pays full cost: real races only
+  // `eager` means eager on both axes: blocking index load AND fully
+  // materialized corpus — the pre-lazy reference behavior.
   options.eager_load = eager;
+  options.eager_corpus = eager;
+  options.warm_corpus = warm_corpus;
   auto session = Session::Open(std::move(options));
   EXPECT_TRUE(session.ok()) << session.status().ToString();
   return std::move(*session);
 }
 
-Session OpenSaved(const SavedWorld& saved, unsigned num_threads, bool eager) {
-  return OpenPaths(saved.corpus_path, saved.index_path, num_threads, eager);
+Session OpenSaved(const SavedWorld& saved, unsigned num_threads, bool eager,
+                  bool warm_corpus = true) {
+  return OpenPaths(saved.corpus_path, saved.index_path, num_threads, eager,
+                   warm_corpus);
 }
 
 std::vector<QuerySpec> MakeSpecs(const World& world, unsigned threads,
@@ -268,6 +279,173 @@ TEST(SessionOpenAsyncTest, EagerLoadEscapeHatchIsReadyAtOpenReturn) {
   EXPECT_TRUE(eager.index_ready());  // no latch, no background work
   EXPECT_TRUE(eager.WaitUntilReady().ok());
   EXPECT_GT(eager.index().NumPostingEntries(), 0u);
+  // eager_corpus: every cell resident before Open returned.
+  EXPECT_TRUE(eager.corpus_resident());
+  EXPECT_TRUE(eager.WaitCorpusResident().ok());
+  RemoveWorld(saved);
+}
+
+// ---- corpus-side laziness ------------------------------------------
+
+// A table stuffed with values no generated query ever probes: candidates
+// come from the index, so nothing should ever materialize it.
+Table MakeColdTable(size_t rows) {
+  Table cold("zz_cold");
+  for (int c = 0; c < 4; ++c) cold.AddColumn("cc" + std::to_string(c));
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<std::string> cells;
+    for (int c = 0; c < 4; ++c) {
+      cells.push_back("zzcold" + std::to_string(r % 13) + "_" +
+                      std::to_string(c));
+    }
+    (void)cold.AppendRow(std::move(cells));
+  }
+  return cold;
+}
+
+// World + cold table, built and persisted once.
+struct ColdWorld {
+  SavedWorld saved;
+  TableId cold_id = 0;
+};
+
+ColdWorld SaveColdWorld(const std::string& tag) {
+  ColdWorld cold;
+  cold.saved.world = MakeWorld();
+  Corpus corpus = MakeWorld().corpus;  // identical bytes to saved.world
+  cold.cold_id = corpus.AddTable(MakeColdTable(64));
+  (void)cold.saved.world.corpus.AddTable(MakeColdTable(64));
+  cold.saved.corpus_path =
+      testing::TempDir() + "/mate_async_" + tag + ".corpus";
+  cold.saved.index_path = testing::TempDir() + "/mate_async_" + tag + ".index";
+  SessionOptions build;
+  build.corpus = std::move(corpus);
+  build.build_index = true;
+  auto session = Session::Open(std::move(build));
+  EXPECT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_TRUE(
+      session->Save(cold.saved.corpus_path, cold.saved.index_path).ok());
+  return cold;
+}
+
+TEST(SessionOpenAsyncTest, QueriesLeaveUntouchedTablesCold) {
+  ColdWorld cold = SaveColdWorld("cold");
+  Session reference = OpenSaved(cold.saved, /*num_threads=*/1, /*eager=*/true);
+  // No warmer: residency is driven by queries alone, so the check below is
+  // deterministic.
+  Session lazy = OpenSaved(cold.saved, /*num_threads=*/4, /*eager=*/false,
+                           /*warm_corpus=*/false);
+  EXPECT_EQ(lazy.corpus().tables_resident(), 0u);
+  for (const QuerySpec& spec : MakeSpecs(cold.saved.world, 1, 0)) {
+    auto result = lazy.Discover(spec);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    auto expected = reference.Discover(spec);
+    ASSERT_TRUE(expected.ok());
+    ExpectBitIdentical(*expected, *result);
+  }
+  // Candidate tables materialized on demand; the cold table did not.
+  EXPECT_GT(lazy.corpus().tables_resident(), 0u);
+  EXPECT_FALSE(lazy.corpus().table_resident(cold.cold_id));
+  EXPECT_FALSE(lazy.corpus_resident());
+  // Draining residency afterwards changes no answers.
+  EXPECT_TRUE(lazy.WaitCorpusResident().ok());
+  EXPECT_TRUE(lazy.corpus().table_resident(cold.cold_id));
+  RemoveWorld(cold.saved);
+}
+
+TEST(SessionOpenAsyncTest, WaitCorpusResidentDrainsTheWarmer) {
+  SavedWorld saved = SaveWorld("drain");
+  Session lazy = OpenSaved(saved, /*num_threads=*/4, /*eager=*/false);
+  EXPECT_TRUE(lazy.WaitCorpusResident().ok());
+  EXPECT_TRUE(lazy.corpus_resident());
+  EXPECT_TRUE(CorporaEqual(saved.world.corpus, lazy.corpus()));
+  // Idempotent once drained.
+  EXPECT_TRUE(lazy.WaitCorpusResident().ok());
+  RemoveWorld(saved);
+}
+
+TEST(SessionOpenAsyncTest, CorpusStatsComeFromTheHeaderWithoutAScan) {
+  SavedWorld saved = SaveWorld("stats");
+  const CorpusStats expected = saved.world.corpus.ComputeStats();
+  // Corpus-only session (no index to supply stats), no warmer: any stats
+  // scan would have to materialize tables, so zero residency proves the
+  // snapshot came from the v2 header.
+  SessionOptions options;
+  options.corpus_path = saved.corpus_path;
+  options.warm_corpus = false;
+  auto session = Session::Open(std::move(options));
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_EQ(session->corpus().tables_resident(), 0u);
+  EXPECT_TRUE(session->corpus_stats() == expected);
+  RemoveWorld(saved);
+}
+
+TEST(SessionOpenAsyncTest, V1CorpusFileLoadsThroughTheLegacyPath) {
+  SavedWorld saved = SaveWorld("v1compat");
+  // Rewrite the corpus file as format v1; the index still matches (same
+  // tables), so cross-validation and discovery must work — just eagerly.
+  std::string v1;
+  SerializeCorpusV1(saved.world.corpus, &v1);
+  ASSERT_TRUE(WriteFileAtomic(saved.corpus_path, v1).ok());
+  Session session = OpenSaved(saved, /*num_threads=*/1, /*eager=*/false);
+  EXPECT_TRUE(session.corpus_resident());  // legacy load has nothing lazy
+  Session reference = OpenSaved(saved, /*num_threads=*/1, /*eager=*/true);
+  for (const QuerySpec& spec : MakeSpecs(saved.world, 1, 0)) {
+    auto a = session.Discover(spec);
+    auto b = reference.Discover(spec);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok());
+    ExpectBitIdentical(*b, *a);
+  }
+  RemoveWorld(saved);
+}
+
+TEST(SessionOpenAsyncTest, CellBlobCorruptionSurfacesFromQueryPaths) {
+  SavedWorld saved = SaveWorld("corrupt");
+  auto bytes = ReadFileToString(saved.corpus_path);
+  ASSERT_TRUE(bytes.ok());
+  // Find a byte flip near the end of the image (inside the cell region)
+  // that leaves the header — and thus the lazy open + shape validation —
+  // intact but breaks a cell blob's parse.
+  std::string corrupt;
+  const std::string probe_path = saved.corpus_path + ".probe";
+  for (size_t back = 1; back <= 256 && corrupt.empty(); ++back) {
+    std::string mutated = *bytes;
+    const size_t offset = mutated.size() - back;
+    mutated[offset] = static_cast<char>(mutated[offset] ^ 0x80);
+    ASSERT_TRUE(WriteFileAtomic(probe_path, mutated).ok());
+    auto probe = OpenCorpusLazy(probe_path);
+    std::remove(probe_path.c_str());
+    ASSERT_TRUE(probe.ok()) << "a cell-region flip must not break the "
+                               "header: " << probe.status().ToString();
+    if (probe->MaterializeAll().ok()) continue;  // content-only flip
+    corrupt = std::move(mutated);
+  }
+  ASSERT_FALSE(corrupt.empty()) << "no flip broke a cell blob";
+  ASSERT_TRUE(WriteFileAtomic(saved.corpus_path, corrupt).ok());
+
+  SessionOptions options;
+  options.corpus_path = saved.corpus_path;
+  options.index_path = saved.index_path;
+  options.cache_bytes = 0;
+  auto session = Session::Open(std::move(options));
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  // Deterministic surfacing: drain residency, then query.
+  Status resident = session->WaitCorpusResident();
+  EXPECT_FALSE(resident.ok());
+  EXPECT_TRUE(resident.IsCorruption());
+  EXPECT_NE(resident.message().find("byte offset"), std::string::npos);
+  const std::vector<QuerySpec> specs = MakeSpecs(saved.world, 1, 0);
+  auto result = session->Discover(specs[0]);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption());
+  auto batch = session->DiscoverBatch(specs);
+  EXPECT_FALSE(batch.ok());
+  EXPECT_TRUE(batch.status().IsCorruption());
+  // Save must refuse to persist stub tables.
+  EXPECT_FALSE(
+      session->Save(saved.corpus_path + ".out", saved.index_path + ".out")
+          .ok());
   RemoveWorld(saved);
 }
 

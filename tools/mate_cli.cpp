@@ -9,9 +9,10 @@
 //   mate_cli search  --corpus F --index F --batch DIR --key a,b[,c...]
 //                    [--k 10] [--threads N] [--cache-mb 64] [--no-cache]
 //                    [--intra-threads N | --auto-parallel]
-//   mate_cli stats   --corpus F [--index F]
+//   mate_cli stats   --corpus F [--index F] [--verify-stats]
 //   mate_cli dups    --corpus F [--min-overlap 0.85]
 //   mate_cli union   --corpus F --query Q.csv [--k 10]
+//   mate_cli convert-corpus --corpus F [--out G]
 //
 // Key columns are given by header name or zero-based position. `--batch`
 // points at a directory of query CSVs; all of them are resolved against the
@@ -29,8 +30,15 @@
 // Cold start: search opens the session *phased* — Open returns after the
 // index header, dictionary, and corpus/index validation, while the mmap'd
 // posting region and super keys stream in on the pool; the first query
-// blocks on the readiness latch. `--eager` forces the old fully blocking
-// open. Results are identical either way.
+// blocks on the readiness latch. The corpus side is *lazy* (format v2):
+// Open parses only the shape header, queries materialize just the tables
+// they evaluate, and a background warmer streams the rest. `--eager`
+// forces the old fully blocking index open, `--eager-corpus` the fully
+// materialized corpus load. Results are identical at every setting.
+//
+// convert-corpus migrates a v1 corpus file to format v2 (persisted stats +
+// lazy-loadable cell region) in place — atomically via rename, after a
+// round-trip equality check against the original — or to --out.
 
 #include <filesystem>
 #include <iostream>
@@ -42,6 +50,7 @@
 #include "core/similarity.h"
 #include "core/union_search.h"
 #include "hash/xash.h"
+#include "storage/corpus_io.h"
 #include "storage/csv.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -55,19 +64,22 @@ int Usage() {
       "  mate_cli index  --csv-dir DIR --corpus OUT --index OUT"
       " [--hash Xash] [--bits 128] [--threads N]\n"
       "  mate_cli search --corpus F --index F --query Q.csv --key a,b [--k N]"
-      " [--threads N] [--intra-threads N | --auto-parallel] [--eager]\n"
+      " [--threads N] [--intra-threads N | --auto-parallel] [--eager]"
+      " [--eager-corpus]\n"
       "  mate_cli search --corpus F --index F --batch DIR --key a,b [--k N]"
       " [--threads N] [--cache-mb N] [--no-cache]"
-      " [--intra-threads N | --auto-parallel] [--eager]\n"
-      "  mate_cli stats  --corpus F [--index F]\n"
+      " [--intra-threads N | --auto-parallel] [--eager] [--eager-corpus]\n"
+      "  mate_cli stats  --corpus F [--index F] [--verify-stats]\n"
       "  mate_cli dups   --corpus F [--min-overlap 0.85]\n"
-      "  mate_cli union  --corpus F --query Q.csv [--k N]\n";
+      "  mate_cli union  --corpus F --query Q.csv [--k N]\n"
+      "  mate_cli convert-corpus --corpus F [--out G]\n";
   return 2;
 }
 
 // Flags that take no value; stored with the value "1".
 bool IsBooleanFlag(std::string_view name) {
-  return name == "no-cache" || name == "auto-parallel" || name == "eager";
+  return name == "no-cache" || name == "auto-parallel" || name == "eager" ||
+         name == "eager-corpus" || name == "verify-stats";
 }
 
 // --flag value parsing into a map; returns false on malformed input.
@@ -190,12 +202,14 @@ int CmdIndex(const std::map<std::string, std::string>& flags) {
 void PrintTopK(const Corpus& corpus, const Table& query,
                const std::vector<ColumnId>& key_columns,
                const DiscoveryResult& result) {
+  // Shape accessors: printing names must not materialize tables (served
+  // results can come from the cache without the table ever being touched).
   for (const TableResult& tr : result.top_k) {
-    std::cout << "  " << corpus.table(tr.table_id).name()
+    std::cout << "  " << corpus.table_name(tr.table_id)
               << "  joinability=" << tr.joinability << "  mapping:";
     for (size_t i = 0; i < tr.best_mapping.size(); ++i) {
       std::cout << " " << query.column_name(key_columns[i]) << "->"
-                << corpus.table(tr.table_id).column_name(tr.best_mapping[i]);
+                << corpus.table_column_name(tr.table_id, tr.best_mapping[i]);
     }
     std::cout << "\n";
   }
@@ -223,13 +237,18 @@ int CmdSearch(const std::map<std::string, std::string>& flags) {
   session_options.cache_bytes =
       flags.count("no-cache") ? 0 : size_t{*cache_mb} << 20;
   session_options.eager_load = flags.count("eager") > 0;
+  session_options.eager_corpus = flags.count("eager-corpus") > 0;
   Stopwatch open_timer;
   auto session = Session::Open(std::move(session_options));
   if (!session.ok()) return Fail(session.status());
-  std::cerr << "session open in " << open_timer.ElapsedSeconds() << "s"
-            << (session->index_ready() ? ""
-                                       : " (index warming in background)")
-            << "\n";
+  std::cerr << "session open in " << open_timer.ElapsedSeconds() << "s";
+  if (!session->index_ready()) std::cerr << " (index warming in background)";
+  if (!session->corpus_resident()) {
+    std::cerr << " (corpus " << session->corpus().tables_resident() << "/"
+              << session->corpus().NumTables()
+              << " tables resident, warming in background)";
+  }
+  std::cerr << "\n";
 
   // Single query and batch both run through the session; a single query is
   // just a batch of one.
@@ -345,7 +364,10 @@ Result<Session> OpenSession(const std::string& corpus_path,
   SessionOptions options;
   options.corpus_path = corpus_path;
   options.index_path = index_path;
-  options.cache_bytes = 0;  // no discovery happens in these commands
+  options.cache_bytes = 0;   // no discovery happens in these commands
+  options.warm_corpus = false;  // one-shot commands: materialize strictly
+                                // on demand — stats' fast path must not
+                                // stall process exit behind a warmer
   return Session::Open(std::move(options));
 }
 
@@ -355,12 +377,26 @@ int CmdStats(const std::map<std::string, std::string>& flags) {
   const std::string index_path = FlagOr(flags, "index", "");
   auto session = OpenSession(corpus_path, index_path);
   if (!session.ok()) return Fail(session.status());
-  // Scan the corpus rather than echoing session->corpus_stats(): with
-  // --index that would be the snapshot stored in the index file, which can
-  // lag the corpus after maintenance edits — and stats is the diagnostic
-  // a user reaches for exactly then.
-  std::cout << "corpus: " << session->corpus().ComputeStats().ToString()
-            << "\n";
+  // The fast path reports the stored snapshot (corpus v2 header, or the
+  // index file's copy) — no cell is parsed. `--verify-stats` re-runs the
+  // full ComputeStats scan and cross-checks the snapshot, the diagnostic
+  // to reach for after maintenance edits or a suspect file.
+  std::cout << "corpus: " << session->corpus_stats().ToString() << "\n";
+  std::cout << "residency: " << session->corpus().tables_resident() << "/"
+            << session->corpus().NumTables() << " tables resident\n";
+  if (flags.count("verify-stats")) {
+    const CorpusStats scanned = session->corpus().ComputeStats();
+    if (Status s = session->corpus().load_status(); !s.ok()) return Fail(s);
+    std::cout << "scanned: " << scanned.ToString() << "\n";
+    if (scanned == session->corpus_stats()) {
+      std::cout << "stats verified: stored snapshot matches the scan\n";
+    } else {
+      std::cerr << "stats MISMATCH: stored snapshot disagrees with the "
+                   "scan (stale after maintenance edits? re-save to "
+                   "refresh)\n";
+      return 1;
+    }
+  }
   if (session->has_index()) {
     // Stats needs the whole index resident; drain the phased load and
     // surface deferred corruption instead of reading a half-built index.
@@ -391,9 +427,9 @@ int CmdDups(const std::map<std::string, std::string>& flags) {
             << options.min_overlap << "):\n";
   for (const DuplicateRowPair& pair : pairs) {
     const Corpus& corpus = session->corpus();
-    std::cout << "  " << corpus.table(pair.left_table).name() << "#"
+    std::cout << "  " << corpus.table_name(pair.left_table) << "#"
               << pair.left_row << "  ~  "
-              << corpus.table(pair.right_table).name() << "#"
+              << corpus.table_name(pair.right_table) << "#"
               << pair.right_row << "  overlap=" << pair.overlap << "\n";
   }
   return 0;
@@ -416,15 +452,45 @@ int CmdUnion(const std::map<std::string, std::string>& flags) {
   std::cout << "top-" << options.k << " unionable tables:\n";
   for (const UnionResult& result : results) {
     const Corpus& corpus = session->corpus();
-    std::cout << "  " << corpus.table(result.table_id).name()
+    std::cout << "  " << corpus.table_name(result.table_id)
               << "  score=" << result.score << "  alignment:";
     for (const ColumnAlignment& a : result.alignment) {
       std::cout << " " << query->column_name(a.query_column) << "->"
-                << corpus.table(result.table_id).column_name(
-                       a.candidate_column);
+                << corpus.table_column_name(result.table_id,
+                                            a.candidate_column);
     }
     std::cout << "\n";
   }
+  return 0;
+}
+
+// Migrates a corpus file to format v2: persisted stats in the header and a
+// size-prefixed cell region that later sessions open lazily. Writes to
+// --out, or in place (atomic rename) without it. The rewrite is verified
+// by a round-trip equality check *before* any byte lands on disk.
+int CmdConvertCorpus(const std::map<std::string, std::string>& flags) {
+  const std::string corpus_path = FlagOr(flags, "corpus", "");
+  if (corpus_path.empty()) return Usage();
+  const std::string out_path = FlagOr(flags, "out", corpus_path);
+
+  auto corpus = LoadCorpus(corpus_path);  // eager; reads v1 and v2
+  if (!corpus.ok()) return Fail(corpus.status());
+  const CorpusStats stats = corpus->ComputeStats();
+
+  std::string buffer;
+  SerializeCorpus(*corpus, stats, &buffer);
+  auto reparsed = DeserializeCorpus(buffer);
+  if (!reparsed.ok()) return Fail(reparsed.status());
+  if (!CorporaEqual(*corpus, *reparsed)) {
+    return Fail(Status::Internal(
+        "round-trip check failed: the v2 rewrite does not reproduce the "
+        "original corpus; " + corpus_path + " left untouched"));
+  }
+  if (Status s = WriteFileAtomic(out_path, buffer); !s.ok()) return Fail(s);
+  std::cout << "wrote " << out_path << " (format v2, " << buffer.size()
+            << " bytes, " << corpus->NumTables()
+            << " tables, round-trip verified)\n"
+            << "stats: " << stats.ToString() << "\n";
   return 0;
 }
 
@@ -438,6 +504,7 @@ int Run(int argc, char** argv) {
   if (command == "stats") return CmdStats(flags);
   if (command == "dups") return CmdDups(flags);
   if (command == "union") return CmdUnion(flags);
+  if (command == "convert-corpus") return CmdConvertCorpus(flags);
   return Usage();
 }
 
