@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util/bench_json.h"
 #include "bench_util/report.h"
 #include "bench_util/runner.h"
 #include "util/rng.h"
@@ -69,6 +70,7 @@ int main(int argc, char** argv) {
 
   ReportTable table({"Zipf s", "Cold wall", "Warm wall", "Speedup",
                      "Hit-rate", "Identical"});
+  BenchJsonWriter json("cache_hit_rate", args.threads);
   for (double s : {0.0, 0.7, 1.1, 1.5}) {
     // One deterministic stream per skew, shared by both passes.
     Rng rng(args.seed + static_cast<uint64_t>(s * 1000));
@@ -115,10 +117,15 @@ int main(int argc, char** argv) {
                 << "\n";
       return 1;
     }
+    const std::string scenario = "zipf_s=" + FormatDouble(s, 1);
+    json.Add(scenario, "cold_wall", cold->stats.wall_seconds, "s");
+    json.Add(scenario, "warm_wall", warm->stats.wall_seconds, "s");
+    json.Add(scenario, "hit_rate", hit_rate, "ratio");
   }
   table.Print(std::cout);
   std::cout << "\nShape check: hit-rate climbs with s; speedup > 1.5x "
                "wherever the hit-rate exceeds 50% (a hit costs a map probe "
                "and a copy instead of a full Algorithm 1 run).\n";
+  if (!json.WriteTo(args.json_path)) return 1;
   return 0;
 }

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util/bench_json.h"
 #include "bench_util/report.h"
 #include "bench_util/runner.h"
 #include "storage/corpus_io.h"
@@ -236,6 +237,21 @@ int main(int argc, char** argv) {
   std::cout << "Small-table query reached its first result with "
             << on_demand.tables_resident_first << "/" << num_tables
             << " tables materialized; the giant cold table stayed cold.\n";
+
+  BenchJsonWriter json("cold_start", args.threads);
+  json.Add("corpus", "header_parse", header_parse_s, "s");
+  const auto emit_mode = [&json](const char* name, const ModeResult& mode) {
+    json.Add(name, "open", mode.open_s, "s");
+    json.Add(name, "query_parsed", mode.parsed_s, "s");
+    json.Add(name, "first_result", mode.first_s, "s");
+    json.Add(name, "tables_resident_at_first",
+             static_cast<double>(mode.tables_resident_first), "tables");
+  };
+  emit_mode("eager", eager);
+  emit_mode("phased+warm", phased);
+  emit_mode("phased+on-demand", on_demand);
+  if (!json.WriteTo(args.json_path)) return 1;
+
   if (phased.open_s >= eager.open_s) {
     // On a single hardware thread the loader can only time-slice with the
     // corpus read, so the overlap cannot buy wall time — the shape to hold

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util/bench_json.h"
 #include "bench_util/report.h"
 #include "bench_util/runner.h"
 #include "core/query_executor.h"
@@ -104,6 +105,7 @@ int main(int argc, char** argv) {
   double serial_wall = 0.0;
   ReportTable table(
       {"Threads", "Shards", "Fanout", "Wall", "Speedup", "Identical"});
+  BenchJsonWriter json("single_query_scaling", args.threads);
   for (unsigned width : widths) {
     session.SetNumThreads(width);
     spec.intra_query_threads = width;
@@ -114,6 +116,7 @@ int main(int argc, char** argv) {
                   std::to_string(fanout), FormatSeconds(wall),
                   FormatDouble(serial_wall / wall, 2) + "x",
                   width == 1 ? "ref" : "yes"});
+    json.Add("width=" + std::to_string(width), "wall", wall, "s", shards);
   }
 
   // Auto mode at full width: the gate must engage by itself on a query
@@ -137,5 +140,7 @@ int main(int argc, char** argv) {
     std::cerr << "ERROR: auto mode never engaged the sharded path\n";
     return 1;
   }
+  json.Add("width=auto", "wall", auto_wall, "s", auto_shards);
+  if (!json.WriteTo(args.json_path)) return 1;
   return 0;
 }

@@ -1,0 +1,108 @@
+#include "bench_util/bench_json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace mate {
+
+namespace {
+
+// Minimal JSON string escape: the names benches use are plain ASCII, but a
+// stray quote or backslash must not produce an unparseable file.
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonNumber(std::string* out, double value) {
+  // JSON has no NaN/Inf; a bench that divides by zero must still produce a
+  // parseable file (the value is informational, presence is what CI diffs).
+  if (!std::isfinite(value)) {
+    out->append("null");
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out->append(buf);
+}
+
+}  // namespace
+
+BenchJsonWriter::BenchJsonWriter(std::string bench, unsigned threads)
+    : bench_(std::move(bench)), threads_(threads) {}
+
+void BenchJsonWriter::Add(std::string_view scenario, std::string_view metric,
+                          double value, std::string_view unit,
+                          uint64_t shards) {
+  records_.push_back(Record{std::string(scenario), std::string(metric), value,
+                            std::string(unit), shards});
+}
+
+std::string BenchJsonWriter::ToJson() const {
+  std::string out;
+  out.append("{\"schema_version\": 1, \"records\": [");
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const Record& r = records_[i];
+    if (i > 0) out.push_back(',');
+    out.append("\n  {\"bench\": ");
+    AppendJsonString(&out, bench_);
+    out.append(", \"scenario\": ");
+    AppendJsonString(&out, r.scenario);
+    out.append(", \"metric\": ");
+    AppendJsonString(&out, r.metric);
+    out.append(", \"value\": ");
+    AppendJsonNumber(&out, r.value);
+    out.append(", \"unit\": ");
+    AppendJsonString(&out, r.unit);
+    out.append(", \"threads\": " + std::to_string(threads_));
+    out.append(", \"shards\": " + std::to_string(r.shards));
+    out.push_back('}');
+  }
+  out.append("\n]}\n");
+  return out;
+}
+
+bool BenchJsonWriter::WriteTo(const std::string& path) const {
+  if (path.empty()) return true;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << bench_ << ": cannot open --json path " << path << "\n";
+    return false;
+  }
+  const std::string json = ToJson();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  if (!out) {
+    std::cerr << bench_ << ": short write to " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mate

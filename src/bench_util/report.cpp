@@ -108,10 +108,12 @@ BenchArgs ParseBenchArgs(int argc, char** argv, const char* bench_name,
                   << "[0, 1024], got '" << (arg + 10) << "'\n";
         std::exit(2);
       }
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      args.json_path = arg + 7;
     } else {
       std::cerr << bench_name
                 << ": usage: [--scale=F] [--seed=N] [--queries=N] [--k=N]"
-                   " [--threads=N]\n";
+                   " [--threads=N] [--json=PATH]\n";
       std::exit(2);
     }
   }

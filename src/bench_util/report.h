@@ -34,7 +34,8 @@ std::string FormatBytes(uint64_t bytes);
 /// "0.88 ±0.26" (Table 3 style).
 std::string FormatMeanStd(double mean, double std_dev);
 
-/// Common bench flags: --scale=F --seed=N --queries=N --k=N --threads=N.
+/// Common bench flags: --scale=F --seed=N --queries=N --k=N --threads=N
+/// --json=PATH.
 struct BenchArgs {
   double scale = 1.0;
   uint64_t seed = 42;
@@ -42,6 +43,10 @@ struct BenchArgs {
   int k = 10;
   /// Discovery fan-out threads (0 = hardware concurrency).
   unsigned threads = 1;
+  /// When non-empty, the bench also writes its metrics as JSON records to
+  /// this path (bench_util/bench_json.h) — the machine-readable side of
+  /// the ASCII report, merged into BENCH_*.json by tools/bench_report.py.
+  std::string json_path;
 };
 
 /// Parses flags (exits with a usage message on unknown flags). `defaults`

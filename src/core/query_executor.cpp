@@ -196,7 +196,34 @@ bool EvaluateCandidates(const Corpus& corpus, const InvertedIndex& index,
     // rule-1 break above matters — pruned tables never materialize, which
     // is what lets a small query finish without paying for a cold giant
     // table it would only have pruned.
-    const Table& table = corpus.table(cand.table_id);
+    //
+    // Single-column keys materialize *columnar*: with m == 1 the verifier
+    // only ever reads each PL item's fixed column (joinability.cpp), so
+    // this candidate needs cells for its distinct posting columns alone —
+    // over a format-v3 backing that is a sliver of a giant table. Multi-
+    // column keys scan whole rows and take the full-table path.
+    MaterializeOutcome mat;
+    const bool single_column_key =
+        !prep.combos.empty() && prep.combos[0].size() == 1;
+    std::vector<ColumnId> touched_columns;
+    if (single_column_key) {
+      for (const FetchedItem& item : cand.items) {
+        const ColumnId c = item.entry.column_id;
+        if (std::find(touched_columns.begin(), touched_columns.end(), c) ==
+            touched_columns.end()) {
+          touched_columns.push_back(c);
+        }
+      }
+    }
+    const Table& table =
+        single_column_key
+            ? corpus.MaterializeColumns(cand.table_id, touched_columns, &mat)
+            : corpus.MaterializeTable(cand.table_id, &mat);
+    if (mat.bytes_parsed > 0) {
+      ++stats.tables_materialized;
+      stats.cell_bytes_materialized += mat.bytes_parsed;
+      if (mat.rematerialized) ++stats.tables_rematerialized;
+    }
     acc.Clear();
     int64_t rows_checked_here = 0;
     int64_t rows_matched_here = 0;  // r_match of rule 2

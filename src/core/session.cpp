@@ -263,6 +263,16 @@ Result<Session> Session::Open(SessionOptions options) {
   }
   if (!have_stats) session.corpus_stats_ = session.corpus_.ComputeStats();
 
+  // ---- corpus residency budget ---------------------------------------
+  // Armed before any query can materialize tables. The immediate evict
+  // covers opens whose setup already materialized cells (an eager load, or
+  // the ComputeStats fallback scan above): the session must not start its
+  // life over budget.
+  if (options.corpus_budget_bytes > 0) {
+    session.corpus_.SetBudget(options.corpus_budget_bytes);
+    session.corpus_.EvictToBudget();
+  }
+
   if (options.cache_bytes > 0) {
     session.cache_ = std::make_unique<ResultCache>(options.cache_bytes);
   }
@@ -270,7 +280,11 @@ Result<Session> Session::Open(SessionOptions options) {
   // ---- background corpus warmer (last: no error return may follow) ---
   // Spawned only when tables are actually cold; built/adopted/eager
   // corpora (and lazy ones fully drained by a stats scan above) skip it.
-  if (options.warm_corpus && !session.corpus_.fully_resident()) {
+  // A residency budget also skips it: warming the whole lake just to evict
+  // it back down wastes the parse, and on-demand (columnar) materialization
+  // is the budgeted session's whole point.
+  if (options.warm_corpus && options.corpus_budget_bytes == 0 &&
+      !session.corpus_.fully_resident()) {
     auto warm = std::make_shared<PendingWarm>(session.corpus_.MakeWarmer());
     session.warm_ = warm;
     warm->thread = std::thread([state = warm] {
@@ -390,6 +404,9 @@ Result<DiscoveryResult> Session::Discover(const QuerySpec& spec) {
   if (cache_ == nullptr) {
     DiscoveryResult result = RunQuery(spec, /*intra_parallel=*/true);
     MATE_RETURN_IF_ERROR(corpus_.load_status());
+    // Idle point: the query's shards have drained off the pool, so the
+    // residency budget (no-op when unarmed) may reclaim what it parsed.
+    corpus_.EvictToBudget();
     return result;
   }
   const std::string key = FingerprintQuery(spec);
@@ -400,6 +417,7 @@ Result<DiscoveryResult> Session::Discover(const QuerySpec& spec) {
   // neither be returned nor poison future hits.
   MATE_RETURN_IF_ERROR(corpus_.load_status());
   cache_->Insert(key, result);
+  corpus_.EvictToBudget();
   return result;
 }
 
@@ -432,14 +450,25 @@ Result<BatchResult> Session::DiscoverBatch(
                                       pool_->num_threads());
     return batch;
   };
+  // One idle-point eviction per batch, with the traffic it moved recorded
+  // in the batch's stats (the deltas are this call's alone: the counters
+  // are cumulative across the session).
+  const auto evict_into = [this](BatchStats* stats) {
+    const ResidencyStats before = corpus_.residency();
+    corpus_.EvictToBudget();
+    const ResidencyStats after = corpus_.residency();
+    stats->corpus_evictions = after.evictions - before.evictions;
+    stats->corpus_evicted_bytes = after.bytes_evicted - before.bytes_evicted;
+  };
   if (cache_ == nullptr) {
-    Result<BatchResult> batch = specs.size() == 1
-                                    ? single_query_batch(specs[0])
-                                    : RunBatch(specs.size(), run_serial);
+    BatchResult batch = specs.size() == 1
+                            ? single_query_batch(specs[0])
+                            : RunBatch(specs.size(), run_serial);
     // Queries racing the warmer materialize tables on demand; any blob
     // corruption either side hit is latched — surface it, not a result
     // computed over a shape stub.
     MATE_RETURN_IF_ERROR(corpus_.load_status());
+    evict_into(&batch.stats);
     return batch;
   }
 
@@ -505,6 +534,7 @@ Result<BatchResult> Session::DiscoverBatch(
                                     pool_->num_threads());
   batch.stats.cache_hits = hits;
   batch.stats.cache_misses = misses;
+  evict_into(&batch.stats);
   return batch;
 }
 
@@ -548,6 +578,8 @@ Status Session::ResetHash(HashFamily family,
       index_->ResetHash(corpus_, std::move(hash), pool_->num_threads()));
   hash_family_ = family;
   InvalidateCache();
+  // The re-key scan materialized every cell; shed back to the budget.
+  corpus_.EvictToBudget();
   return Status::OK();
 }
 
@@ -565,6 +597,9 @@ Status Session::Save(const std::string& corpus_path,
     MATE_RETURN_IF_ERROR(
         SaveIndex(*index_, hash_family_, corpus_stats_, index_path));
   }
+  // Serialization made everything resident; shed back down to the budget
+  // (no-op when unarmed) now that the scan is over.
+  corpus_.EvictToBudget();
   return Status::OK();
 }
 

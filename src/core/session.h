@@ -143,6 +143,18 @@ struct SessionOptions {
   /// not absorb a giant table's parse. Set false to materialize strictly
   /// on demand (benches isolating first-touch cost use this).
   bool warm_corpus = true;
+  /// Corpus residency byte budget (0 = unlimited, the classic behavior).
+  /// With a budget armed, a lazily opened corpus behaves like a buffer
+  /// pool: candidate tables (or just their touched columns) materialize on
+  /// demand, and at each idle point — between Discover calls, after a
+  /// batch, after Save — the least-recently-touched tables are evicted
+  /// until the resident cell bytes fit the budget again. Results stay
+  /// bit-identical to an unlimited run; only residency changes. The budget
+  /// also disables the background warmer (warming the whole lake would
+  /// just be evicted again) and keeps the corpus mmap alive for re-parses.
+  /// Budgets only govern path-based lazy corpora: adopted/eager/built
+  /// corpora have no backing file to re-parse evicted tables from.
+  uint64_t corpus_budget_bytes = 0;
   /// Result-cache byte budget; 0 disables caching entirely.
   size_t cache_bytes = kDefaultCacheBytes;
   /// Cross-check that index super keys cover exactly the corpus's tables
@@ -252,6 +264,9 @@ class Session {
   // ---- ownership & maintenance --------------------------------------
 
   const Corpus& corpus() const { return corpus_; }
+  /// Residency gauges/counters of the corpus store (budget, resident and
+  /// peak bytes, eviction + rematerialization traffic).
+  ResidencyStats corpus_residency() const { return corpus_.residency(); }
   bool has_index() const { return index_ != nullptr; }
   /// Precondition: has_index() — and, after a phased open, that
   /// WaitUntilReady() returned OK (the loader may still be streaming

@@ -48,6 +48,14 @@ struct DiscoveryStats {
   uint64_t shards_used = 1;
   uint64_t fanout_threads = 1;
 
+  /// Corpus residency work this query triggered (storage/table_store.h):
+  /// candidate tables whose cells (or touched columns) had to parse, how
+  /// many of those were re-parses after an eviction, and the on-disk extent
+  /// bytes parsed. All zero against a fully resident corpus.
+  uint64_t tables_materialized = 0;
+  uint64_t tables_rematerialized = 0;
+  uint64_t cell_bytes_materialized = 0;
+
   /// §7.4: TP / (TP + FP) over rows that reached verification.
   double Precision() const {
     if (rows_sent_to_verification == 0) return 1.0;

@@ -99,25 +99,27 @@ CorpusStats Corpus::ComputeStats() const {
   return stats;
 }
 
+bool TablesEqual(const Table& a, const Table& b) {
+  if (a.name() != b.name() || a.NumColumns() != b.NumColumns() ||
+      a.NumRows() != b.NumRows() || a.NumLiveRows() != b.NumLiveRows()) {
+    return false;
+  }
+  for (ColumnId c = 0; c < a.NumColumns(); ++c) {
+    if (a.column_name(c) != b.column_name(c)) return false;
+  }
+  for (RowId r = 0; r < a.NumRows(); ++r) {
+    if (a.IsRowDeleted(r) != b.IsRowDeleted(r)) return false;
+    for (ColumnId c = 0; c < a.NumColumns(); ++c) {
+      if (a.cell(r, c) != b.cell(r, c)) return false;
+    }
+  }
+  return true;
+}
+
 bool CorporaEqual(const Corpus& a, const Corpus& b) {
   if (a.NumTables() != b.NumTables()) return false;
   for (TableId t = 0; t < a.NumTables(); ++t) {
-    const Table& ta = a.table(t);
-    const Table& tb = b.table(t);
-    if (ta.name() != tb.name() || ta.NumColumns() != tb.NumColumns() ||
-        ta.NumRows() != tb.NumRows() ||
-        ta.NumLiveRows() != tb.NumLiveRows()) {
-      return false;
-    }
-    for (ColumnId c = 0; c < ta.NumColumns(); ++c) {
-      if (ta.column_name(c) != tb.column_name(c)) return false;
-    }
-    for (RowId r = 0; r < ta.NumRows(); ++r) {
-      if (ta.IsRowDeleted(r) != tb.IsRowDeleted(r)) return false;
-      for (ColumnId c = 0; c < ta.NumColumns(); ++c) {
-        if (ta.cell(r, c) != tb.cell(r, c)) return false;
-      }
-    }
+    if (!TablesEqual(a.table(t), b.table(t))) return false;
   }
   return true;
 }

@@ -73,6 +73,20 @@ class Corpus {
   const Table& table(TableId t) const { return store_.Get(t); }
   Table* mutable_table(TableId t) { return store_.Mutable(t); }
 
+  /// table(t) + instrumentation: reports what the access actually parsed.
+  const Table& MaterializeTable(TableId t, MaterializeOutcome* outcome) const {
+    return store_.Get(t, outcome);
+  }
+  /// The table with at least `columns` materialized (per-column parse over
+  /// corpus-format-v3 backings; whole-table fallback otherwise). Cells of
+  /// columns never requested read as empty strings — callers must only
+  /// touch the columns they asked for.
+  const Table& MaterializeColumns(TableId t,
+                                  const std::vector<ColumnId>& columns,
+                                  MaterializeOutcome* outcome = nullptr) const {
+    return store_.GetColumns(t, columns, outcome);
+  }
+
   // ---- shape accessors (never materialize) --------------------------
 
   const std::string& table_name(TableId t) const {
@@ -101,6 +115,20 @@ class Corpus {
   /// valid even if this corpus is moved while it runs.
   std::function<Status()> MakeWarmer() const { return store_.MakeWarmer(); }
 
+  /// Arms the residency byte budget (0 = unlimited). Set before queries.
+  void SetBudget(uint64_t bytes) { store_.SetBudget(bytes); }
+  /// Evicts least-recently-touched tables down to the budget. Idle points
+  /// only (mirrors the mutation contract — Session calls it between
+  /// queries).
+  void EvictToBudget() const { store_.EvictToBudget(); }
+  ResidencyStats residency() const { return store_.residency(); }
+  uint64_t table_resident_bytes(TableId t) const {
+    return store_.table_resident_bytes(t);
+  }
+  uint64_t table_cell_bytes(TableId t) const {
+    return store_.table_cell_bytes(t);
+  }
+
   bool table_resident(TableId t) const { return store_.IsResident(t); }
   size_t tables_resident() const { return store_.tables_resident(); }
   bool fully_resident() const { return store_.fully_resident(); }
@@ -114,6 +142,9 @@ class Corpus {
  private:
   TableStore store_;
 };
+
+/// Deep equality of one table: name, columns, cells, and tombstones.
+bool TablesEqual(const Table& a, const Table& b);
 
 /// Deep equality over shape, cells, and tombstones (materializes both) —
 /// the check behind `mate_cli convert-corpus`'s round-trip verification.

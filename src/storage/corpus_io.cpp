@@ -23,7 +23,10 @@ constexpr size_t kMagicLen = 8;
 constexpr uint32_t kVersionV1 = 1;
 // v2: persisted stats + shape directory ahead of a size-prefixed cell
 // region, so a lazy open parses no cells.
-constexpr uint32_t kVersion = 2;
+constexpr uint32_t kVersionV2 = 2;
+// v3: v2 plus per-column extents in each directory entry, so the residency
+// layer can parse a single touched column of a table.
+constexpr uint32_t kVersion = 3;
 
 // Everything ahead of the cells: persisted stats plus the table directory,
 // with each shape's cell blob located (absolute offsets) and bounds-checked
@@ -55,7 +58,10 @@ size_t CountDeletedRows(std::string_view bitmap, uint64_t num_rows) {
 
 // Magic + version already consumed; leaves the cursor at the first cell
 // blob with every shape's extent verified to lie inside the region.
-Status ParseHeaderV2(ParseCursor* cursor, CorpusHeader* header) {
+// `per_column_sizes` distinguishes the v3 directory (each entry trails its
+// per-column extents) from the v2 one.
+Status ParseHeaderV2(ParseCursor* cursor, CorpusHeader* header,
+                     bool per_column_sizes) {
   std::string_view* data = &cursor->remaining;
 
   cursor->section = "stats";
@@ -126,6 +132,31 @@ Status ParseHeaderV2(ParseCursor* cursor, CorpusHeader* header) {
           std::to_string(t) + " (" + std::to_string(shape.num_rows) +
           " rows x " + std::to_string(num_cols) + " columns in " +
           std::to_string(shape.cell_bytes) + " bytes)");
+    }
+    if (per_column_sizes) {
+      // Per-column extents must tile the table's blob exactly: each is
+      // bounded by cell_bytes (so the running sum cannot wrap), and a sum
+      // skew is rejected here — a corrupt split must fail at open with the
+      // section + offset, never as a wild sub-blob parse later.
+      shape.column_bytes.reserve(static_cast<size_t>(num_cols));
+      uint64_t column_total = 0;
+      for (uint64_t c = 0; c < num_cols; ++c) {
+        uint64_t col_bytes = 0;
+        if (!GetVarint64(data, &col_bytes) ||
+            col_bytes > shape.cell_bytes - column_total) {
+          return cursor->Corrupt("bad column cell size for column " +
+                                 std::to_string(c) + " of table " +
+                                 std::to_string(t));
+        }
+        column_total += col_bytes;
+        shape.column_bytes.push_back(col_bytes);
+      }
+      if (column_total != shape.cell_bytes) {
+        return cursor->Corrupt(
+            "column size skew for table " + std::to_string(t) +
+            ": columns declare " + std::to_string(column_total) +
+            " bytes, cell blob holds " + std::to_string(shape.cell_bytes));
+      }
     }
     header->shapes.push_back(std::move(shape));
   }
@@ -250,9 +281,10 @@ Result<Corpus> DeserializeCorpusV1(ParseCursor cursor) {
 }
 
 Result<Corpus> DeserializeCorpusV2(ParseCursor cursor, CorpusStats* stats,
-                                   bool* stats_present) {
+                                   bool* stats_present,
+                                   bool per_column_sizes) {
   CorpusHeader header;
-  MATE_RETURN_IF_ERROR(ParseHeaderV2(&cursor, &header));
+  MATE_RETURN_IF_ERROR(ParseHeaderV2(&cursor, &header, per_column_sizes));
   if (stats != nullptr) *stats = header.stats;
   if (stats_present != nullptr) *stats_present = header.stats_present;
   Corpus corpus;
@@ -293,15 +325,17 @@ Result<Corpus> DeserializeAny(std::string_view data, CorpusStats* stats,
     // nothing to defer — the corpus comes back fully resident.
     return DeserializeCorpusV1(cursor);
   }
-  if (version != kVersion) {
+  if (version != kVersionV2 && version != kVersion) {
     return cursor.Corrupt("unsupported version " + std::to_string(version) +
                           " (expected " + std::to_string(kVersion) + ")");
   }
+  const bool per_column_sizes = version == kVersion;
   if (lazy_backing == nullptr) {
-    return DeserializeCorpusV2(cursor, stats, stats_present);
+    return DeserializeCorpusV2(cursor, stats, stats_present,
+                               per_column_sizes);
   }
   CorpusHeader header;
-  MATE_RETURN_IF_ERROR(ParseHeaderV2(&cursor, &header));
+  MATE_RETURN_IF_ERROR(ParseHeaderV2(&cursor, &header, per_column_sizes));
   if (stats != nullptr) *stats = header.stats;
   if (stats_present != nullptr) *stats_present = header.stats_present;
   return Corpus(
@@ -309,10 +343,10 @@ Result<Corpus> DeserializeAny(std::string_view data, CorpusStats* stats,
 }
 
 void SerializeCorpusImpl(const Corpus& corpus, const CorpusStats* stats,
-                         std::string* out) {
+                         std::string* out, bool with_column_sizes) {
   out->clear();
   out->append(kMagic, kMagicLen);
-  PutFixed32(out, kVersion);
+  PutFixed32(out, with_column_sizes ? kVersion : kVersionV2);
   out->push_back(stats != nullptr ? '\x01' : '\x00');
   AppendCorpusStats(out, stats != nullptr ? *stats : CorpusStats{});
   PutVarint64(out, corpus.NumTables());
@@ -335,9 +369,23 @@ void SerializeCorpusImpl(const Corpus& corpus, const CorpusStats* stats,
       }
     }
     PutLengthPrefixed(out, bitmap);
-    const uint64_t cell_bytes = TableCellBytes(table);
-    PutVarint64(out, cell_bytes);
-    region_bytes += cell_bytes;
+    if (with_column_sizes) {
+      // cell_bytes is the sum of the per-column extents, so one per-column
+      // pass sizes both the blob varint and the v3 extent list.
+      std::vector<uint64_t> column_bytes(table.NumColumns());
+      uint64_t cell_bytes = 0;
+      for (ColumnId c = 0; c < table.NumColumns(); ++c) {
+        column_bytes[c] = TableColumnCellBytes(table, c);
+        cell_bytes += column_bytes[c];
+      }
+      PutVarint64(out, cell_bytes);
+      for (uint64_t col_bytes : column_bytes) PutVarint64(out, col_bytes);
+      region_bytes += cell_bytes;
+    } else {
+      const uint64_t cell_bytes = TableCellBytes(table);
+      PutVarint64(out, cell_bytes);
+      region_bytes += cell_bytes;
+    }
   }
   PutFixed64(out, region_bytes);
   for (TableId t = 0; t < corpus.NumTables(); ++t) {
@@ -348,12 +396,17 @@ void SerializeCorpusImpl(const Corpus& corpus, const CorpusStats* stats,
 }  // namespace
 
 void SerializeCorpus(const Corpus& corpus, std::string* out) {
-  SerializeCorpusImpl(corpus, nullptr, out);
+  SerializeCorpusImpl(corpus, nullptr, out, /*with_column_sizes=*/true);
 }
 
 void SerializeCorpus(const Corpus& corpus, const CorpusStats& stats,
                      std::string* out) {
-  SerializeCorpusImpl(corpus, &stats, out);
+  SerializeCorpusImpl(corpus, &stats, out, /*with_column_sizes=*/true);
+}
+
+void SerializeCorpusV2(const Corpus& corpus, const CorpusStats& stats,
+                       std::string* out) {
+  SerializeCorpusImpl(corpus, &stats, out, /*with_column_sizes=*/false);
 }
 
 void SerializeCorpusV1(const Corpus& corpus, std::string* out) {

@@ -1,23 +1,27 @@
 // Binary corpus persistence. The format is versioned and length-prefixed so
 // readers can detect truncation and corruption.
 //
-// Format v2 is laid out for lazy materialization, mirroring index format
-// v2: everything a serving process needs to validate shape and answer
-// "which tables could matter" sits ahead of the bulky cells, and the cell
-// region is size-prefixed so its extent is bounds-checked without parsing
-// a single cell.
+// Format v3 is laid out for lazy — and *columnar* — materialization:
+// everything a serving process needs to validate shape and answer "which
+// tables could matter" sits ahead of the bulky cells, the cell region is
+// size-prefixed so its extent is bounds-checked without parsing a single
+// cell, and each directory entry carries its per-column extents so the
+// residency layer can parse one touched column of a giant table.
 //
-//   [magic "MATECORP"] [version u32 = 2]
+//   [magic "MATECORP"] [version u32 = 3]
 //   stats section:    [stats-present u8] [CorpusStats]
 //   table directory:  [num_tables varint]
 //     per table: [name lp] [num_cols varint] [col names lp...]
 //                [num_rows varint] [deleted bitmap lp] [cell_bytes varint]
+//                [per-column cell bytes varint x num_cols, sum = cell_bytes]
 //   cell region:      [region total fixed64]
 //     per table: cells column-major, each length-prefixed (cell_bytes each)
 //
-// Format v1 (no stats, cells inline with each table header) still loads —
-// eagerly — through every reader here; `mate_cli convert-corpus` migrates
-// v1 files in place.
+// Format v2 (same layout minus the per-column extents) still loads
+// everywhere — lazily too, with columnar materialization degrading to
+// whole-table parses. Format v1 (no stats, cells inline with each table
+// header) still loads — eagerly — through every reader here; `mate_cli
+// convert-corpus` migrates v1/v2 files in place.
 //
 // Load errors are section- and offset-aware: a truncated or corrupt image
 // names the section ("table directory", "cell region", ...) and the byte
@@ -39,7 +43,7 @@ namespace mate {
 /// passes its own).
 void SerializeCorpus(const Corpus& corpus, std::string* out);
 
-/// Same, embedding `stats` in the v2 header so a lazy open loads them
+/// Same, embedding `stats` in the v3 header so a lazy open loads them
 /// instead of re-scanning the corpus.
 void SerializeCorpus(const Corpus& corpus, const CorpusStats& stats,
                      std::string* out);
@@ -47,6 +51,11 @@ void SerializeCorpus(const Corpus& corpus, const CorpusStats& stats,
 /// The legacy v1 writer, kept for migration round-trip tests (v1 images
 /// exercise the compatibility path in every reader).
 void SerializeCorpusV1(const Corpus& corpus, std::string* out);
+
+/// The legacy v2 writer (no per-column extents), kept so the
+/// compatibility path — lazy opens included — stays under test.
+void SerializeCorpusV2(const Corpus& corpus, const CorpusStats& stats,
+                       std::string* out);
 
 /// Parses a corpus serialized by any SerializeCorpus flavor, fully
 /// materialized. When non-null, `stats`/`stats_present` receive the v2

@@ -26,6 +26,23 @@ Status Table::AddColumnWithCells(std::string column_name,
   return Status::OK();
 }
 
+Status Table::ReplaceColumnCells(ColumnId c, std::vector<std::string> cells) {
+  if (c >= columns_.size()) {
+    return Status::OutOfRange("no such column");
+  }
+  if (cells.size() != num_rows_) {
+    return Status::InvalidArgument("cell count does not match row count");
+  }
+  columns_[c].cells = std::move(cells);
+  return Status::OK();
+}
+
+void Table::AppendEmptyRows(size_t n) {
+  for (Column& col : columns_) col.cells.resize(num_rows_ + n);
+  deleted_.resize(num_rows_ + n, false);
+  num_rows_ += n;
+}
+
 Status Table::DropColumn(ColumnId c) {
   if (c >= columns_.size()) {
     return Status::OutOfRange("no such column");

@@ -36,6 +36,17 @@ class Table {
   Status AddColumnWithCells(std::string column_name,
                             std::vector<std::string> cells);
 
+  /// Replaces every cell of existing column `c` in one move; the cell count
+  /// must equal NumRows(). The residency layer uses this to install a
+  /// lazily parsed column into a shape-complete table without touching its
+  /// sibling columns.
+  Status ReplaceColumnCells(ColumnId c, std::vector<std::string> cells);
+
+  /// Appends `n` rows of empty cells (none tombstoned) — bulk skeleton
+  /// construction for shape stubs, O(columns) amortized instead of the
+  /// per-row AppendRow loop.
+  void AppendEmptyRows(size_t n);
+
   /// Removes column `c`, shifting later column ids down by one.
   Status DropColumn(ColumnId c);
 

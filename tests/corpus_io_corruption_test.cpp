@@ -361,6 +361,85 @@ TEST(CorpusIoCorruptionTest, DeletedBitmapSizeSkewIsRejected) {
             std::string::npos);
 }
 
+// Walks the first directory entry ("sensors": 2 columns, 3 rows, all
+// single-byte varints) to the position of its first per-column extent.
+size_t SensorsPerColumnOffset(const std::string& bytes) {
+  const std::string needle = "sensors";
+  const size_t name_at = bytes.find(needle);
+  EXPECT_NE(name_at, std::string::npos);
+  size_t pos = name_at + needle.size();
+  EXPECT_EQ(bytes[pos], 2);  // num_cols varint
+  pos += 1;
+  for (int lp = 0; lp < 2; ++lp) {  // column-name length prefixes
+    pos += 1 + static_cast<unsigned char>(bytes[pos]);
+  }
+  EXPECT_EQ(bytes[pos], 3);  // num_rows varint
+  pos += 1;
+  pos += 1 + static_cast<unsigned char>(bytes[pos]);  // deleted bitmap
+  pos += 1;  // cell_bytes varint (small enough for one byte)
+  return pos;
+}
+
+TEST(CorpusIoCorruptionTest, PerColumnExtentPastTheBlobIsRejected) {
+  Corpus corpus = MakeCorpus();
+  std::string bytes = SerializeV2(corpus);
+  const size_t pos = SensorsPerColumnOffset(bytes);
+  ASSERT_EQ(static_cast<uint64_t>(bytes[pos]),
+            TableColumnCellBytes(corpus.table(0), 0));
+  // One column claiming more bytes than the whole blob holds: must fail at
+  // open, in the directory, not as a wild sub-blob parse later.
+  bytes[pos] = '\x7f';
+  auto loaded = DeserializeCorpus(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+  const std::string& message = loaded.status().message();
+  EXPECT_NE(message.find("bad column cell size for column 0 of table 0"),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find("table directory section"), std::string::npos);
+  EXPECT_NE(message.find("byte offset"), std::string::npos);
+}
+
+TEST(CorpusIoCorruptionTest, PerColumnExtentSumSkewIsRejected) {
+  Corpus corpus = MakeCorpus();
+  std::string bytes = SerializeV2(corpus);
+  const size_t pos = SensorsPerColumnOffset(bytes);
+  // Each extent stays in bounds but the pair no longer tiles the blob.
+  bytes[pos] = static_cast<char>(bytes[pos] - 1);
+  auto loaded = DeserializeCorpus(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+  const std::string& message = loaded.status().message();
+  EXPECT_NE(message.find("column size skew for table 0"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("columns declare"), std::string::npos);
+  EXPECT_NE(message.find("byte offset"), std::string::npos);
+
+  // The lazy opener runs the same header parse: same failure, at open.
+  const std::string path = WriteTemp("colskew", bytes);
+  auto lazy = OpenCorpusLazy(path);
+  std::remove(path.c_str());
+  ASSERT_FALSE(lazy.ok());
+  EXPECT_TRUE(lazy.status().IsCorruption());
+  EXPECT_NE(lazy.status().message().find("column size skew"),
+            std::string::npos);
+}
+
+TEST(CorpusIoCorruptionTest, CutInsideThePerColumnExtentsNamesTheSection) {
+  // The truncation fuzz above sweeps the whole image; this pins the case the
+  // v3 format added — a cut landing exactly among the per-column varints.
+  Corpus corpus = MakeCorpus();
+  const std::string bytes = SerializeV2(corpus);
+  const size_t pos = SensorsPerColumnOffset(bytes);
+  auto loaded = DeserializeCorpus(std::string_view(bytes).substr(0, pos + 1));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+  const std::string& message = loaded.status().message();
+  EXPECT_NE(message.find("table directory section"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("byte offset"), std::string::npos);
+}
+
 TEST(CorpusIoCorruptionTest, V1ImagesStillLoadEverywhere) {
   Corpus corpus = MakeCorpus();
   std::string v1;

@@ -1,0 +1,250 @@
+// Corpus memory governance at the Session level: a byte-budgeted session
+// behaves like a buffer pool — candidate tables (or just their touched
+// columns) materialize on demand, the least-recently-touched tables are
+// evicted at the idle points between queries, and every result stays
+// bit-identical to an unlimited run. Also covers: eviction traffic
+// surfacing in BatchStats, per-column materialization for single-column
+// keys, and the budget disabling the background warmer.
+
+#include "core/session.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/table_store.h"
+#include "util/rng.h"
+#include "workload/query_gen.h"
+#include "workload/vocabulary.h"
+
+namespace mate {
+namespace {
+
+// Deterministic planted-join world (same recipe as session_open_async_test).
+struct World {
+  Corpus corpus;
+  std::vector<QueryCase> queries;
+};
+
+World MakeWorld(size_t key_size) {
+  World w;
+  Rng rng(7);
+  Vocabulary vocab = Vocabulary::Generate(120, Vocabulary::Style::kWords, 11);
+  for (size_t t = 0; t < 20; ++t) {
+    Table table("t" + std::to_string(t));
+    size_t cols = 3 + rng.Uniform(3);
+    for (size_t c = 0; c < cols; ++c) table.AddColumn("c" + std::to_string(c));
+    size_t rows = 4 + rng.Uniform(16);
+    for (size_t r = 0; r < rows; ++r) {
+      std::vector<std::string> cells;
+      for (size_t c = 0; c < cols; ++c) {
+        cells.push_back(vocab.word(rng.Uniform(vocab.size())));
+      }
+      (void)table.AppendRow(std::move(cells));
+    }
+    w.corpus.AddTable(std::move(table));
+  }
+  QuerySetSpec spec;
+  spec.num_queries = 6;
+  spec.query_rows = 20;
+  spec.query_columns = 4;
+  spec.key_size = key_size;
+  spec.planted_tables = 5;
+  spec.seed = 3;
+  w.queries = GenerateQueries(&w.corpus, vocab, spec);
+  return w;
+}
+
+struct SavedWorld {
+  World world;
+  std::string corpus_path;
+  std::string index_path;
+};
+
+SavedWorld SaveWorld(const std::string& tag, size_t key_size) {
+  SavedWorld saved;
+  saved.world = MakeWorld(key_size);
+  saved.corpus_path = testing::TempDir() + "/mate_budget_" + tag + ".corpus";
+  saved.index_path = testing::TempDir() + "/mate_budget_" + tag + ".index";
+  SessionOptions build;
+  build.corpus = MakeWorld(key_size).corpus;  // identical bytes
+  build.build_index = true;
+  auto session = Session::Open(std::move(build));
+  EXPECT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_TRUE(session->Save(saved.corpus_path, saved.index_path).ok());
+  return saved;
+}
+
+void RemoveWorld(const SavedWorld& saved) {
+  std::remove(saved.corpus_path.c_str());
+  std::remove(saved.index_path.c_str());
+}
+
+// Budget 0 = unlimited. The cache is always off (every query must pay its
+// materialization cost) and the warmer is explicit per test.
+Session OpenGoverned(const SavedWorld& saved, uint64_t budget_bytes,
+                     bool warm_corpus = false, unsigned num_threads = 2) {
+  SessionOptions options;
+  options.corpus_path = saved.corpus_path;
+  options.index_path = saved.index_path;
+  options.num_threads = num_threads;
+  options.cache_bytes = 0;
+  options.warm_corpus = warm_corpus;
+  options.corpus_budget_bytes = budget_bytes;
+  auto session = Session::Open(std::move(options));
+  EXPECT_TRUE(session.ok()) << session.status().ToString();
+  return std::move(*session);
+}
+
+std::vector<QuerySpec> MakeSpecs(const World& world) {
+  std::vector<QuerySpec> specs;
+  for (const QueryCase& qc : world.queries) {
+    QuerySpec spec;
+    spec.table = &qc.query;
+    spec.key_columns = qc.key_columns;
+    spec.options.k = 5;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+// Shape accessor — never materializes, so it reads the same from any
+// residency state.
+uint64_t TotalCellBytes(const Session& session) {
+  uint64_t total = 0;
+  for (TableId t = 0; t < session.corpus().NumTables(); ++t) {
+    total += session.corpus().table_cell_bytes(t);
+  }
+  return total;
+}
+
+// Results and work counters must match bit for bit; residency counters are
+// deliberately excluded (they are what a budget is allowed to change).
+void ExpectBitIdentical(const DiscoveryResult& a, const DiscoveryResult& b) {
+  ASSERT_EQ(a.top_k.size(), b.top_k.size());
+  for (size_t i = 0; i < a.top_k.size(); ++i) {
+    EXPECT_EQ(a.top_k[i].table_id, b.top_k[i].table_id);
+    EXPECT_EQ(a.top_k[i].joinability, b.top_k[i].joinability);
+    EXPECT_EQ(a.top_k[i].best_mapping, b.top_k[i].best_mapping);
+  }
+  EXPECT_EQ(a.stats.pl_items_fetched, b.stats.pl_items_fetched);
+  EXPECT_EQ(a.stats.candidate_tables, b.stats.candidate_tables);
+  EXPECT_EQ(a.stats.tables_evaluated, b.stats.tables_evaluated);
+  EXPECT_EQ(a.stats.rows_checked, b.stats.rows_checked);
+  EXPECT_EQ(a.stats.rows_sent_to_verification,
+            b.stats.rows_sent_to_verification);
+  EXPECT_EQ(a.stats.rows_true_positive, b.stats.rows_true_positive);
+  EXPECT_EQ(a.stats.value_comparisons, b.stats.value_comparisons);
+}
+
+TEST(SessionBudgetTest, BudgetedDiscoverIsBitIdenticalAndEvictsAtIdle) {
+  SavedWorld saved = SaveWorld("identical", /*key_size=*/2);
+  Session unlimited = OpenGoverned(saved, /*budget_bytes=*/0);
+  std::vector<DiscoveryResult> reference;
+  std::vector<QuerySpec> specs = MakeSpecs(saved.world);
+  for (const QuerySpec& spec : specs) {
+    auto result = unlimited.Discover(spec);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    reference.push_back(std::move(*result));
+  }
+
+  const uint64_t total = TotalCellBytes(unlimited);
+  const uint64_t budget = total / 4;
+  ASSERT_GT(budget, 0u);
+  Session governed = OpenGoverned(saved, budget);
+  // Two passes: the second re-touches tables the first pass's idle points
+  // evicted, so re-parses must reproduce the cells exactly.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t q = 0; q < specs.size(); ++q) {
+      auto result = governed.Discover(specs[q]);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ExpectBitIdentical(reference[q], *result);
+      // Each Discover return is an idle point: evicted back under budget.
+      EXPECT_LE(governed.corpus_residency().resident_bytes, budget);
+    }
+  }
+  const ResidencyStats res = governed.corpus_residency();
+  EXPECT_EQ(res.budget_bytes, budget);
+  EXPECT_GT(res.evictions, 0u);
+  EXPECT_GT(res.rematerializations, 0u);
+  EXPECT_GT(res.bytes_evicted, 0u);
+  RemoveWorld(saved);
+}
+
+TEST(SessionBudgetTest, BatchStatsSurfaceEvictionTraffic) {
+  SavedWorld saved = SaveWorld("batch", /*key_size=*/2);
+  Session eager = OpenGoverned(saved, /*budget_bytes=*/0);
+  ASSERT_TRUE(eager.WaitCorpusResident().ok());
+  std::vector<QuerySpec> specs = MakeSpecs(saved.world);
+  auto reference = eager.DiscoverBatch(specs);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  Session governed = OpenGoverned(saved, TotalCellBytes(eager) / 4);
+  // Two batches: the first materializes and evicts, the second re-touches
+  // what the first evicted. Both must match the unlimited batch.
+  for (int pass = 0; pass < 2; ++pass) {
+    auto batch = governed.DiscoverBatch(specs);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    ASSERT_EQ(batch->results.size(), reference->results.size());
+    for (size_t q = 0; q < batch->results.size(); ++q) {
+      ExpectBitIdentical(reference->results[q], batch->results[q]);
+    }
+    EXPECT_GT(batch->stats.tables_materialized, 0u);
+    EXPECT_GT(batch->stats.cell_bytes_materialized, 0u);
+    EXPECT_GT(batch->stats.corpus_evictions, 0u);
+    EXPECT_GT(batch->stats.corpus_evicted_bytes, 0u);
+  }
+  // The unlimited batch over a resident corpus reports zero traffic.
+  EXPECT_EQ(reference->stats.corpus_evictions, 0u);
+  EXPECT_EQ(reference->stats.corpus_evicted_bytes, 0u);
+  RemoveWorld(saved);
+}
+
+TEST(SessionBudgetTest, SingleColumnKeysMaterializeColumnsNotWholeTables) {
+  // Single-column keys hit the evaluator's columnar path: candidates that
+  // survive to row verification parse only the posting columns, so total
+  // bytes materialized stay strictly below the whole-corpus figure — with
+  // results bit-identical to a fully resident session.
+  SavedWorld saved = SaveWorld("columnar", /*key_size=*/1);
+  Session eager = OpenGoverned(saved, /*budget_bytes=*/0);
+  ASSERT_TRUE(eager.WaitCorpusResident().ok());
+  std::vector<QuerySpec> specs = MakeSpecs(saved.world);
+  auto reference = eager.DiscoverBatch(specs);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  Session lazy = OpenGoverned(saved, /*budget_bytes=*/0);
+  auto batch = lazy.DiscoverBatch(specs);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  for (size_t q = 0; q < batch->results.size(); ++q) {
+    ExpectBitIdentical(reference->results[q], batch->results[q]);
+  }
+  const ResidencyStats res = lazy.corpus_residency();
+  EXPECT_GT(res.bytes_materialized, 0u);
+  EXPECT_LT(res.bytes_materialized, TotalCellBytes(lazy));
+  EXPECT_FALSE(lazy.corpus_resident());
+  RemoveWorld(saved);
+}
+
+TEST(SessionBudgetTest, BudgetDisablesTheBackgroundWarmer) {
+  // warm_corpus stays at its default (true) but a budget is armed: warming
+  // the whole lake just to evict it again is pointless, so no warmer runs
+  // and residency stays governed by the queries alone.
+  SavedWorld saved = SaveWorld("nowarm", /*key_size=*/2);
+  Session probe = OpenGoverned(saved, /*budget_bytes=*/0);
+  const uint64_t budget = TotalCellBytes(probe) / 4;
+
+  Session governed = OpenGoverned(saved, budget, /*warm_corpus=*/true);
+  std::vector<QuerySpec> specs = MakeSpecs(saved.world);
+  for (const QuerySpec& spec : specs) {
+    ASSERT_TRUE(governed.Discover(spec).ok());
+  }
+  EXPECT_FALSE(governed.corpus_resident());
+  EXPECT_LE(governed.corpus_residency().resident_bytes, budget);
+  RemoveWorld(saved);
+}
+
+}  // namespace
+}  // namespace mate

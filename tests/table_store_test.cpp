@@ -183,6 +183,132 @@ TEST(TableStoreTest, EmptyCorpusIsTriviallyResident) {
   EXPECT_TRUE(lazy.MaterializeAll().ok());
 }
 
+// ---- residency budget: LRU eviction + columnar materialization --------
+
+TEST(TableStoreTest, BudgetEvictsOldestTouchFirstAndRetouchReparses) {
+  Corpus original = MakeCorpus(6, 8);
+  Corpus lazy = OpenLazyCopy(original, "lru");
+  for (TableId t = 0; t < 4; ++t) (void)lazy.table(t);
+  const uint64_t keep_two =
+      lazy.table_resident_bytes(2) + lazy.table_resident_bytes(3);
+  lazy.SetBudget(keep_two);
+  lazy.EvictToBudget();
+  // Tables 0 and 1 carry the oldest touch stamps; 2 and 3 survive.
+  EXPECT_FALSE(lazy.table_resident(0));
+  EXPECT_FALSE(lazy.table_resident(1));
+  EXPECT_TRUE(lazy.table_resident(2));
+  EXPECT_TRUE(lazy.table_resident(3));
+  ResidencyStats stats = lazy.residency();
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.resident_bytes, keep_two);
+  // Re-touching an evicted table re-parses it bit-identically and counts
+  // the rematerialization.
+  MaterializeOutcome outcome;
+  const Table& t0 = lazy.MaterializeTable(0, &outcome);
+  EXPECT_TRUE(outcome.rematerialized);
+  EXPECT_GT(outcome.bytes_parsed, 0u);
+  EXPECT_TRUE(TablesEqual(original.table(0), t0));
+  EXPECT_EQ(lazy.residency().rematerializations, 1u);
+}
+
+TEST(TableStoreTest, TinyBudgetThrashStaysCorrect) {
+  Corpus original = MakeCorpus(5, 6);
+  Corpus lazy = OpenLazyCopy(original, "thrash");
+  lazy.SetBudget(1);  // smaller than any table: every idle point evicts all
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (TableId t = 0; t < lazy.NumTables(); ++t) {
+      EXPECT_TRUE(TablesEqual(original.table(t), lazy.table(t)));
+      lazy.EvictToBudget();  // idle point between "queries"
+      EXPECT_EQ(lazy.residency().resident_bytes, 0u);
+    }
+  }
+  const ResidencyStats stats = lazy.residency();
+  EXPECT_EQ(stats.evictions, 3u * lazy.NumTables());
+  EXPECT_EQ(stats.rematerializations, 2u * lazy.NumTables());
+  EXPECT_TRUE(lazy.load_status().ok());
+}
+
+TEST(TableStoreTest, GetColumnsMaterializesOnlyThoseColumns) {
+  Corpus original = MakeCorpus(3, 7);
+  Corpus lazy = OpenLazyCopy(original, "columnar");
+  MaterializeOutcome outcome;
+  const Table& partial = lazy.MaterializeColumns(1, {1}, &outcome);
+  // Only column 1's extent parsed; the untouched columns are skeleton cells.
+  EXPECT_EQ(outcome.bytes_parsed,
+            TableColumnCellBytes(original.table(1), 1));
+  EXPECT_EQ(lazy.table_resident_bytes(1), outcome.bytes_parsed);
+  EXPECT_LT(lazy.table_resident_bytes(1), lazy.table_cell_bytes(1));
+  for (RowId r = 0; r < partial.NumRows(); ++r) {
+    EXPECT_EQ(partial.cell(r, 1), original.table(1).cell(r, 1));
+    EXPECT_EQ(partial.cell(r, 0), "");
+  }
+  EXPECT_EQ(lazy.residency().partial_tables, 1u);
+  // Requesting an already-parsed column is free; tombstones carried over.
+  MaterializeOutcome again;
+  (void)lazy.MaterializeColumns(1, {1}, &again);
+  EXPECT_EQ(again.bytes_parsed, 0u);
+  EXPECT_EQ(partial.NumLiveRows(), original.table(1).NumLiveRows());
+  // A full Get completes the remaining columns — equal to eager.
+  EXPECT_TRUE(TablesEqual(original.table(1), lazy.table(1)));
+  EXPECT_EQ(lazy.table_resident_bytes(1), lazy.table_cell_bytes(1));
+  EXPECT_EQ(lazy.residency().partial_tables, 0u);
+}
+
+TEST(TableStoreTest, PinnedTableSurvivesEviction) {
+  Corpus original = MakeCorpus(4, 6);
+  Corpus lazy = OpenLazyCopy(original, "pin");
+  // Armed before the touches: an unbudgeted store releases its backing once
+  // fully materialized, after which eviction is (correctly) impossible.
+  lazy.SetBudget(1);
+  for (TableId t = 0; t < lazy.NumTables(); ++t) (void)lazy.table(t);
+  // Mutable() pins: a caller holding a Table* must never have it evicted
+  // (and re-parsing would resurrect pre-edit cells anyway).
+  Table* pinned = lazy.mutable_table(1);
+  lazy.EvictToBudget();
+  EXPECT_TRUE(lazy.table_resident(1));
+  EXPECT_FALSE(lazy.table_resident(0));
+  EXPECT_EQ(lazy.residency().resident_bytes, lazy.table_resident_bytes(1));
+  EXPECT_EQ(pinned->cell(1, 0), original.table(1).cell(1, 0));
+}
+
+TEST(TableStoreTest, EvictionAtIdlePointsBetweenReaderWavesIsSafe) {
+  // The mutation/quiesce contract under TSan: warmer and on-demand readers
+  // (full and columnar) race each other freely within a wave; eviction runs
+  // only at the idle point after every thread joined. Contents must stay
+  // bit-identical through evict + re-parse cycles.
+  Corpus original = MakeCorpus(16, 8);
+  Corpus lazy = OpenLazyCopy(original, "evictwaves");
+  lazy.SetBudget(1);
+  for (int wave = 0; wave < 3; ++wave) {
+    std::function<Status()> warmer = lazy.MakeWarmer();
+    std::thread warm_thread([&warmer] { EXPECT_TRUE(warmer().ok()); });
+    std::vector<std::thread> readers;
+    for (int w = 0; w < 4; ++w) {
+      readers.emplace_back([&lazy, &original, w] {
+        const size_t n = lazy.NumTables();
+        for (size_t i = 0; i < n; ++i) {
+          const TableId t = static_cast<TableId>((i + w * 5) % n);
+          if (w % 2 == 0) {
+            EXPECT_EQ(lazy.table(t).cell(1, 1), original.table(t).cell(1, 1));
+          } else {
+            const Table& partial = lazy.MaterializeColumns(t, {1});
+            EXPECT_EQ(partial.cell(1, 1), original.table(t).cell(1, 1));
+          }
+        }
+      });
+    }
+    warm_thread.join();
+    for (std::thread& reader : readers) reader.join();
+    lazy.EvictToBudget();  // idle: no in-flight materializer or reader
+    EXPECT_EQ(lazy.residency().resident_bytes, 0u);
+  }
+  EXPECT_GT(lazy.residency().evictions, 0u);
+  EXPECT_GT(lazy.residency().rematerializations, 0u);
+  lazy.SetBudget(0);
+  ASSERT_TRUE(lazy.MaterializeAll().ok());
+  EXPECT_TRUE(CorporaEqual(original, lazy));
+}
+
 TEST(TableStoreTest, ResidentStoreShapeAccessorsMatchTables) {
   Corpus corpus = MakeCorpus(3, 5);
   for (TableId t = 0; t < corpus.NumTables(); ++t) {

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Merge per-bench --json outputs into one BENCH_*.json trajectory file, and
+check a generated file's metric *presence* against the committed one.
+
+The committed BENCH_PR<N>.json files record the perf trajectory of the repo:
+which benches exist, which scenarios and metrics each reports, and the
+numbers one machine saw at the time the PR landed. CI never compares the
+numbers (hosted runners are too noisy for that) — it compares the *shape*:
+every (bench, scenario, metric, unit) key in the committed file must be
+emitted by the current build, and vice versa. A bench that silently stops
+reporting a metric, or starts reporting new ones without refreshing the
+committed file, fails the check.
+
+Usage:
+  bench_report.py merge --out BENCH_PR6.json json_dir/*.json
+  bench_report.py check BENCH_PR6.json build/BENCH_PR6.json
+
+Stdlib only; exits non-zero on schema skew, duplicate keys, or presence
+drift.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+# Presence identity of one record. Values, threads, and shards are
+# informational: they vary run to run and machine to machine.
+KEY_FIELDS = ("bench", "scenario", "metric", "unit")
+REQUIRED_FIELDS = KEY_FIELDS + ("value", "threads", "shards")
+
+
+def fail(message):
+    print("bench_report: " + message, file=sys.stderr)
+    sys.exit(1)
+
+
+def load_records(path):
+    """Parses one bench JSON file, validating the schema; returns records."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+    if not isinstance(data, dict):
+        fail(f"{path}: top level must be an object")
+    if data.get("schema_version") != SCHEMA_VERSION:
+        fail(
+            f"{path}: schema_version {data.get('schema_version')!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    records = data.get("records")
+    if not isinstance(records, list):
+        fail(f"{path}: 'records' must be a list")
+    for i, record in enumerate(records):
+        if not isinstance(record, dict):
+            fail(f"{path}: records[{i}] is not an object")
+        missing = [k for k in REQUIRED_FIELDS if k not in record]
+        if missing:
+            fail(f"{path}: records[{i}] missing fields {missing}")
+    return records
+
+
+def record_key(record):
+    return tuple(str(record[k]) for k in KEY_FIELDS)
+
+
+def format_key(key):
+    return "/".join(key[:3]) + f" [{key[3]}]"
+
+
+def cmd_merge(args):
+    records = []
+    for path in args.files:
+        records.extend(load_records(path))
+    seen = {}
+    for record in records:
+        key = record_key(record)
+        if key in seen:
+            fail(f"duplicate metric {format_key(key)} across inputs")
+        seen[key] = record
+    records.sort(key=record_key)
+    out = {"schema_version": SCHEMA_VERSION, "records": records}
+    try:
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(out, f, indent=1)
+            f.write("\n")
+    except OSError as e:
+        fail(f"cannot write {args.out}: {e}")
+    benches = sorted({r["bench"] for r in records})
+    print(
+        f"bench_report: wrote {len(records)} records from "
+        f"{len(benches)} benches ({', '.join(benches)}) to {args.out}"
+    )
+
+
+def cmd_check(args):
+    committed = {record_key(r) for r in load_records(args.committed)}
+    generated = {record_key(r) for r in load_records(args.generated)}
+    missing = committed - generated
+    extra = generated - committed
+    for key in sorted(missing):
+        print(
+            f"bench_report: MISSING {format_key(key)} — committed in "
+            f"{args.committed} but not emitted by this build",
+            file=sys.stderr,
+        )
+    for key in sorted(extra):
+        print(
+            f"bench_report: EXTRA {format_key(key)} — emitted by this build "
+            f"but absent from {args.committed}; refresh the committed file",
+            file=sys.stderr,
+        )
+    if missing or extra:
+        sys.exit(1)
+    print(
+        f"bench_report: OK — {len(generated)} metrics match the committed "
+        f"trajectory ({args.committed})"
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(prog="bench_report.py")
+    sub = parser.add_subparsers(dest="command", required=True)
+    merge = sub.add_parser("merge", help="merge per-bench JSON files")
+    merge.add_argument("--out", required=True, help="output trajectory file")
+    merge.add_argument("files", nargs="+", help="per-bench --json outputs")
+    merge.set_defaults(func=cmd_merge)
+    check = sub.add_parser("check", help="diff metric presence, not values")
+    check.add_argument("committed", help="committed BENCH_PR<N>.json")
+    check.add_argument("generated", help="freshly merged trajectory file")
+    check.set_defaults(func=cmd_check)
+    args = parser.parse_args()
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -9,7 +9,9 @@
 //   mate_cli search  --corpus F --index F --batch DIR --key a,b[,c...]
 //                    [--k 10] [--threads N] [--cache-mb 64] [--no-cache]
 //                    [--intra-threads N | --auto-parallel]
+//                    [--corpus-budget-mb N]
 //   mate_cli stats   --corpus F [--index F] [--verify-stats]
+//                    [--corpus-budget-mb N]
 //   mate_cli dups    --corpus F [--min-overlap 0.85]
 //   mate_cli union   --corpus F --query Q.csv [--k 10]
 //   mate_cli convert-corpus --corpus F [--out G]
@@ -30,15 +32,23 @@
 // Cold start: search opens the session *phased* — Open returns after the
 // index header, dictionary, and corpus/index validation, while the mmap'd
 // posting region and super keys stream in on the pool; the first query
-// blocks on the readiness latch. The corpus side is *lazy* (format v2):
+// blocks on the readiness latch. The corpus side is *lazy* (format v2/v3):
 // Open parses only the shape header, queries materialize just the tables
 // they evaluate, and a background warmer streams the rest. `--eager`
 // forces the old fully blocking index open, `--eager-corpus` the fully
 // materialized corpus load. Results are identical at every setting.
 //
-// convert-corpus migrates a v1 corpus file to format v2 (persisted stats +
-// lazy-loadable cell region) in place — atomically via rename, after a
-// round-trip equality check against the original — or to --out.
+// Memory governance: `--corpus-budget-mb N` arms a residency byte budget
+// over the lazy corpus — candidate tables (just their touched columns, for
+// single-column keys over a v3 file) materialize on demand and the
+// least-recently-used tables are evicted back down to the budget between
+// queries. Results stay bit-identical; search and stats report the
+// residency traffic (resident/peak bytes, evictions, re-parses).
+//
+// convert-corpus migrates a v1/v2 corpus file to format v3 (persisted
+// stats + lazy-loadable cell region with per-column extents) in place —
+// atomically via rename, after a round-trip equality check against the
+// original — or to --out.
 
 #include <filesystem>
 #include <iostream>
@@ -68,8 +78,10 @@ int Usage() {
       " [--eager-corpus]\n"
       "  mate_cli search --corpus F --index F --batch DIR --key a,b [--k N]"
       " [--threads N] [--cache-mb N] [--no-cache]"
-      " [--intra-threads N | --auto-parallel] [--eager] [--eager-corpus]\n"
-      "  mate_cli stats  --corpus F [--index F] [--verify-stats]\n"
+      " [--intra-threads N | --auto-parallel] [--eager] [--eager-corpus]"
+      " [--corpus-budget-mb N]\n"
+      "  mate_cli stats  --corpus F [--index F] [--verify-stats]"
+      " [--corpus-budget-mb N]\n"
       "  mate_cli dups   --corpus F [--min-overlap 0.85]\n"
       "  mate_cli union  --corpus F --query Q.csv [--k N]\n"
       "  mate_cli convert-corpus --corpus F [--out G]\n";
@@ -125,6 +137,23 @@ Result<unsigned> ParseUintFlag(const std::string& flag,
 
 Result<unsigned> ParseThreads(const std::string& text) {
   return ParseUintFlag("threads", text, 1024);
+}
+
+Result<uint64_t> ParseBudgetBytes(
+    const std::map<std::string, std::string>& flags) {
+  auto mb = ParseUintFlag("corpus-budget-mb",
+                          FlagOr(flags, "corpus-budget-mb", "0"), 1u << 20);
+  if (!mb.ok()) return mb.status();
+  return uint64_t{*mb} << 20;
+}
+
+void PrintResidency(const ResidencyStats& r) {
+  std::cout << "residency: resident=" << r.resident_bytes << "B peak="
+            << r.peak_resident_bytes << "B budget=" << r.budget_bytes
+            << "B materialized=" << r.bytes_materialized << "B evictions="
+            << r.evictions << " (" << r.bytes_evicted << "B) re-parses="
+            << r.rematerializations << " tables=" << r.tables_resident
+            << " (" << r.partial_tables << " partial)\n";
 }
 
 Result<std::vector<ColumnId>> ResolveKeyColumns(const Table& query,
@@ -238,6 +267,9 @@ int CmdSearch(const std::map<std::string, std::string>& flags) {
       flags.count("no-cache") ? 0 : size_t{*cache_mb} << 20;
   session_options.eager_load = flags.count("eager") > 0;
   session_options.eager_corpus = flags.count("eager-corpus") > 0;
+  auto budget_bytes = ParseBudgetBytes(flags);
+  if (!budget_bytes.ok()) return Fail(budget_bytes.status());
+  session_options.corpus_budget_bytes = *budget_bytes;
   Stopwatch open_timer;
   auto session = Session::Open(std::move(session_options));
   if (!session.ok()) return Fail(session.status());
@@ -354,13 +386,15 @@ int CmdSearch(const std::map<std::string, std::string>& flags) {
     // fan-out traffic when any query ran sharded.
     std::cout << "batch: " << batch->stats.ToString() << "\n";
   }
+  if (*budget_bytes > 0) PrintResidency(session->corpus_residency());
   return 0;
 }
 
 // Opens a corpus-only session (plus index when `index_path` is set) — the
 // stats/curation commands never construct storage readers directly.
 Result<Session> OpenSession(const std::string& corpus_path,
-                            const std::string& index_path = "") {
+                            const std::string& index_path = "",
+                            uint64_t corpus_budget_bytes = 0) {
   SessionOptions options;
   options.corpus_path = corpus_path;
   options.index_path = index_path;
@@ -368,6 +402,7 @@ Result<Session> OpenSession(const std::string& corpus_path,
   options.warm_corpus = false;  // one-shot commands: materialize strictly
                                 // on demand — stats' fast path must not
                                 // stall process exit behind a warmer
+  options.corpus_budget_bytes = corpus_budget_bytes;
   return Session::Open(std::move(options));
 }
 
@@ -375,7 +410,9 @@ int CmdStats(const std::map<std::string, std::string>& flags) {
   const std::string corpus_path = FlagOr(flags, "corpus", "");
   if (corpus_path.empty()) return Usage();
   const std::string index_path = FlagOr(flags, "index", "");
-  auto session = OpenSession(corpus_path, index_path);
+  auto budget_bytes = ParseBudgetBytes(flags);
+  if (!budget_bytes.ok()) return Fail(budget_bytes.status());
+  auto session = OpenSession(corpus_path, index_path, *budget_bytes);
   if (!session.ok()) return Fail(session.status());
   // The fast path reports the stored snapshot (corpus v2 header, or the
   // index file's copy) — no cell is parsed. `--verify-stats` re-runs the
@@ -384,6 +421,7 @@ int CmdStats(const std::map<std::string, std::string>& flags) {
   std::cout << "corpus: " << session->corpus_stats().ToString() << "\n";
   std::cout << "residency: " << session->corpus().tables_resident() << "/"
             << session->corpus().NumTables() << " tables resident\n";
+  PrintResidency(session->corpus_residency());
   if (flags.count("verify-stats")) {
     const CorpusStats scanned = session->corpus().ComputeStats();
     if (Status s = session->corpus().load_status(); !s.ok()) return Fail(s);
@@ -464,16 +502,17 @@ int CmdUnion(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-// Migrates a corpus file to format v2: persisted stats in the header and a
-// size-prefixed cell region that later sessions open lazily. Writes to
-// --out, or in place (atomic rename) without it. The rewrite is verified
-// by a round-trip equality check *before* any byte lands on disk.
+// Migrates a corpus file to format v3: persisted stats in the header and a
+// size-prefixed cell region (with per-column extents) that later sessions
+// open lazily. Writes to --out, or in place (atomic rename) without it.
+// The rewrite is verified by a round-trip equality check *before* any byte
+// lands on disk.
 int CmdConvertCorpus(const std::map<std::string, std::string>& flags) {
   const std::string corpus_path = FlagOr(flags, "corpus", "");
   if (corpus_path.empty()) return Usage();
   const std::string out_path = FlagOr(flags, "out", corpus_path);
 
-  auto corpus = LoadCorpus(corpus_path);  // eager; reads v1 and v2
+  auto corpus = LoadCorpus(corpus_path);  // eager; reads v1, v2, and v3
   if (!corpus.ok()) return Fail(corpus.status());
   const CorpusStats stats = corpus->ComputeStats();
 
@@ -483,11 +522,11 @@ int CmdConvertCorpus(const std::map<std::string, std::string>& flags) {
   if (!reparsed.ok()) return Fail(reparsed.status());
   if (!CorporaEqual(*corpus, *reparsed)) {
     return Fail(Status::Internal(
-        "round-trip check failed: the v2 rewrite does not reproduce the "
+        "round-trip check failed: the v3 rewrite does not reproduce the "
         "original corpus; " + corpus_path + " left untouched"));
   }
   if (Status s = WriteFileAtomic(out_path, buffer); !s.ok()) return Fail(s);
-  std::cout << "wrote " << out_path << " (format v2, " << buffer.size()
+  std::cout << "wrote " << out_path << " (format v3, " << buffer.size()
             << " bytes, " << corpus->NumTables()
             << " tables, round-trip verified)\n"
             << "stats: " << stats.ToString() << "\n";
