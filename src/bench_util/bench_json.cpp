@@ -65,6 +65,18 @@ void BenchJsonWriter::Add(std::string_view scenario, std::string_view metric,
                             std::string(unit), shards});
 }
 
+void BenchJsonWriter::AddWithLoad(std::string_view scenario,
+                                  std::string_view metric, double value,
+                                  std::string_view unit, uint64_t tenants,
+                                  double arrival_rate, uint64_t shards) {
+  Record record{std::string(scenario), std::string(metric), value,
+                std::string(unit), shards};
+  record.has_load = true;
+  record.tenants = tenants;
+  record.arrival_rate = arrival_rate;
+  records_.push_back(std::move(record));
+}
+
 std::string BenchJsonWriter::ToJson() const {
   std::string out;
   out.append("{\"schema_version\": 1, \"records\": [");
@@ -83,6 +95,11 @@ std::string BenchJsonWriter::ToJson() const {
     AppendJsonString(&out, r.unit);
     out.append(", \"threads\": " + std::to_string(threads_));
     out.append(", \"shards\": " + std::to_string(r.shards));
+    if (r.has_load) {
+      out.append(", \"tenants\": " + std::to_string(r.tenants));
+      out.append(", \"arrival_rate\": ");
+      AppendJsonNumber(&out, r.arrival_rate);
+    }
     out.push_back('}');
   }
   out.append("\n]}\n");

@@ -36,6 +36,14 @@ class BenchJsonWriter {
   void Add(std::string_view scenario, std::string_view metric, double value,
            std::string_view unit, uint64_t shards = 1);
 
+  /// Appends one serving-load record: like Add, but the record also carries
+  /// the tenant count and the open-loop arrival rate (requests/s) the
+  /// measurement ran under — bench/serving_tail_latency emits these so the
+  /// trajectory records the load shape, not just the latency numbers.
+  void AddWithLoad(std::string_view scenario, std::string_view metric,
+                   double value, std::string_view unit, uint64_t tenants,
+                   double arrival_rate, uint64_t shards = 1);
+
   /// Serializes the records to `path` (no-op returning true when `path` is
   /// empty, so benches can call it unconditionally with args.json_path).
   /// On an IO failure prints to stderr and returns false.
@@ -50,6 +58,10 @@ class BenchJsonWriter {
     double value;
     std::string unit;
     uint64_t shards;
+    // Serving-load shape (AddWithLoad); absent from the JSON when unset.
+    bool has_load = false;
+    uint64_t tenants = 0;
+    double arrival_rate = 0.0;
   };
 
   std::string bench_;

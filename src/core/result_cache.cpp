@@ -26,78 +26,151 @@ size_t ResultCache::ApproxResultBytes(const DiscoveryResult& result) {
   return bytes;
 }
 
-bool ResultCache::Lookup(const std::string& key, DiscoveryResult* result) {
+ResultCache::Partition& ResultCache::GetOrCreate(std::string_view partition) {
+  auto it = partitions_.find(partition);
+  if (it == partitions_.end()) {
+    it = partitions_.emplace(std::string(partition), Partition{}).first;
+    it->second.capacity_bytes = default_capacity_bytes_;
+  }
+  return it->second;
+}
+
+void ResultCache::EvictToBudget(Partition* p) {
+  while (p->bytes > p->capacity_bytes && !p->lru.empty()) {
+    const Entry& victim = p->lru.back();
+    p->bytes -= victim.bytes;
+    p->index.erase(std::string_view(victim.key));
+    p->lru.pop_back();
+    ++p->evictions;
+  }
+}
+
+bool ResultCache::Lookup(std::string_view partition, const std::string& key,
+                         DiscoveryResult* result) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(std::string_view(key));
-  if (it == index_.end()) {
-    ++misses_;
+  Partition& p = GetOrCreate(partition);
+  auto it = p.index.find(std::string_view(key));
+  if (it == p.index.end()) {
+    ++p.misses;
     return false;
   }
-  ++hits_;
-  lru_.splice(lru_.begin(), lru_, it->second);
+  ++p.hits;
+  p.lru.splice(p.lru.begin(), p.lru, it->second);
   *result = it->second->result;
   return true;
 }
 
-void ResultCache::Insert(const std::string& key,
+void ResultCache::Insert(std::string_view partition, const std::string& key,
                          const DiscoveryResult& result) {
   const size_t entry_bytes =
       key.size() + ApproxResultBytes(result) + kEntryOverheadBytes;
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(std::string_view(key));
-  if (it != index_.end()) {
-    if (entry_bytes > capacity_bytes_) {
+  Partition& p = GetOrCreate(partition);
+  auto it = p.index.find(std::string_view(key));
+  if (it != p.index.end()) {
+    if (entry_bytes > p.capacity_bytes) {
       // The refreshed value can never fit: drop the key entirely rather
       // than blowing the budget and letting the eviction loop below wipe
       // every other entry.
-      bytes_ -= it->second->bytes;
+      p.bytes -= it->second->bytes;
       auto node = it->second;
-      index_.erase(it);  // before the list node its key view points into
-      lru_.erase(node);
-      ++evictions_;
+      p.index.erase(it);  // before the list node its key view points into
+      p.lru.erase(node);
+      ++p.evictions;
       return;
     }
     // Refresh in place (identical queries recompute identical results, but
     // keep the newest copy and re-account its size).
-    bytes_ -= it->second->bytes;
+    p.bytes -= it->second->bytes;
     it->second->result = result;
     it->second->bytes = entry_bytes;
-    bytes_ += entry_bytes;
-    lru_.splice(lru_.begin(), lru_, it->second);
+    p.bytes += entry_bytes;
+    p.lru.splice(p.lru.begin(), p.lru, it->second);
   } else {
-    if (entry_bytes > capacity_bytes_) return;  // can never fit
-    lru_.push_front(Entry{key, result, entry_bytes});
-    index_.emplace(std::string_view(lru_.front().key), lru_.begin());
-    bytes_ += entry_bytes;
-    ++insertions_;
+    if (entry_bytes > p.capacity_bytes) return;  // can never fit
+    p.lru.push_front(Entry{key, result, entry_bytes});
+    p.index.emplace(std::string_view(p.lru.front().key), p.lru.begin());
+    p.bytes += entry_bytes;
+    ++p.insertions;
   }
-  while (bytes_ > capacity_bytes_ && !lru_.empty()) {
-    const Entry& victim = lru_.back();
-    bytes_ -= victim.bytes;
-    index_.erase(std::string_view(victim.key));
-    lru_.pop_back();
-    ++evictions_;
-  }
+  EvictToBudget(&p);
+}
+
+void ResultCache::ConfigurePartition(std::string_view partition,
+                                     size_t capacity_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Partition& p = GetOrCreate(partition);
+  p.capacity_bytes = capacity_bytes;
+  EvictToBudget(&p);
 }
 
 void ResultCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  index_.clear();
-  lru_.clear();
-  bytes_ = 0;
+  for (auto& [name, p] : partitions_) {
+    p.index.clear();
+    p.lru.clear();
+    p.bytes = 0;
+  }
+}
+
+bool ResultCache::ClearPartition(std::string_view partition) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = partitions_.find(partition);
+  if (it == partitions_.end()) return false;
+  Partition& p = it->second;
+  p.index.clear();
+  p.lru.clear();
+  p.bytes = 0;
+  return true;
+}
+
+ResultCacheStats ResultCache::SnapshotPartition(const Partition& p) {
+  ResultCacheStats stats;
+  stats.hits = p.hits;
+  stats.misses = p.misses;
+  stats.insertions = p.insertions;
+  stats.evictions = p.evictions;
+  stats.entries = p.lru.size();
+  stats.bytes = p.bytes;
+  stats.capacity_bytes = p.capacity_bytes;
+  return stats;
 }
 
 ResultCacheStats ResultCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  ResultCacheStats stats;
-  stats.hits = hits_;
-  stats.misses = misses_;
-  stats.insertions = insertions_;
-  stats.evictions = evictions_;
-  stats.entries = lru_.size();
-  stats.bytes = bytes_;
-  stats.capacity_bytes = capacity_bytes_;
-  return stats;
+  ResultCacheStats total;
+  // An untouched cache still reports its configured capacity.
+  total.capacity_bytes = partitions_.empty() ? default_capacity_bytes_ : 0;
+  for (const auto& [name, p] : partitions_) {
+    const ResultCacheStats s = SnapshotPartition(p);
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.insertions += s.insertions;
+    total.evictions += s.evictions;
+    total.entries += s.entries;
+    total.bytes += s.bytes;
+    total.capacity_bytes += s.capacity_bytes;
+  }
+  return total;
+}
+
+ResultCacheStats ResultCache::partition_stats(
+    std::string_view partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = partitions_.find(partition);
+  return it == partitions_.end() ? ResultCacheStats{}
+                                 : SnapshotPartition(it->second);
+}
+
+std::vector<std::pair<std::string, ResultCacheStats>>
+ResultCache::AllPartitionStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, ResultCacheStats>> out;
+  out.reserve(partitions_.size());
+  for (const auto& [name, p] : partitions_) {
+    out.emplace_back(name, SnapshotPartition(p));
+  }
+  return out;
 }
 
 }  // namespace mate

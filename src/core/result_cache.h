@@ -4,18 +4,30 @@
 // including its recorded runtime), so cached and uncached discovery are
 // bit-identical. Thread-safe: batch workers may probe/insert concurrently.
 //
+// Multi-tenant serving (src/server/) partitions the cache: every entry
+// lives in exactly one named partition with its own independent byte
+// budget and LRU list, so one tenant's churn can never evict another's
+// results. The unnamed partition "" always exists (created with the
+// constructor's capacity) and is what the single-tenant API overloads use;
+// other partitions spring into existence on first touch with the default
+// capacity, or explicitly via ConfigurePartition.
+//
 // The cache itself is key-agnostic; Session (session.h) owns one and keys
-// it with a canonical fingerprint of (key-column contents, options).
+// it with a canonical fingerprint of (key-column contents, options), using
+// QuerySpec::tenant as the partition.
 
 #ifndef MATE_CORE_RESULT_CACHE_H_
 #define MATE_CORE_RESULT_CACHE_H_
 
 #include <cstdint>
 #include <list>
+#include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/topk.h"
 
@@ -23,7 +35,8 @@ namespace mate {
 
 /// Snapshot of cache instrumentation. Hits/misses/insertions/evictions are
 /// cumulative over the cache's lifetime (Clear() does not reset them);
-/// entries/bytes describe the current contents.
+/// entries/bytes describe the current contents. Aggregated snapshots sum
+/// every partition (capacity included).
 struct ResultCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -44,28 +57,56 @@ struct ResultCacheStats {
 
 class ResultCache {
  public:
-  /// A cache holding at most `capacity_bytes` of keys + results. Entries
-  /// individually larger than the budget are never admitted.
+  /// A cache whose partitions each hold at most `capacity_bytes` of keys +
+  /// results by default. Entries individually larger than their partition's
+  /// budget are never admitted.
   explicit ResultCache(size_t capacity_bytes)
-      : capacity_bytes_(capacity_bytes) {}
+      : default_capacity_bytes_(capacity_bytes) {}
 
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
 
   /// On hit, copies the cached result into `*result`, moves the entry to
-  /// the front of the LRU list, and returns true. Counts one hit or miss.
-  bool Lookup(const std::string& key, DiscoveryResult* result);
+  /// the front of its partition's LRU list, and returns true. Counts one
+  /// hit or miss against `partition` (touching a partition creates it).
+  bool Lookup(std::string_view partition, const std::string& key,
+              DiscoveryResult* result);
+  /// Single-tenant convenience: the unnamed partition.
+  bool Lookup(const std::string& key, DiscoveryResult* result) {
+    return Lookup(std::string_view(), key, result);
+  }
 
-  /// Inserts (or refreshes) `key -> result`, evicting least-recently-used
-  /// entries until the byte budget holds.
-  void Insert(const std::string& key, const DiscoveryResult& result);
+  /// Inserts (or refreshes) `key -> result` in `partition`, evicting that
+  /// partition's least-recently-used entries until its byte budget holds.
+  void Insert(std::string_view partition, const std::string& key,
+              const DiscoveryResult& result);
+  void Insert(const std::string& key, const DiscoveryResult& result) {
+    Insert(std::string_view(), key, result);
+  }
 
-  /// Drops every entry (the Session::InvalidateCache hook). Cumulative
-  /// counters survive so hit-rate reporting spans invalidations.
+  /// Creates `partition` (or resizes it, evicting down to the new budget).
+  /// A budget of 0 keeps the partition but admits nothing new and drops its
+  /// current contents.
+  void ConfigurePartition(std::string_view partition, size_t capacity_bytes);
+
+  /// Drops every entry in every partition (the Session::InvalidateCache
+  /// hook). Partitions and their budgets survive, and cumulative counters
+  /// survive so hit-rate reporting spans invalidations.
   void Clear();
 
+  /// Drops every entry of one partition; returns false when the partition
+  /// has never been touched (nothing to clear).
+  bool ClearPartition(std::string_view partition);
+
+  /// Aggregate across every partition.
   ResultCacheStats stats() const;
-  size_t capacity_bytes() const { return capacity_bytes_; }
+  /// One partition's counters (zeroed stats for a never-touched partition).
+  ResultCacheStats partition_stats(std::string_view partition) const;
+  /// Every partition's counters, sorted by partition name.
+  std::vector<std::pair<std::string, ResultCacheStats>> AllPartitionStats()
+      const;
+
+  size_t capacity_bytes() const { return default_capacity_bytes_; }
 
   /// Approximate heap footprint of a result (used for budget accounting).
   static size_t ApproxResultBytes(const DiscoveryResult& result);
@@ -77,17 +118,29 @@ class ResultCache {
     size_t bytes = 0;
   };
 
-  // Most-recently-used at the front. The map's string_view keys point into
-  // Entry::key, which is stable: list nodes never relocate.
+  // One LRU list + probe index + budget per partition. Most-recently-used
+  // at the front. The map's string_view keys point into Entry::key, which
+  // is stable: list nodes never relocate.
+  struct Partition {
+    std::list<Entry> lru;
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+    size_t capacity_bytes = 0;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  Partition& GetOrCreate(std::string_view partition);
+  static void EvictToBudget(Partition* p);
+  static ResultCacheStats SnapshotPartition(const Partition& p);
+
   mutable std::mutex mu_;
-  std::list<Entry> lru_;
-  std::unordered_map<std::string_view, std::list<Entry>::iterator> index_;
-  size_t capacity_bytes_;
-  size_t bytes_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t insertions_ = 0;
-  uint64_t evictions_ = 0;
+  // Ordered (heterogeneous-lookup) map: AllPartitionStats comes out sorted
+  // and string_view probes never allocate.
+  std::map<std::string, Partition, std::less<>> partitions_;
+  size_t default_capacity_bytes_;
 };
 
 }  // namespace mate

@@ -411,12 +411,12 @@ Result<DiscoveryResult> Session::Discover(const QuerySpec& spec) {
   }
   const std::string key = FingerprintQuery(spec);
   DiscoveryResult result;
-  if (cache_->Lookup(key, &result)) return result;
+  if (cache_->Lookup(spec.tenant, key, &result)) return result;
   result = RunQuery(spec, /*intra_parallel=*/true);
   // Re-check before caching: a result computed over a stub table must
   // neither be returned nor poison future hits.
   MATE_RETURN_IF_ERROR(corpus_.load_status());
-  cache_->Insert(key, result);
+  cache_->Insert(spec.tenant, key, result);
   corpus_.EvictToBudget();
   return result;
 }
@@ -476,15 +476,21 @@ Result<BatchResult> Session::DiscoverBatch(
   BatchResult batch;
   batch.results.resize(specs.size());
 
-  // Group by fingerprint: one probe and at most one computation per
-  // distinct query; followers are copies and count as hits.
+  // Group by (tenant, fingerprint): one probe and at most one computation
+  // per distinct query per partition; followers are copies and count as
+  // hits. The tenant joins the grouping key — not the fingerprint — because
+  // identical queries from different tenants probe different partitions.
   std::vector<std::string> keys(specs.size());
   std::vector<std::vector<size_t>> groups;  // first-appearance order
   {
-    std::unordered_map<std::string_view, size_t> group_of;
+    std::unordered_map<std::string, size_t> group_of;
     for (size_t i = 0; i < specs.size(); ++i) {
       keys[i] = FingerprintQuery(specs[i]);
-      auto [it, inserted] = group_of.emplace(keys[i], groups.size());
+      std::string group_key = specs[i].tenant;
+      group_key.push_back('\0');
+      group_key += keys[i];
+      auto [it, inserted] = group_of.emplace(std::move(group_key),
+                                             groups.size());
       if (inserted) groups.emplace_back();
       groups[it->second].push_back(i);
     }
@@ -495,7 +501,7 @@ Result<BatchResult> Session::DiscoverBatch(
   for (const std::vector<size_t>& group : groups) {
     const size_t first = group.front();
     DiscoveryResult cached;
-    if (cache_->Lookup(keys[first], &cached)) {
+    if (cache_->Lookup(specs[first].tenant, keys[first], &cached)) {
       for (size_t i : group) batch.results[i] = cached;
       hits += group.size();
     } else {
@@ -524,7 +530,7 @@ Result<BatchResult> Session::DiscoverBatch(
       if (j < leaders.size() && leaders[j] == first) {
         const DiscoveryResult& result = computed.results[j];
         for (size_t i : group) batch.results[i] = result;
-        cache_->Insert(keys[first], result);
+        cache_->Insert(specs[first].tenant, keys[first], result);
         ++j;
       }
     }
@@ -547,8 +553,22 @@ void Session::InvalidateCache() {
   if (cache_ != nullptr) cache_->Clear();
 }
 
+void Session::InvalidateCache(std::string_view tenant) {
+  if (cache_ != nullptr) cache_->ClearPartition(tenant);
+}
+
 ResultCacheStats Session::cache_stats() const {
   return cache_ != nullptr ? cache_->stats() : ResultCacheStats{};
+}
+
+ResultCacheStats Session::cache_partition_stats(
+    std::string_view tenant) const {
+  return cache_ != nullptr ? cache_->partition_stats(tenant)
+                           : ResultCacheStats{};
+}
+
+void Session::ConfigureCachePartition(std::string_view tenant, size_t bytes) {
+  if (cache_ != nullptr) cache_->ConfigurePartition(tenant, bytes);
 }
 
 void Session::ConfigureCache(size_t bytes) {

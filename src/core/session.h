@@ -71,6 +71,14 @@ struct QuerySpec {
   std::vector<ColumnId> key_columns;
   DiscoveryOptions options;
 
+  /// Result-cache partition this query reads and populates (multi-tenant
+  /// serving: src/server/). Tenants never share cached entries, and each
+  /// partition carries its own byte budget (ConfigureCachePartition).
+  /// Execution-only in the same sense as the knobs below — it selects
+  /// *where* a result is cached, never what is computed — and the empty
+  /// default is the classic shared partition.
+  std::string tenant;
+
   // ---- execution-only knobs (core/query_executor.h) ------------------
   // They change how fast the answer is computed, never the answer, and are
   // therefore excluded from the result-cache fingerprint: the same logical
@@ -248,12 +256,28 @@ class Session {
 
   // ---- cache --------------------------------------------------------
 
-  /// Drops every cached result. Call after mutating the corpus or index
-  /// through the mutable accessors below.
+  /// Drops every cached result in every tenant partition. Call after
+  /// mutating the corpus or index through the mutable accessors below —
+  /// an index edit invalidates all tenants' results alike.
   void InvalidateCache();
 
-  /// Cumulative cache counters (zeroed stats when the cache is disabled).
+  /// Drops only `tenant`'s partition (the empty name is the shared default
+  /// partition). Serving uses this for per-tenant resets; index/corpus
+  /// mutation must keep using the all-partition overload above.
+  void InvalidateCache(std::string_view tenant);
+
+  /// Cumulative cache counters summed over every partition (zeroed stats
+  /// when the cache is disabled).
   ResultCacheStats cache_stats() const;
+
+  /// One tenant partition's counters (zeroed when disabled or untouched).
+  ResultCacheStats cache_partition_stats(std::string_view tenant) const;
+
+  /// Creates or resizes `tenant`'s cache partition to `bytes` (evicting
+  /// down when shrinking). Untouched tenants otherwise get the session
+  /// cache's default byte budget on first use. No-op when caching is
+  /// disabled.
+  void ConfigureCachePartition(std::string_view tenant, size_t bytes);
 
   bool cache_enabled() const { return cache_ != nullptr; }
 
@@ -288,8 +312,10 @@ class Session {
   InvertedIndex* mutable_index() { return index_.get(); }
 
   /// Swaps the super-key hash (re-keying on the session pool) and
-  /// invalidates the cache. The registry overload parameterizes the hash
-  /// from the session's corpus stats, like the index builder does.
+  /// invalidates the cache — every tenant partition, not just the shared
+  /// one: re-keying changes what the index computes for all tenants alike.
+  /// The registry overload parameterizes the hash from the session's
+  /// corpus stats, like the index builder does.
   Status ResetHash(HashFamily family, size_t hash_bits);
   Status ResetHash(HashFamily family, std::unique_ptr<RowHashFunction> hash);
 

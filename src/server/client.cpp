@@ -1,0 +1,107 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace mate {
+
+Result<MateClient> MateClient::Connect(const std::string& host,
+                                       uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad server address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("socket() failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status s = Status::IOError("connect(" + host + ":" +
+                               std::to_string(port) +
+                               ") failed: " + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  return MateClient(fd);
+}
+
+MateClient::MateClient(MateClient&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+MateClient& MateClient::operator=(MateClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+MateClient::~MateClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status MateClient::RoundTrip(const std::string& request_payload,
+                             std::string* response_payload,
+                             Status* server_status, std::string_view* body) {
+  if (fd_ < 0) return Status::IOError("client is not connected");
+  MATE_RETURN_IF_ERROR(WriteFrame(fd_, request_payload));
+  Status s = ReadFrame(fd_, response_payload);
+  if (s.IsNotFound()) {
+    return Status::IOError("server closed the connection");
+  }
+  MATE_RETURN_IF_ERROR(s);
+  return DecodeResponseStatus(*response_payload, server_status, body);
+}
+
+Result<QueryResponse> MateClient::Query(const QueryRequest& request) {
+  std::string payload;
+  EncodeQueryRequest(request, &payload);
+  std::string response_payload;
+  QueryResponse response;
+  std::string_view body;
+  MATE_RETURN_IF_ERROR(
+      RoundTrip(payload, &response_payload, &response.status, &body));
+  if (response.status.ok()) {
+    MATE_RETURN_IF_ERROR(DecodeQueryResponseBody(body, &response.results));
+  }
+  return response;
+}
+
+Result<ServerStatsSnapshot> MateClient::Stats() {
+  std::string payload;
+  EncodeStatsRequest(&payload);
+  std::string response_payload;
+  Status server_status;
+  std::string_view body;
+  MATE_RETURN_IF_ERROR(
+      RoundTrip(payload, &response_payload, &server_status, &body));
+  MATE_RETURN_IF_ERROR(server_status);
+  ServerStatsSnapshot snapshot;
+  MATE_RETURN_IF_ERROR(DecodeStatsResponseBody(body, &snapshot));
+  return snapshot;
+}
+
+Status MateClient::Ping() {
+  std::string payload;
+  EncodePingRequest(&payload);
+  std::string response_payload;
+  Status server_status;
+  std::string_view body;
+  MATE_RETURN_IF_ERROR(
+      RoundTrip(payload, &response_payload, &server_status, &body));
+  return server_status;
+}
+
+}  // namespace mate

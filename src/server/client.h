@@ -1,0 +1,58 @@
+// Minimal blocking client for the mate_server wire protocol: one TCP
+// connection, one outstanding request at a time. Transport problems (bad
+// address, connection refused, broken stream) surface through the Result
+// layer; a QUERY's *server-side* outcome — including kOverloaded sheds —
+// arrives inside QueryResponse::status, so load generators can count sheds
+// without tearing the connection down.
+
+#ifndef MATE_SERVER_CLIENT_H_
+#define MATE_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace mate {
+
+class MateClient {
+ public:
+  /// Connects to `host:port` (IPv4 dotted quad, e.g. "127.0.0.1").
+  static Result<MateClient> Connect(const std::string& host, uint16_t port);
+
+  MateClient(MateClient&& other) noexcept;
+  MateClient& operator=(MateClient&& other) noexcept;
+  MateClient(const MateClient&) = delete;
+  MateClient& operator=(const MateClient&) = delete;
+  ~MateClient();
+
+  /// Sends one QUERY and reads its response. The returned response's
+  /// `status` is the server's verdict (kOverloaded on shed); a non-OK
+  /// *Result* means the transport itself failed.
+  Result<QueryResponse> Query(const QueryRequest& request);
+
+  /// Fetches the server's observability snapshot.
+  Result<ServerStatsSnapshot> Stats();
+
+  /// Round-trips an empty PING frame.
+  Status Ping();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit MateClient(int fd) : fd_(fd) {}
+
+  /// Writes `request_payload` as one frame and reads the response frame's
+  /// leading status; OK leaves the verb body in `*body` (backed by
+  /// `*response_payload`).
+  Status RoundTrip(const std::string& request_payload,
+                   std::string* response_payload, Status* server_status,
+                   std::string_view* body);
+
+  int fd_ = -1;
+};
+
+}  // namespace mate
+
+#endif  // MATE_SERVER_CLIENT_H_

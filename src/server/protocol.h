@@ -1,0 +1,213 @@
+// Wire protocol of mate_server: a small length-prefixed binary framing over
+// TCP, built from the same varint/fixed codecs (util/coding.h) the corpus
+// and index files use. One frame is
+//
+//   [fixed32 payload_length][payload]
+//
+// and every payload starts with a one-byte verb (requests) or a one-byte
+// status code (responses):
+//
+//   QUERY request:  [u8 verb=1][lp tenant][varint32 k][u8 filter flags]
+//                   [varint64 n + varint32 ids]  (exclude_tables, sorted by
+//                   the client or not — the server treats them as a set)
+//                   [varint64 n + varint32 ids]  (restrict_tables)
+//                   [varint32 num_key_columns][lp column name ...]
+//                   [varint64 num_rows][lp cell ...]  (row-major, live rows)
+//   STATS request:  [u8 verb=2]
+//   PING  request:  [u8 verb=3]
+//
+//   response:       [u8 status_code][lp status message][verb-specific body]
+//
+// The QUERY body on OK is the served top-k: table id, joinability, table
+// name, and the column mapping (ids + names, so a client can print results
+// without holding the corpus). The STATS body is the ServerStatsSnapshot
+// below. Clients send only the query's *key columns* (discovery reads
+// nothing else from a query table — the same property the result-cache
+// fingerprint relies on), so served results are bit-identical to an
+// in-process Session::Discover over the full table.
+//
+// Malformed payloads decode to a typed Status (never a crash); the server
+// answers with that status and keeps the connection when frame boundaries
+// are intact, or closes it when the stream itself is unusable (oversized
+// or truncated frame).
+
+#ifndef MATE_SERVER_PROTOCOL_H_
+#define MATE_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/session.h"
+#include "storage/corpus.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace mate {
+
+enum class ServerVerb : uint8_t {
+  kQuery = 1,
+  kStats = 2,
+  kPing = 3,
+};
+
+/// Frames larger than this are rejected with a typed error and the
+/// connection is closed (the declared length cannot be trusted).
+constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+// ---- client-side request construction ---------------------------------
+
+/// One discovery request as it travels the wire. `query` holds only the key
+/// columns (in key order) and `key_columns` is the identity mapping over
+/// them; MakeQueryRequest builds that shape from a full table.
+struct QueryRequest {
+  std::string tenant;
+  int k = 10;
+  bool use_row_filter = true;
+  bool use_table_filters = true;
+  std::vector<TableId> exclude_tables;
+  std::vector<TableId> restrict_tables;
+  Table query;
+};
+
+/// Projects `table`'s `key_columns` (ids into `table`) into a key-only
+/// request table: live rows only, columns in key order keeping their names.
+/// Precondition: every id is in range.
+QueryRequest MakeQueryRequest(const Table& table,
+                              const std::vector<ColumnId>& key_columns,
+                              int k, std::string tenant);
+
+/// The QuerySpec a server evaluates for a decoded request; `request` must
+/// outlive the spec (the spec points at request.query).
+QuerySpec SpecFromRequest(const QueryRequest& request);
+
+// ---- payload codecs ----------------------------------------------------
+
+/// Serializes a request payload (verb byte included, frame header not).
+void EncodeQueryRequest(const QueryRequest& request, std::string* payload);
+void EncodeStatsRequest(std::string* payload);
+void EncodePingRequest(std::string* payload);
+
+/// Reads the verb byte. InvalidArgument on an empty payload or unknown
+/// verb. `*rest` receives the payload after the verb.
+Status DecodeRequestVerb(std::string_view payload, ServerVerb* verb,
+                         std::string_view* rest);
+
+/// Decodes a QUERY request body (everything after the verb byte).
+/// InvalidArgument names the malformed section.
+Status DecodeQueryRequest(std::string_view body, QueryRequest* request);
+
+// ---- responses ---------------------------------------------------------
+
+/// One served result row (the client-side mirror of TableResult plus the
+/// names a client cannot resolve itself).
+struct ServedResult {
+  TableId table_id = kInvalidTableId;
+  int64_t joinability = 0;
+  std::string table_name;
+  std::vector<ColumnId> mapping;
+  std::vector<std::string> mapping_names;
+};
+
+struct QueryResponse {
+  /// The server-side outcome: OK, kOverloaded (shed by admission control or
+  /// draining), or the typed validation/corruption error Discover returned.
+  Status status;
+  std::vector<ServedResult> results;
+};
+
+/// Per-tenant serving counters, as reported by the STATS verb.
+struct TenantStats {
+  std::string tenant;
+  uint64_t requests = 0;   // QUERY frames received for this tenant
+  uint64_t admitted = 0;   // passed admission control
+  uint64_t shed = 0;       // refused with kOverloaded
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_entries = 0;
+  uint64_t cache_bytes = 0;
+  uint64_t cache_capacity_bytes = 0;
+};
+
+/// The serving-side metrics layer: admission-control gauges, BatchStats-
+/// shaped aggregates over served queries, corpus residency, and the
+/// per-tenant counter table.
+struct ServerStatsSnapshot {
+  // Admission control.
+  uint64_t queue_depth = 0;
+  uint64_t queue_capacity = 0;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+  uint64_t completed = 0;
+  uint64_t active_connections = 0;
+  bool draining = false;
+
+  // BatchStats-shaped service aggregates (seconds / counters over every
+  // completed query; latency percentiles cover queue wait + execution,
+  // measured server-side in microseconds).
+  double total_query_seconds = 0.0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t latency_count = 0;
+  uint64_t latency_p50_us = 0;
+  uint64_t latency_p90_us = 0;
+  uint64_t latency_p99_us = 0;
+  uint64_t latency_p999_us = 0;
+  uint64_t latency_max_us = 0;
+
+  // Corpus residency (Session::corpus_residency).
+  uint64_t corpus_resident_bytes = 0;
+  uint64_t corpus_peak_resident_bytes = 0;
+  uint64_t corpus_budget_bytes = 0;
+  uint64_t corpus_evictions = 0;
+  uint64_t tables_resident = 0;
+  uint64_t num_tables = 0;
+
+  std::vector<TenantStats> tenants;
+
+  std::string ToString() const;
+};
+
+/// Serializes an OK QUERY response; names come from the corpus's shape
+/// accessors (never materializing a table).
+void EncodeQueryResponse(const Corpus& corpus, const DiscoveryResult& result,
+                         std::string* payload);
+/// Serializes a non-OK response (any verb): status byte + message only.
+void EncodeErrorResponse(const Status& status, std::string* payload);
+/// Serializes an OK STATS response.
+void EncodeStatsResponse(const ServerStatsSnapshot& snapshot,
+                         std::string* payload);
+/// Serializes an OK PING response (status byte only).
+void EncodePingResponse(std::string* payload);
+
+/// Decodes any response payload's leading status; OK responses leave the
+/// verb-specific body in `*body`. Corruption on an empty payload or an
+/// unknown status code byte.
+Status DecodeResponseStatus(std::string_view payload, Status* server_status,
+                            std::string_view* body);
+/// Decodes an OK QUERY response body.
+Status DecodeQueryResponseBody(std::string_view body,
+                               std::vector<ServedResult>* results);
+/// Decodes an OK STATS response body.
+Status DecodeStatsResponseBody(std::string_view body,
+                               ServerStatsSnapshot* snapshot);
+
+// ---- framed socket I/O -------------------------------------------------
+
+/// Writes [fixed32 length][payload] to `fd`, handling short writes and
+/// EINTR. IOError on a closed/failed socket.
+Status WriteFrame(int fd, std::string_view payload);
+
+/// Reads one frame into `*payload`. Distinguishes three outcomes:
+///   * OK — a complete frame arrived;
+///   * NotFound("connection closed") — clean EOF at a frame boundary (the
+///     peer hung up between requests; not an error);
+///   * IOError / InvalidArgument — truncated frame, socket error, or a
+///     declared length beyond `max_bytes` (stream unusable; close it).
+Status ReadFrame(int fd, std::string* payload,
+                 uint32_t max_bytes = kMaxFrameBytes);
+
+}  // namespace mate
+
+#endif  // MATE_SERVER_PROTOCOL_H_

@@ -1,0 +1,377 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace mate {
+
+namespace {
+
+void CloseFd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+MateServer::MateServer(Session* session, ServerOptions options)
+    : session_(session), options_(std::move(options)) {}
+
+MateServer::~MateServer() { Stop(); }
+
+Status MateServer::Start() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (started_) return Status::InvalidArgument("server already started");
+    started_ = true;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError("socket() failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(listen_fd_);
+    return Status::InvalidArgument("bad listen address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status s = Status::IOError("bind(" + options_.host + ":" +
+                               std::to_string(options_.port) +
+                               ") failed: " + std::strerror(errno));
+    CloseFd(listen_fd_);
+    return s;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    Status s = Status::IOError("listen() failed: " +
+                               std::string(std::strerror(errno)));
+    CloseFd(listen_fd_);
+    return s;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_.store(ntohs(bound.sin_port));
+
+  if (::pipe(wake_pipe_) < 0) {
+    Status s = Status::IOError("pipe() failed: " +
+                               std::string(std::strerror(errno)));
+    CloseFd(listen_fd_);
+    return s;
+  }
+
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  dispatch_thread_ = std::thread([this] { DispatchLoop(); });
+  return Status::OK();
+}
+
+void MateServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!started_ || stopped_) return;
+    stopped_ = true;
+    draining_ = true;
+  }
+  queue_cv_.notify_all();
+  // Wake the accept poll so the listener closes and no new connections
+  // arrive during the drain.
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'x';
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // In-flight queries (already admitted) finish: the dispatcher drains the
+  // queue and exits. Connections parked on futures get their responses.
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+
+  // Unblock connection readers stuck in ReadFrame; they observe EOF-style
+  // errors, shed any still-arriving queries (draining_ is set), and exit.
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (int fd : connection_fds_) {
+      if (fd >= 0) ::shutdown(fd, SHUT_RD);
+    }
+  }
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    workers.swap(connection_threads_);
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (int& fd : connection_fds_) CloseFd(fd);
+    connection_fds_.clear();
+  }
+  CloseFd(wake_pipe_[0]);
+  CloseFd(wake_pipe_[1]);
+}
+
+void MateServer::AcceptLoop() {
+  while (true) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int n = ::poll(fds, 2, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // Stop() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connection_fds_.push_back(client);
+    active_connections_.fetch_add(1);
+    connection_threads_.emplace_back(
+        [this, client] { ServeConnection(client); });
+  }
+  CloseFd(listen_fd_);
+}
+
+void MateServer::ServeConnection(int fd) {
+  std::string payload;
+  while (true) {
+    Status s = ReadFrame(fd, &payload);
+    if (s.IsNotFound()) break;  // clean EOF between frames
+    if (s.IsInvalidArgument()) {
+      // Oversized declared length: answer once, then close — the stream
+      // position can no longer be trusted.
+      std::string response;
+      EncodeErrorResponse(s, &response);
+      (void)WriteFrame(fd, response);
+      break;
+    }
+    if (!s.ok()) break;  // truncated frame or socket error
+
+    ServerVerb verb;
+    std::string_view body;
+    s = DecodeRequestVerb(payload, &verb, &body);
+    if (!s.ok()) {
+      // Frame boundaries are intact; report the typed error and keep the
+      // connection.
+      std::string response;
+      EncodeErrorResponse(s, &response);
+      if (!WriteFrame(fd, response).ok()) break;
+      continue;
+    }
+    switch (verb) {
+      case ServerVerb::kQuery:
+        HandleQuery(fd, body);
+        break;
+      case ServerVerb::kStats:
+        HandleStats(fd);
+        break;
+      case ServerVerb::kPing: {
+        std::string response;
+        EncodePingResponse(&response);
+        (void)WriteFrame(fd, response);
+        break;
+      }
+    }
+  }
+  // A response-write failure surfaces as a read failure on the next
+  // ReadFrame, so every exit funnels through here. Close our fd and blank
+  // its registry slot so Stop() does not double-close it.
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (int& slot : connection_fds_) {
+      if (slot == fd) {
+        CloseFd(slot);
+        break;
+      }
+    }
+  }
+  active_connections_.fetch_sub(1);
+}
+
+void MateServer::HandleQuery(int fd, std::string_view body) {
+  std::string response;
+  QueryRequest request;
+  Status s = DecodeQueryRequest(body, &request);
+  if (!s.ok()) {
+    EncodeErrorResponse(s, &response);
+    (void)WriteFrame(fd, response);
+    return;
+  }
+  std::future<Result<DiscoveryResult>> future;
+  s = Admit(std::move(request), &future);
+  if (!s.ok()) {
+    EncodeErrorResponse(s, &response);
+    (void)WriteFrame(fd, response);
+    return;
+  }
+  Result<DiscoveryResult> result = future.get();
+  if (!result.ok()) {
+    EncodeErrorResponse(result.status(), &response);
+  } else {
+    EncodeQueryResponse(session_->corpus(), result.value(), &response);
+  }
+  (void)WriteFrame(fd, response);
+}
+
+void MateServer::HandleStats(int fd) {
+  std::string response;
+  EncodeStatsResponse(stats(), &response);
+  (void)WriteFrame(fd, response);
+}
+
+Status MateServer::Admit(QueryRequest request,
+                         std::future<Result<DiscoveryResult>>* future) {
+  bool configure_partition = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    TenantCounters& tenant = tenants_[request.tenant];
+    ++tenant.requests;
+    if (draining_) {
+      ++shed_;
+      ++tenant.shed;
+      return Status::Overloaded("server is draining");
+    }
+    if (queue_.size() >= options_.max_queue_depth) {
+      ++shed_;
+      ++tenant.shed;
+      return Status::Overloaded(
+          "admission queue full (" +
+          std::to_string(options_.max_queue_depth) + " pending)");
+    }
+    ++admitted_;
+    configure_partition =
+        tenant.admitted == 0 && options_.tenant_cache_bytes > 0;
+    ++tenant.admitted;
+    auto pending = std::make_unique<PendingQuery>();
+    pending->request = std::move(request);
+    pending->enqueue_time = std::chrono::steady_clock::now();
+    *future = pending->promise.get_future();
+    if (configure_partition) {
+      // First admitted query of this tenant: give its cache partition the
+      // configured budget before anything lands in it. ResultCache is
+      // internally synchronized, so this is safe alongside the dispatcher.
+      session_->ConfigureCachePartition(pending->request.tenant,
+                                        options_.tenant_cache_bytes);
+    }
+    queue_.push_back(std::move(pending));
+  }
+  queue_cv_.notify_one();
+  return Status::OK();
+}
+
+void MateServer::DispatchLoop() {
+  while (true) {
+    std::unique_ptr<PendingQuery> pending;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [this] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (draining_) return;
+        continue;
+      }
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (options_.dispatch_delay_for_test.count() > 0) {
+      std::this_thread::sleep_for(options_.dispatch_delay_for_test);
+    }
+    QuerySpec spec = SpecFromRequest(pending->request);
+    Result<DiscoveryResult> result = session_->Discover(spec);
+    const auto now = std::chrono::steady_clock::now();
+    const uint64_t waited_us =
+        static_cast<uint64_t>(std::chrono::duration_cast<
+                                  std::chrono::microseconds>(
+                                  now - pending->enqueue_time)
+                                  .count());
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      ++completed_;
+      latency_us_.Record(waited_us);
+      if (result.ok()) {
+        total_query_seconds_ += result.value().stats.runtime_seconds;
+      }
+    }
+    pending->promise.set_value(std::move(result));
+  }
+}
+
+ServerStatsSnapshot MateServer::stats() const {
+  ServerStatsSnapshot snapshot;
+  std::vector<std::string> tenant_names;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    snapshot.queue_depth = queue_.size();
+    snapshot.queue_capacity = options_.max_queue_depth;
+    snapshot.admitted = admitted_;
+    snapshot.shed = shed_;
+    snapshot.completed = completed_;
+    snapshot.draining = draining_;
+    snapshot.total_query_seconds = total_query_seconds_;
+    snapshot.latency_count = latency_us_.count();
+    snapshot.latency_p50_us = latency_us_.Percentile(0.50);
+    snapshot.latency_p90_us = latency_us_.Percentile(0.90);
+    snapshot.latency_p99_us = latency_us_.Percentile(0.99);
+    snapshot.latency_p999_us = latency_us_.Percentile(0.999);
+    snapshot.latency_max_us = latency_us_.max();
+    for (const auto& [name, counters] : tenants_) {
+      TenantStats t;
+      t.tenant = name;
+      t.requests = counters.requests;
+      t.admitted = counters.admitted;
+      t.shed = counters.shed;
+      snapshot.tenants.push_back(std::move(t));
+      tenant_names.push_back(name);
+    }
+  }
+  snapshot.active_connections = active_connections_.load();
+
+  const ResultCacheStats cache = session_->cache_stats();
+  snapshot.cache_hits = cache.hits;
+  snapshot.cache_misses = cache.misses;
+
+  const ResidencyStats residency = session_->corpus_residency();
+  snapshot.corpus_resident_bytes = residency.resident_bytes;
+  snapshot.corpus_peak_resident_bytes = residency.peak_resident_bytes;
+  snapshot.corpus_budget_bytes = residency.budget_bytes;
+  snapshot.corpus_evictions = residency.evictions;
+  snapshot.tables_resident = residency.tables_resident;
+  snapshot.num_tables = session_->corpus().NumTables();
+
+  // Per-tenant cache rows come from the session's partition stats (the
+  // cache is internally synchronized; reading it outside queue_mu_ avoids
+  // a lock-order edge with the dispatcher).
+  for (size_t i = 0; i < tenant_names.size(); ++i) {
+    const ResultCacheStats partition =
+        session_->cache_partition_stats(tenant_names[i]);
+    TenantStats& t = snapshot.tenants[i];
+    t.cache_hits = partition.hits;
+    t.cache_misses = partition.misses;
+    t.cache_entries = partition.entries;
+    t.cache_bytes = partition.bytes;
+    t.cache_capacity_bytes = partition.capacity_bytes;
+  }
+  return snapshot;
+}
+
+}  // namespace mate

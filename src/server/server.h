@@ -1,0 +1,160 @@
+// Resident multi-tenant serving front-end: a long-lived TCP server that
+// multiplexes many client connections over ONE shared Session, so the
+// corpus, inverted index, thread pool, and result cache are paid for once
+// and amortized across every tenant.
+//
+// Threading model. Session documents a single-caller contract for
+// Discover, so the server runs exactly one dispatcher thread that executes
+// queries sequentially off a bounded queue; each accepted connection gets a
+// reader thread that decodes frames, runs admission control, parks on a
+// future until the dispatcher fulfills it, and writes the response. STATS
+// and PING are answered inline on the connection thread (observability
+// must keep working while the queue is saturated — that is when you need
+// it). Queueing delay is therefore real and visible in the measured
+// latency, which is what an open-loop tail-latency harness needs.
+//
+// Admission control. A QUERY is admitted only when the queue holds fewer
+// than `max_queue_depth` pending entries and the server is not draining;
+// otherwise it is shed immediately with Status::Overloaded (the client
+// sees a well-formed error response, not a dropped connection). Stop()
+// drains gracefully: stop accepting, shed new queries, finish every
+// admitted in-flight query, then join.
+//
+// Multi-tenancy. The tenant string on each request selects a result-cache
+// partition inside the shared Session (independent byte budgets,
+// ConfigureCachePartition on first contact when `tenant_cache_bytes` is
+// set) and a per-tenant request/admitted/shed counter row in STATS.
+
+#ifndef MATE_SERVER_SERVER_H_
+#define MATE_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session.h"
+#include "server/protocol.h"
+#include "util/latency_histogram.h"
+#include "util/status.h"
+
+namespace mate {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral: the kernel picks a free port, readable via port().
+  uint16_t port = 0;
+
+  /// Admission-control bound: QUERY requests beyond this many pending
+  /// entries are shed with kOverloaded.
+  size_t max_queue_depth = 64;
+
+  /// When non-zero, every tenant's result-cache partition is budgeted to
+  /// this many bytes on first contact (0 keeps the session default).
+  size_t tenant_cache_bytes = 0;
+
+  /// Test hook: the dispatcher sleeps this long before each query, making
+  /// queue-full sheds deterministic under small max_queue_depth.
+  std::chrono::milliseconds dispatch_delay_for_test{0};
+};
+
+class MateServer {
+ public:
+  /// `session` must be open (or opening) and outlive the server; the
+  /// server becomes its only Discover caller.
+  MateServer(Session* session, ServerOptions options);
+
+  /// Not started or already stopped in the destructor -> no-op; otherwise
+  /// performs the same graceful drain as Stop().
+  ~MateServer();
+
+  MateServer(const MateServer&) = delete;
+  MateServer& operator=(const MateServer&) = delete;
+
+  /// Binds, listens, and starts the accept + dispatcher threads. IOError
+  /// when the address cannot be bound.
+  Status Start();
+
+  /// Graceful drain: closes the listener, sheds queries not yet admitted,
+  /// completes every admitted one, then joins all threads. Idempotent.
+  void Stop();
+
+  /// The bound port (resolves option `port` == 0). 0 before Start().
+  uint16_t port() const { return port_; }
+
+  /// A consistent observability snapshot (same data the STATS verb serves).
+  ServerStatsSnapshot stats() const;
+
+ private:
+  struct PendingQuery {
+    QueryRequest request;
+    std::promise<Result<DiscoveryResult>> promise;
+    /// Admission time; served latency = completion − admission, so queue
+    /// wait is part of every measured latency.
+    std::chrono::steady_clock::time_point enqueue_time;
+  };
+
+  struct TenantCounters {
+    uint64_t requests = 0;
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+  };
+
+  void AcceptLoop();
+  void DispatchLoop();
+  void ServeConnection(int fd);
+
+  /// Admission control: enqueues under the queue bound, or returns
+  /// kOverloaded. On success the returned future yields the query result.
+  Status Admit(QueryRequest request,
+               std::future<Result<DiscoveryResult>>* future);
+
+  void HandleQuery(int fd, std::string_view body);
+  void HandleStats(int fd);
+
+  Session* const session_;
+  const ServerOptions options_;
+
+  std::atomic<uint16_t> port_{0};
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // self-pipe: wakes the accept poll on Stop
+
+  std::thread accept_thread_;
+  std::thread dispatch_thread_;
+  std::mutex connections_mu_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<int> connection_fds_;
+  std::atomic<uint64_t> active_connections_{0};
+
+  // Queue + admission state (one mutex so shed-vs-admit is linearized with
+  // the drain flag).
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::unique_ptr<PendingQuery>> queue_;
+  bool draining_ = false;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  // Serving metrics (queue_mu_ guards these too; they are touched on the
+  // same paths).
+  uint64_t admitted_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t completed_ = 0;
+  double total_query_seconds_ = 0.0;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+  LatencyHistogram latency_us_;
+  std::map<std::string, TenantCounters> tenants_;
+};
+
+}  // namespace mate
+
+#endif  // MATE_SERVER_SERVER_H_

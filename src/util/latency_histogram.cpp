@@ -1,0 +1,89 @@
+#include "util/latency_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace mate {
+
+namespace {
+
+// Octave of a value >= kUnitBuckets: the position of its most significant
+// bit, in [5, 63].
+int Octave(uint64_t value) { return 63 - std::countl_zero(value); }
+
+// log2(kSubBucketsPerOctave) and log2(kUnitBuckets), spelled as shifts.
+constexpr int kSubBucketBits = 4;  // 16 sub-buckets
+constexpr int kUnitBits = 5;       // 32 exact buckets
+
+}  // namespace
+
+size_t LatencyHistogram::BucketIndex(uint64_t value) {
+  if (value < kUnitBuckets) return static_cast<size_t>(value);
+  const int m = Octave(value);
+  // Sub-bucket width in octave m is 2^(m - kSubBucketBits):
+  // value >> (m - kSubBucketBits) lands in [16, 32).
+  const uint64_t sub =
+      (value >> (m - kSubBucketBits)) - kSubBucketsPerOctave;
+  return kUnitBuckets +
+         static_cast<size_t>(m - kUnitBits) * kSubBucketsPerOctave +
+         static_cast<size_t>(sub);
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(size_t index) {
+  if (index < kUnitBuckets) return index;
+  const size_t rel = index - kUnitBuckets;
+  const int m = kUnitBits + static_cast<int>(rel / kSubBucketsPerOctave);
+  const uint64_t sub = rel % kSubBucketsPerOctave;
+  const uint64_t low = (kSubBucketsPerOctave + sub) << (m - kSubBucketBits);
+  return low + ((uint64_t{1} << (m - kSubBucketBits)) - 1);
+}
+
+void LatencyHistogram::Record(uint64_t value) {
+  ++counts_[BucketIndex(value)];
+  ++count_;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  sum_ += static_cast<double>(value);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+}
+
+uint64_t LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Nearest rank, matching PercentileSorted: smallest sample whose 1-based
+  // rank r satisfies r >= p * count.
+  const uint64_t rank = std::clamp<uint64_t>(
+      static_cast<uint64_t>(std::ceil(p * static_cast<double>(count_))),
+      1, count_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += counts_[i];
+    // Clamp to the true maximum: the top occupied bucket's upper bound can
+    // exceed every recorded value (it is a representative, not a sample).
+    if (seen >= rank) return std::min(BucketUpperBound(i), max_);
+  }
+  return max_;  // unreachable: seen == count_ after the loop
+}
+
+double LatencyHistogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+std::string LatencyHistogram::ToString() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " min=" << min() << " p50=" << Percentile(0.50)
+     << " p90=" << Percentile(0.90) << " p99=" << Percentile(0.99)
+     << " p99.9=" << Percentile(0.999) << " max=" << max_;
+  return os.str();
+}
+
+}  // namespace mate

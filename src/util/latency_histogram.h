@@ -1,0 +1,79 @@
+// HDR-style latency histogram: fixed-size log-bucketed counters with
+// bounded relative error, built for open-loop load generators and serving
+// stats where per-sample storage (and a sort per percentile query) would
+// distort the measurement. Values are plain uint64 (the callers record
+// microseconds); values below kUnitBuckets are exact, larger values land in
+// power-of-two octaves split into kSubBucketsPerOctave linear sub-buckets,
+// so Percentile() over-reports by at most 1/kSubBucketsPerOctave (~6.3%).
+//
+// Record is cheap (a few shifts plus one increment) and the whole state is
+// a flat array, so per-thread histograms Merge() losslessly — the pattern
+// the tail-latency bench uses: one histogram per client connection, merged
+// after the run. Not internally synchronized.
+
+#ifndef MATE_UTIL_LATENCY_HISTOGRAM_H_
+#define MATE_UTIL_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace mate {
+
+class LatencyHistogram {
+ public:
+  /// Values in [0, kUnitBuckets) are recorded exactly.
+  static constexpr uint64_t kUnitBuckets = 32;
+  /// Linear sub-buckets per power-of-two octave above the exact range.
+  static constexpr uint64_t kSubBucketsPerOctave = 16;
+
+  LatencyHistogram() = default;
+
+  /// Records one sample. Never fails: the top octave's sub-buckets cover
+  /// the full uint64 range.
+  void Record(uint64_t value);
+
+  /// Adds every sample of `other` into this histogram (lossless: the two
+  /// histograms share the same fixed bucket layout).
+  void Merge(const LatencyHistogram& other);
+
+  /// Nearest-rank percentile (the PercentileSorted definition in
+  /// util/math_util.h): the bucket holding the sample of rank
+  /// clamp(ceil(p * count), 1, count), reported as that bucket's inclusive
+  /// upper bound clamped to max() — exact below kUnitBuckets, otherwise an
+  /// over-estimate by at most one sub-bucket width (and never above the
+  /// largest recorded value). Returns 0 on an empty histogram; `p` is
+  /// clamped to [0, 1].
+  uint64_t Percentile(double p) const;
+
+  uint64_t count() const { return count_; }
+  /// Smallest / largest raw value recorded (0 when empty).
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  /// Exact mean of the raw values (0.0 when empty).
+  double Mean() const;
+
+  /// "count=N min=A p50=B p90=C p99=D p99.9=E max=F" — the serving stats
+  /// line. Values are rendered as plain integers in the recorded unit.
+  std::string ToString() const;
+
+ private:
+  // Bucket 0..31 are exact; octave m in [5, 63] contributes 16 sub-buckets.
+  static constexpr size_t kNumBuckets =
+      kUnitBuckets + (64 - 5) * kSubBucketsPerOctave;
+
+  static size_t BucketIndex(uint64_t value);
+  /// Inclusive upper bound of bucket `index`.
+  static uint64_t BucketUpperBound(size_t index);
+
+  std::array<uint64_t, kNumBuckets> counts_{};
+  uint64_t count_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace mate
+
+#endif  // MATE_UTIL_LATENCY_HISTOGRAM_H_

@@ -22,6 +22,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Not supported";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

@@ -23,6 +23,10 @@ enum class StatusCode {
   kCorruption,
   kNotSupported,
   kInternal,
+  /// A serving front-end refused the request because its admission queue is
+  /// full or it is draining for shutdown — the client should back off and
+  /// retry, nothing is wrong with the request itself.
+  kOverloaded,
 };
 
 /// Returns the canonical lowercase name of a status code, e.g. "not found".
@@ -59,6 +63,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -72,6 +79,7 @@ class Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
 
   /// "OK" or "<code>: <message>".
   std::string ToString() const;

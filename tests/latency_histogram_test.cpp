@@ -1,0 +1,131 @@
+#include "util/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace mate {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogramIsAllZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  EXPECT_EQ(h.Percentile(0.999), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(LatencyHistogramTest, SmallValuesMatchPercentileSortedExactly) {
+  // Values below kUnitBuckets are bucketed exactly, so every percentile
+  // must agree with the nearest-rank reference on the raw samples.
+  const std::vector<uint64_t> samples = {0, 1, 1, 2, 3, 5, 8,
+                                         13, 21, 31, 31, 30};
+  LatencyHistogram h;
+  std::vector<double> sorted;
+  for (uint64_t v : samples) {
+    h.Record(v);
+    sorted.push_back(static_cast<double>(v));
+  }
+  std::sort(sorted.begin(), sorted.end());
+  for (double p : {0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(h.Percentile(p),
+              static_cast<uint64_t>(PercentileSorted(sorted, p)))
+        << "p=" << p;
+  }
+  EXPECT_EQ(h.count(), samples.size());
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 31u);
+}
+
+TEST(LatencyHistogramTest, LargeValuesOverReportByAtMostOneSubBucket) {
+  // Above the exact range the reported percentile is the bucket's upper
+  // bound: >= the true sample, and within one sub-bucket width (1/16
+  // relative) of it.
+  Rng rng(7);
+  std::vector<double> sorted;
+  LatencyHistogram h;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = 32 + rng.NextUint64() % 1000000;
+    h.Record(v);
+    sorted.push_back(static_cast<double>(v));
+  }
+  std::sort(sorted.begin(), sorted.end());
+  for (double p : {0.5, 0.9, 0.99, 0.999}) {
+    const double exact = PercentileSorted(sorted, p);
+    const double reported = static_cast<double>(h.Percentile(p));
+    EXPECT_GE(reported, exact) << "p=" << p;
+    EXPECT_LE(reported, exact * (1.0 + 1.0 / 16.0) + 1.0) << "p=" << p;
+  }
+}
+
+TEST(LatencyHistogramTest, PercentileNeverExceedsMax) {
+  LatencyHistogram h;
+  h.Record(86);  // bucket upper bound would be 87
+  EXPECT_EQ(h.Percentile(0.5), 86u);
+  EXPECT_EQ(h.Percentile(1.0), 86u);
+  EXPECT_EQ(h.max(), 86u);
+}
+
+TEST(LatencyHistogramTest, MergeIsLossless) {
+  // Per-connection histograms merged after a run must be indistinguishable
+  // from recording every sample into one histogram.
+  Rng rng(11);
+  LatencyHistogram all, a, b;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = rng.NextUint64() % 100000;
+    all.Record(v);
+    (i % 2 == 0 ? a : b).Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  EXPECT_DOUBLE_EQ(a.Mean(), all.Mean());
+  for (double p : {0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(a.Percentile(p), all.Percentile(p)) << "p=" << p;
+  }
+}
+
+TEST(LatencyHistogramTest, MinMaxMeanTrackRawValues) {
+  LatencyHistogram h;
+  h.Record(10);
+  h.Record(1000);
+  h.Record(100);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.Mean(), (10.0 + 1000.0 + 100.0) / 3.0);
+}
+
+TEST(LatencyHistogramTest, HugeValuesDoNotOverflowBuckets) {
+  // The top octave covers the full uint64 range; recording extremes must
+  // neither crash nor corrupt neighboring buckets.
+  LatencyHistogram h;
+  const uint64_t huge = std::numeric_limits<uint64_t>::max();
+  h.Record(huge);
+  h.Record(huge - 1);
+  h.Record(1);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.max(), huge);
+  EXPECT_EQ(h.Percentile(0.01), 1u);
+  EXPECT_EQ(h.Percentile(1.0), huge);
+}
+
+TEST(LatencyHistogramTest, ToStringCarriesTheServingStatsShape) {
+  LatencyHistogram h;
+  h.Record(5);
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find("count=1"), std::string::npos);
+  EXPECT_NE(s.find("p99"), std::string::npos);
+  EXPECT_NE(s.find("max=5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mate

@@ -125,6 +125,82 @@ TEST(ResultCacheTest, ClearDropsEntriesButKeepsCumulativeCounters) {
   EXPECT_EQ(cache.stats().misses, 1u);
 }
 
+TEST(ResultCachePartitionTest, PartitionsNeverShareEntries) {
+  // The multi-tenant invariant: the same fingerprint in two partitions is
+  // two independent entries; neither tenant can observe the other's cached
+  // results.
+  ResultCache cache(1 << 20);
+  cache.Insert("acme", "q", MakeResult(1));
+  cache.Insert("globex", "q", MakeResult(2));
+  DiscoveryResult out;
+  ASSERT_TRUE(cache.Lookup("acme", "q", &out));
+  EXPECT_EQ(out.top_k[0].joinability, 1);
+  ASSERT_TRUE(cache.Lookup("globex", "q", &out));
+  EXPECT_EQ(out.top_k[0].joinability, 2);
+  // The default partition (legacy 2-arg API) is just another partition.
+  EXPECT_FALSE(cache.Lookup("q", &out));
+  EXPECT_EQ(cache.partition_stats("acme").entries, 1u);
+  EXPECT_EQ(cache.partition_stats("globex").entries, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);  // aggregate sums partitions
+}
+
+TEST(ResultCachePartitionTest, IndependentByteBudgets) {
+  const std::string pad(200, 'x');
+  const size_t entry_bytes = pad.size() + 2 +
+                             ResultCache::ApproxResultBytes(MakeResult(1)) +
+                             128;
+  ResultCache cache(1 << 20);  // roomy default for every other partition
+  cache.ConfigurePartition("small", 2 * entry_bytes + entry_bytes / 2);
+
+  // Three inserts into "small" evict its own LRU entry...
+  cache.Insert("small", "a-" + pad, MakeResult(1));
+  cache.Insert("small", "b-" + pad, MakeResult(2));
+  cache.Insert("small", "c-" + pad, MakeResult(3));
+  EXPECT_EQ(cache.partition_stats("small").entries, 2u);
+  EXPECT_EQ(cache.partition_stats("small").evictions, 1u);
+  DiscoveryResult out;
+  EXPECT_FALSE(cache.Lookup("small", "a-" + pad, &out));
+
+  // ...while an unbudgeted partition holding the same keys is untouched.
+  cache.Insert("big", "a-" + pad, MakeResult(1));
+  cache.Insert("big", "b-" + pad, MakeResult(2));
+  cache.Insert("big", "c-" + pad, MakeResult(3));
+  EXPECT_EQ(cache.partition_stats("big").entries, 3u);
+  EXPECT_EQ(cache.partition_stats("big").evictions, 0u);
+}
+
+TEST(ResultCachePartitionTest, ConfigurePartitionResizeEvictsDown) {
+  const std::string pad(200, 'x');
+  ResultCache cache(1 << 20);
+  cache.Insert("t", "a-" + pad, MakeResult(1));
+  cache.Insert("t", "b-" + pad, MakeResult(2));
+  cache.Insert("t", "c-" + pad, MakeResult(3));
+  ASSERT_EQ(cache.partition_stats("t").entries, 3u);
+  // Shrinking the budget evicts LRU-first until the partition fits.
+  const size_t one_entry = cache.partition_stats("t").bytes / 3 + 64;
+  cache.ConfigurePartition("t", one_entry);
+  EXPECT_LE(cache.partition_stats("t").bytes, one_entry);
+  EXPECT_LT(cache.partition_stats("t").entries, 3u);
+  DiscoveryResult out;
+  EXPECT_TRUE(cache.Lookup("t", "c-" + pad, &out));  // MRU survives
+}
+
+TEST(ResultCachePartitionTest, ClearPartitionIsScoped) {
+  ResultCache cache(1 << 20);
+  cache.Insert("acme", "q", MakeResult(1));
+  cache.Insert("globex", "q", MakeResult(2));
+  EXPECT_TRUE(cache.ClearPartition("acme"));
+  DiscoveryResult out;
+  EXPECT_FALSE(cache.Lookup("acme", "q", &out));
+  EXPECT_TRUE(cache.Lookup("globex", "q", &out));  // bystander survives
+  // Clearing a partition that was never touched reports false.
+  EXPECT_FALSE(cache.ClearPartition("initech"));
+  // Clear() drops every partition's entries.
+  cache.Clear();
+  EXPECT_FALSE(cache.Lookup("globex", "q", &out));
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
 TEST(ResultCacheTest, ConcurrentProbesAndInsertsAreSafe) {
   // 4 threads hammer a small working set; TSan/ASan runs make this a data
   // -race canary for the shared-cache batch path.

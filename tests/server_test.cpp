@@ -1,0 +1,421 @@
+// End-to-end tests for the mate_server serving front-end: ephemeral-port
+// lifecycle, wire round-trips bit-identical to in-process discovery,
+// concurrent multi-tenant clients, malformed-frame handling (typed errors,
+// never crashes), deterministic queue-full sheds via the dispatcher test
+// hook, and graceful drain of admitted in-flight queries on Stop().
+
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "util/coding.h"
+
+namespace mate {
+namespace {
+
+// ---- fixtures (the Figure 1 lake, as in session_test) ----------------
+
+Corpus MakeLake() {
+  Corpus corpus;
+  Table t1("people_de");
+  t1.AddColumn("Vorname");
+  t1.AddColumn("Nachname");
+  t1.AddColumn("Land");
+  (void)t1.AppendRow({"Helmut", "Newton", "Germany"});
+  (void)t1.AppendRow({"Muhammad", "Lee", "US"});
+  (void)t1.AppendRow({"Ansel", "Adams", "UK"});
+  (void)t1.AppendRow({"Muhammad", "Lee", "Germany"});
+  corpus.AddTable(std::move(t1));
+
+  Table t2("partial_match");
+  t2.AddColumn("first");
+  t2.AddColumn("last");
+  (void)t2.AppendRow({"Muhammad", "Lee"});
+  (void)t2.AppendRow({"Grace", "Hopper"});
+  corpus.AddTable(std::move(t2));
+  return corpus;
+}
+
+Table MakeQuery() {
+  Table query("q");
+  query.AddColumn("first");
+  query.AddColumn("last");
+  query.AddColumn("country");
+  (void)query.AppendRow({"Muhammad", "Lee", "US"});
+  (void)query.AppendRow({"Helmut", "Newton", "Germany"});
+  (void)query.AppendRow({"Ansel", "Adams", "UK"});
+  return query;
+}
+
+Session OpenLakeSession(size_t cache_bytes = 1 << 20) {
+  SessionOptions options;
+  options.corpus = MakeLake();
+  options.build_index = true;
+  options.cache_bytes = cache_bytes;
+  options.num_threads = 1;
+  auto session = Session::Open(std::move(options));
+  EXPECT_TRUE(session.ok()) << session.status().ToString();
+  return std::move(*session);
+}
+
+/// Ground truth from a second, independent session over the same lake: the
+/// server must serve results bit-identical to in-process discovery.
+DiscoveryResult DirectDiscover(const Table& query,
+                               const std::vector<ColumnId>& key, int k = 5) {
+  Session session = OpenLakeSession(/*cache_bytes=*/0);
+  QuerySpec spec;
+  spec.table = &query;
+  spec.key_columns = key;
+  spec.options.k = k;
+  auto result = session.Discover(spec);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(*result);
+}
+
+void ExpectServedMatches(const std::vector<ServedResult>& served,
+                         const DiscoveryResult& expected) {
+  ASSERT_EQ(served.size(), expected.top_k.size());
+  for (size_t i = 0; i < served.size(); ++i) {
+    EXPECT_EQ(served[i].table_id, expected.top_k[i].table_id) << "rank " << i;
+    EXPECT_EQ(served[i].joinability, expected.top_k[i].joinability)
+        << "rank " << i;
+    EXPECT_EQ(served[i].mapping, expected.top_k[i].best_mapping)
+        << "rank " << i;
+    EXPECT_EQ(served[i].mapping_names.size(), served[i].mapping.size());
+  }
+}
+
+/// A raw TCP connection for speaking deliberately broken protocol.
+int ConnectRaw(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXPECT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+// ---- lifecycle -------------------------------------------------------
+
+TEST(ServerTest, StartsOnEphemeralPortAndStopsIdempotently) {
+  Session session = OpenLakeSession();
+  MateServer server(&session, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_NE(server.port(), 0);
+
+  auto client = MateClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_TRUE(client->Ping().ok());
+
+  server.Stop();
+  server.Stop();  // idempotent
+  // The destructor's drain is also a no-op after an explicit Stop().
+}
+
+// ---- round trips -----------------------------------------------------
+
+TEST(ServerTest, QueryRoundTripIsBitIdenticalToDirectDiscover) {
+  Session session = OpenLakeSession();
+  MateServer server(&session, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  const Table query = MakeQuery();
+  const DiscoveryResult expected = DirectDiscover(query, {0, 1});
+
+  auto client = MateClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  auto response =
+      client->Query(MakeQueryRequest(query, {0, 1}, /*k=*/5, "acme"));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->status.ok()) << response->status.ToString();
+  ExpectServedMatches(response->results, expected);
+  // The lake's exact shape: people_de joins all 3 combos, partial_match 1.
+  ASSERT_GE(response->results.size(), 2u);
+  EXPECT_EQ(response->results[0].table_name, "people_de");
+  EXPECT_EQ(response->results[0].joinability, 3);
+  EXPECT_EQ(response->results[1].table_name, "partial_match");
+  EXPECT_EQ(response->results[1].joinability, 1);
+  EXPECT_EQ(response->results[0].mapping_names,
+            (std::vector<std::string>{"Vorname", "Nachname"}));
+  server.Stop();
+}
+
+TEST(ServerTest, ConcurrentMultiTenantClientsAreBitIdentical) {
+  Session session = OpenLakeSession();
+  ServerOptions options;
+  options.tenant_cache_bytes = 1 << 18;
+  MateServer server(&session, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const Table query = MakeQuery();
+  const DiscoveryResult expected2 = DirectDiscover(query, {0, 1});
+  const DiscoveryResult expected3 = DirectDiscover(query, {0, 1, 2});
+
+  constexpr int kClients = 6;
+  constexpr int kQueriesEach = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = MateClient::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      const std::string tenant = (c % 2 == 0) ? "acme" : "globex";
+      for (int i = 0; i < kQueriesEach; ++i) {
+        const bool wide = (c + i) % 2 == 0;
+        const std::vector<ColumnId> key =
+            wide ? std::vector<ColumnId>{0, 1, 2}
+                 : std::vector<ColumnId>{0, 1};
+        auto response =
+            client->Query(MakeQueryRequest(query, key, /*k=*/5, tenant));
+        if (!response.ok() || !response->status.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        ExpectServedMatches(response->results, wide ? expected3 : expected2);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const ServerStatsSnapshot stats = server.stats();
+  EXPECT_EQ(stats.admitted, kClients * kQueriesEach);
+  EXPECT_EQ(stats.completed, kClients * kQueriesEach);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.latency_count, kClients * kQueriesEach);
+  ASSERT_EQ(stats.tenants.size(), 2u);  // acme + globex, sorted
+  EXPECT_EQ(stats.tenants[0].tenant, "acme");
+  EXPECT_EQ(stats.tenants[1].tenant, "globex");
+  EXPECT_EQ(stats.tenants[0].requests + stats.tenants[1].requests,
+            static_cast<uint64_t>(kClients * kQueriesEach));
+  // Per-tenant cache partitions were budgeted on first contact and soak up
+  // the repeats: 2 distinct fingerprints per tenant, the rest are hits.
+  EXPECT_EQ(stats.tenants[0].cache_capacity_bytes, 1u << 18);
+  EXPECT_EQ(stats.cache_misses, 4u);
+  EXPECT_EQ(stats.cache_hits, kClients * kQueriesEach - 4u);
+  server.Stop();
+}
+
+TEST(ServerTest, StatsVerbServesTheObservabilitySnapshot) {
+  Session session = OpenLakeSession();
+  MateServer server(&session, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  const Table query = MakeQuery();
+  auto client = MateClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  auto r1 = client->Query(MakeQueryRequest(query, {0, 1}, 5, "acme"));
+  ASSERT_TRUE(r1.ok());
+  auto r2 = client->Query(MakeQueryRequest(query, {0, 1}, 5, "acme"));
+  ASSERT_TRUE(r2.ok());
+
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->queue_capacity, ServerOptions{}.max_queue_depth);
+  EXPECT_EQ(stats->admitted, 2u);
+  EXPECT_EQ(stats->completed, 2u);
+  EXPECT_EQ(stats->shed, 0u);
+  EXPECT_FALSE(stats->draining);
+  EXPECT_GE(stats->active_connections, 1u);
+  EXPECT_EQ(stats->latency_count, 2u);
+  EXPECT_GE(stats->latency_max_us, stats->latency_p50_us);
+  EXPECT_GT(stats->total_query_seconds, 0.0);
+  EXPECT_EQ(stats->num_tables, 2u);  // the lake
+  EXPECT_EQ(stats->cache_hits, 1u);  // the repeat hit acme's partition
+  ASSERT_EQ(stats->tenants.size(), 1u);
+  EXPECT_EQ(stats->tenants[0].tenant, "acme");
+  EXPECT_EQ(stats->tenants[0].requests, 2u);
+  EXPECT_EQ(stats->tenants[0].admitted, 2u);
+  EXPECT_EQ(stats->tenants[0].cache_entries, 1u);
+  server.Stop();
+}
+
+// ---- malformed input -------------------------------------------------
+
+TEST(ServerTest, MalformedFramesGetTypedErrorsAndConnectionSurvives) {
+  Session session = OpenLakeSession();
+  MateServer server(&session, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  int fd = ConnectRaw(server.port());
+
+  const auto expect_error_reply = [&](std::string_view payload) {
+    ASSERT_TRUE(WriteFrame(fd, payload).ok());
+    std::string response;
+    ASSERT_TRUE(ReadFrame(fd, &response).ok());
+    Status server_status;
+    std::string_view body;
+    ASSERT_TRUE(DecodeResponseStatus(response, &server_status, &body).ok());
+    EXPECT_TRUE(server_status.IsInvalidArgument())
+        << server_status.ToString();
+  };
+
+  expect_error_reply("");                  // empty payload: no verb byte
+  expect_error_reply("\x7f");              // unknown verb
+  expect_error_reply("\x01garbage-body");  // QUERY body that fails decode
+
+  // A truncated-but-framed QUERY: valid tenant, then the body just ends.
+  std::string truncated;
+  truncated.push_back('\x01');
+  PutLengthPrefixed(&truncated, "tenant");
+  expect_error_reply(truncated);
+
+  // The connection survived all four: a well-formed PING still round-trips.
+  std::string ping;
+  EncodePingRequest(&ping);
+  ASSERT_TRUE(WriteFrame(fd, ping).ok());
+  std::string response;
+  ASSERT_TRUE(ReadFrame(fd, &response).ok());
+  Status server_status;
+  std::string_view body;
+  ASSERT_TRUE(DecodeResponseStatus(response, &server_status, &body).ok());
+  EXPECT_TRUE(server_status.ok());
+
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(ServerTest, OversizedFrameIsRefusedAndStreamClosed) {
+  Session session = OpenLakeSession();
+  MateServer server(&session, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  int fd = ConnectRaw(server.port());
+
+  // Declare a frame bigger than kMaxFrameBytes: the declared length cannot
+  // be trusted, so the server answers once and closes the stream.
+  std::string header;
+  PutFixed32(&header, kMaxFrameBytes + 1);
+  ASSERT_EQ(::send(fd, header.data(), header.size(), 0),
+            static_cast<ssize_t>(header.size()));
+
+  std::string response;
+  ASSERT_TRUE(ReadFrame(fd, &response).ok());
+  Status server_status;
+  std::string_view body;
+  ASSERT_TRUE(DecodeResponseStatus(response, &server_status, &body).ok());
+  EXPECT_TRUE(server_status.IsInvalidArgument()) << server_status.ToString();
+
+  // The server hung up: the next read hits EOF, not a frame.
+  Status eof = ReadFrame(fd, &response);
+  EXPECT_TRUE(eof.IsNotFound()) << eof.ToString();
+  ::close(fd);
+  server.Stop();
+}
+
+// ---- admission control ----------------------------------------------
+
+TEST(ServerTest, QueueFullShedsWithOverloaded) {
+  Session session = OpenLakeSession();
+  ServerOptions options;
+  options.max_queue_depth = 2;
+  options.dispatch_delay_for_test = std::chrono::milliseconds(50);
+  MateServer server(&session, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const Table query = MakeQuery();
+  const DiscoveryResult expected = DirectDiscover(query, {0, 1});
+
+  constexpr int kClients = 8;
+  constexpr int kQueriesEach = 2;
+  std::atomic<int> served{0};
+  std::atomic<int> shed{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      auto client = MateClient::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kQueriesEach; ++i) {
+        auto response =
+            client->Query(MakeQueryRequest(query, {0, 1}, 5, "t"));
+        if (!response.ok()) {
+          failures.fetch_add(1);
+        } else if (response->status.IsOverloaded()) {
+          shed.fetch_add(1);  // a typed shed, not a dropped connection
+        } else if (response->status.ok()) {
+          ExpectServedMatches(response->results, expected);
+          served.fetch_add(1);
+        } else {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(shed.load(), 0);    // 16 requests vs capacity ~20/s must shed
+  EXPECT_GT(served.load(), 0);  // but admitted ones are all served
+  EXPECT_EQ(served.load() + shed.load(), kClients * kQueriesEach);
+
+  const ServerStatsSnapshot stats = server.stats();
+  EXPECT_EQ(stats.shed, static_cast<uint64_t>(shed.load()));
+  EXPECT_EQ(stats.admitted, static_cast<uint64_t>(served.load()));
+  ASSERT_EQ(stats.tenants.size(), 1u);
+  EXPECT_EQ(stats.tenants[0].shed, static_cast<uint64_t>(shed.load()));
+  server.Stop();
+}
+
+TEST(ServerTest, StopDrainsAdmittedInFlightQueries) {
+  Session session = OpenLakeSession();
+  ServerOptions options;
+  options.max_queue_depth = 8;
+  options.dispatch_delay_for_test = std::chrono::milliseconds(50);
+  MateServer server(&session, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const Table query = MakeQuery();
+  const DiscoveryResult expected = DirectDiscover(query, {0, 1});
+
+  std::atomic<int> served{0};
+  std::thread client_thread([&] {
+    auto client = MateClient::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    auto response = client->Query(MakeQueryRequest(query, {0, 1}, 5, "t"));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_TRUE(response->status.ok()) << response->status.ToString();
+    ExpectServedMatches(response->results, expected);
+    served.fetch_add(1);
+  });
+
+  // Wait until the query is admitted (it sits behind the 50ms dispatch
+  // delay), then stop: the drain must complete it, not drop it.
+  while (server.stats().admitted < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.Stop();
+  client_thread.join();
+  EXPECT_EQ(served.load(), 1);
+  EXPECT_EQ(server.stats().completed, 1u);
+
+  // After the drain the port no longer accepts new work.
+  auto late = MateClient::Connect("127.0.0.1", server.port());
+  if (late.ok()) {
+    auto response = late->Query(MakeQueryRequest(query, {0, 1}, 5, "t"));
+    EXPECT_TRUE(!response.ok() || response->status.IsOverloaded());
+  }
+}
+
+}  // namespace
+}  // namespace mate

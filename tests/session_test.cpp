@@ -506,6 +506,97 @@ TEST(SessionCacheTest, ResetHashInvalidatesImplicitly) {
   ASSERT_TRUE(result.ok());
 }
 
+// ---- tenant partitions ----------------------------------------------
+
+TEST(SessionTenantTest, PartitionsAreIndependentThroughDiscover) {
+  // The same query under two tenants computes twice (no cross-tenant
+  // leakage) and each tenant's repeat hits only its own partition.
+  Session session = OpenLakeSession(/*cache_bytes=*/1 << 20);
+  const Table query = MakeQuery();
+  QuerySpec acme = MakeSpec(&query, {0, 1});
+  acme.tenant = "acme";
+  QuerySpec globex = MakeSpec(&query, {0, 1});
+  globex.tenant = "globex";
+
+  auto a1 = session.Discover(acme);
+  auto g1 = session.Discover(globex);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(g1.ok());
+  ExpectBitIdentical(*a1, *g1);
+  EXPECT_EQ(session.cache_stats().misses, 2u);  // no sharing across tenants
+  EXPECT_EQ(session.cache_partition_stats("acme").entries, 1u);
+  EXPECT_EQ(session.cache_partition_stats("globex").entries, 1u);
+
+  auto a2 = session.Discover(acme);
+  ASSERT_TRUE(a2.ok());
+  ExpectBitIdentical(*a1, *a2, /*include_runtime=*/true);  // cached verbatim
+  EXPECT_EQ(session.cache_partition_stats("acme").hits, 1u);
+  EXPECT_EQ(session.cache_partition_stats("globex").hits, 0u);
+}
+
+TEST(SessionTenantTest, InvalidateCacheWithTenantIsScoped) {
+  Session session = OpenLakeSession(/*cache_bytes=*/1 << 20);
+  const Table query = MakeQuery();
+  QuerySpec acme = MakeSpec(&query, {0, 1});
+  acme.tenant = "acme";
+  QuerySpec globex = MakeSpec(&query, {0, 1});
+  globex.tenant = "globex";
+  ASSERT_TRUE(session.Discover(acme).ok());
+  ASSERT_TRUE(session.Discover(globex).ok());
+
+  session.InvalidateCache("acme");
+  EXPECT_EQ(session.cache_partition_stats("acme").entries, 0u);
+  EXPECT_EQ(session.cache_partition_stats("globex").entries, 1u);
+
+  // acme recomputes, globex still hits.
+  ASSERT_TRUE(session.Discover(acme).ok());
+  EXPECT_EQ(session.cache_partition_stats("acme").misses, 2u);
+  ASSERT_TRUE(session.Discover(globex).ok());
+  EXPECT_EQ(session.cache_partition_stats("globex").hits, 1u);
+}
+
+TEST(SessionTenantTest, InvalidateCacheAndResetHashDropEveryPartition) {
+  // Index-wide events (explicit full invalidation, re-keying the hash)
+  // invalidate all tenants alike — stale results are stale for everyone.
+  Session session = OpenLakeSession(/*cache_bytes=*/1 << 20);
+  const Table query = MakeQuery();
+  for (const char* tenant : {"acme", "globex", ""}) {
+    QuerySpec spec = MakeSpec(&query, {0, 1});
+    spec.tenant = tenant;
+    ASSERT_TRUE(session.Discover(spec).ok());
+  }
+  EXPECT_EQ(session.cache_stats().entries, 3u);
+
+  session.InvalidateCache();
+  EXPECT_EQ(session.cache_stats().entries, 0u);
+  EXPECT_EQ(session.cache_partition_stats("acme").entries, 0u);
+
+  for (const char* tenant : {"acme", "globex", ""}) {
+    QuerySpec spec = MakeSpec(&query, {0, 1});
+    spec.tenant = tenant;
+    ASSERT_TRUE(session.Discover(spec).ok());
+  }
+  ASSERT_TRUE(session.ResetHash(HashFamily::kBloom, 128).ok());
+  EXPECT_EQ(session.cache_stats().entries, 0u);
+  EXPECT_EQ(session.cache_partition_stats("globex").entries, 0u);
+}
+
+TEST(SessionTenantTest, ConfigureCachePartitionBoundsOneTenant) {
+  Session session = OpenLakeSession(/*cache_bytes=*/1 << 20);
+  session.ConfigureCachePartition("tiny", 64);  // below any entry's size
+  const Table query = MakeQuery();
+  QuerySpec tiny = MakeSpec(&query, {0, 1});
+  tiny.tenant = "tiny";
+  QuerySpec roomy = MakeSpec(&query, {0, 1});
+  roomy.tenant = "roomy";
+  ASSERT_TRUE(session.Discover(tiny).ok());
+  ASSERT_TRUE(session.Discover(roomy).ok());
+  // The bounded tenant can't retain its entry; the default-budget one can.
+  EXPECT_EQ(session.cache_partition_stats("tiny").entries, 0u);
+  EXPECT_EQ(session.cache_partition_stats("tiny").capacity_bytes, 64u);
+  EXPECT_EQ(session.cache_partition_stats("roomy").entries, 1u);
+}
+
 TEST(SessionCacheTest, DuplicateSpecsInOneBatchComputeOnce) {
   Session session = OpenLakeSession(/*cache_bytes=*/1 << 20,
                                     /*num_threads=*/4);

@@ -29,6 +29,20 @@ TEST(StatusTest, AllConstructorsMapToPredicates) {
   EXPECT_TRUE(Status::Corruption("x").IsCorruption());
   EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Overloaded("x").IsOverloaded());
+}
+
+TEST(StatusTest, OverloadedIsRetryableAdmissionRefusal) {
+  // kOverloaded is the serving front-end's load-shed signal: a well-formed
+  // request refused by admission control, distinct from every validation
+  // and corruption code so clients can back off and retry.
+  Status s = Status::Overloaded("admission queue full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsOverloaded());
+  EXPECT_FALSE(s.IsInvalidArgument());
+  EXPECT_FALSE(s.IsInternal());
+  EXPECT_EQ(s.message(), "admission queue full");
+  EXPECT_EQ(s.ToString(), "Overloaded: admission queue full");
 }
 
 TEST(StatusTest, Equality) {
@@ -106,6 +120,7 @@ TEST(StatusMacrosTest, AssignOrReturn) {
 TEST(StatusTest, CodeNames) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOverloaded), "Overloaded");
 }
 
 }  // namespace

@@ -15,6 +15,17 @@
 //   mate_cli dups    --corpus F [--min-overlap 0.85]
 //   mate_cli union   --corpus F --query Q.csv [--k 10]
 //   mate_cli convert-corpus --corpus F [--out G]
+//   mate_cli client  --port N [--host 127.0.0.1]
+//                    [--query Q.csv --key a,b | --batch DIR --key a,b]
+//                    [--k 10] [--tenant T] [--stats] [--ping]
+//
+// `client` talks to a running mate_server over its wire protocol instead of
+// opening the corpus locally: each query CSV is projected down to its key
+// columns, sent as one frame, and the served top-k (bit-identical to an
+// in-process search) is printed. --tenant routes the queries to that
+// tenant's result-cache partition; --stats fetches and prints the server's
+// observability snapshot afterwards; a kOverloaded shed prints as such and
+// sets a non-zero exit code.
 //
 // Key columns are given by header name or zero-based position. `--batch`
 // points at a directory of query CSVs; all of them are resolved against the
@@ -59,6 +70,7 @@
 #include "core/session.h"
 #include "core/similarity.h"
 #include "core/union_search.h"
+#include "server/client.h"
 #include "hash/xash.h"
 #include "storage/corpus_io.h"
 #include "storage/csv.h"
@@ -84,14 +96,18 @@ int Usage() {
       " [--corpus-budget-mb N]\n"
       "  mate_cli dups   --corpus F [--min-overlap 0.85]\n"
       "  mate_cli union  --corpus F --query Q.csv [--k N]\n"
-      "  mate_cli convert-corpus --corpus F [--out G]\n";
+      "  mate_cli convert-corpus --corpus F [--out G]\n"
+      "  mate_cli client --port N [--host 127.0.0.1]"
+      " [--query Q.csv --key a,b | --batch DIR --key a,b] [--k N]"
+      " [--tenant T] [--stats] [--ping]\n";
   return 2;
 }
 
 // Flags that take no value; stored with the value "1".
 bool IsBooleanFlag(std::string_view name) {
   return name == "no-cache" || name == "auto-parallel" || name == "eager" ||
-         name == "eager-corpus" || name == "verify-stats";
+         name == "eager-corpus" || name == "verify-stats" ||
+         name == "stats" || name == "ping";
 }
 
 // --flag value parsing into a map; returns false on malformed input.
@@ -533,6 +549,117 @@ int CmdConvertCorpus(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// Talks to a running mate_server: sends each query CSV (projected to its
+// key columns) as one QUERY frame, prints served results, and optionally
+// fetches the server's STATS snapshot. Exit codes: 0 all served, 1 a
+// transport error, 3 at least one query shed with kOverloaded.
+int CmdClient(const std::map<std::string, std::string>& flags) {
+  const std::string host = FlagOr(flags, "host", "127.0.0.1");
+  const std::string port_text = FlagOr(flags, "port", "");
+  const std::string query_path = FlagOr(flags, "query", "");
+  const std::string batch_dir = FlagOr(flags, "batch", "");
+  const std::string key_spec = FlagOr(flags, "key", "");
+  const bool want_stats = flags.count("stats") > 0;
+  const bool want_ping = flags.count("ping") > 0;
+  const bool has_queries = !query_path.empty() || !batch_dir.empty();
+  if (port_text.empty()) return Usage();
+  if (!query_path.empty() && !batch_dir.empty()) return Usage();
+  if (has_queries && key_spec.empty()) return Usage();
+  if (!has_queries && !want_stats && !want_ping) return Usage();
+  auto port = ParseUintFlag("port", port_text, 65535);
+  if (!port.ok()) return Fail(port.status());
+  auto k = ParseUintFlag("k", FlagOr(flags, "k", "10"), 1000000);
+  if (!k.ok()) return Fail(k.status());
+
+  auto client = MateClient::Connect(host, static_cast<uint16_t>(*port));
+  if (!client.ok()) return Fail(client.status());
+
+  if (want_ping) {
+    if (Status s = client->Ping(); !s.ok()) return Fail(s);
+    std::cout << "pong from " << host << ":" << *port << "\n";
+  }
+
+  std::vector<Table> query_tables;
+  if (!query_path.empty()) {
+    auto query = LoadCsvFile(query_path, "query");
+    if (!query.ok()) return Fail(query.status());
+    query_tables.push_back(std::move(*query));
+  } else if (!batch_dir.empty()) {
+    std::vector<std::filesystem::path> files;
+    std::error_code ec;
+    try {
+      for (const auto& entry :
+           std::filesystem::directory_iterator(batch_dir, ec)) {
+        if (entry.path().extension() == ".csv") files.push_back(entry.path());
+      }
+    } catch (const std::filesystem::filesystem_error& e) {
+      return Fail(Status::IOError("cannot list " + batch_dir + ": " +
+                                  e.what()));
+    }
+    if (ec) return Fail(Status::IOError("cannot list " + batch_dir));
+    std::sort(files.begin(), files.end());
+    for (const auto& path : files) {
+      auto query = LoadCsvFile(path.string(), path.stem().string());
+      if (!query.ok()) {
+        std::cerr << "skipping " << path << ": " << query.status().ToString()
+                  << "\n";
+        continue;
+      }
+      query_tables.push_back(std::move(*query));
+    }
+    if (query_tables.empty()) {
+      return Fail(Status::NotFound("no readable .csv files in " + batch_dir));
+    }
+  }
+
+  size_t served = 0, shed = 0;
+  for (const Table& query : query_tables) {
+    auto key_columns = ResolveKeyColumns(query, key_spec);
+    if (!key_columns.ok()) {
+      Status error = Status::InvalidArgument(
+          "query '" + query.name() + "': " + key_columns.status().ToString());
+      if (query_tables.size() == 1) return Fail(error);
+      std::cerr << "skipping " << error.ToString() << "\n";
+      continue;
+    }
+    QueryRequest request =
+        MakeQueryRequest(query, *key_columns, static_cast<int>(*k),
+                         FlagOr(flags, "tenant", ""));
+    auto response = client->Query(request);
+    if (!response.ok()) return Fail(response.status());
+    std::cout << "[" << query.name() << "] ";
+    if (!response->status.ok()) {
+      std::cout << (response->status.IsOverloaded() ? "SHED: " : "ERROR: ")
+                << response->status.ToString() << "\n";
+      ++shed;
+      continue;
+    }
+    ++served;
+    std::cout << "top-" << *k << " joinable tables on key <" << key_spec
+              << ">:\n";
+    for (const ServedResult& r : response->results) {
+      std::cout << "  " << r.table_name << "  joinability=" << r.joinability
+                << "  mapping:";
+      for (size_t i = 0; i < r.mapping.size(); ++i) {
+        std::cout << " " << query.column_name((*key_columns)[i]) << "->"
+                  << r.mapping_names[i];
+      }
+      std::cout << "\n";
+    }
+  }
+  if (!query_tables.empty()) {
+    std::cout << "client: " << served << " served, " << shed
+              << " shed/errored\n";
+  }
+
+  if (want_stats) {
+    auto stats = client->Stats();
+    if (!stats.ok()) return Fail(stats.status());
+    std::cout << stats->ToString();
+  }
+  return shed > 0 ? 3 : 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
@@ -544,6 +671,7 @@ int Run(int argc, char** argv) {
   if (command == "dups") return CmdDups(flags);
   if (command == "union") return CmdUnion(flags);
   if (command == "convert-corpus") return CmdConvertCorpus(flags);
+  if (command == "client") return CmdClient(flags);
   return Usage();
 }
 

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# End-to-end serving smoke: index a toy CSV lake, start mate_server on an
+# ephemeral port, round-trip a client PING + QUERY + STATS over the wire,
+# then SIGTERM the server and require a clean graceful-drain exit (0).
+#
+# Usage: tools/server_smoke.sh [BIN_DIR]   (default: build)
+set -euo pipefail
+
+BIN_DIR="${1:-build}"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [[ -n "$SERVER_PID" ]] && kill -KILL "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+mkdir -p "$WORK/lake"
+cat > "$WORK/lake/people.csv" <<'EOF'
+first,last,country
+Muhammad,Lee,US
+Helmut,Newton,Germany
+Ansel,Adams,UK
+EOF
+cat > "$WORK/lake/pets.csv" <<'EOF'
+owner_first,owner_last,pet
+Muhammad,Lee,cat
+Helmut,Newton,dachshund
+Grace,Hopper,moth
+EOF
+cat > "$WORK/query.csv" <<'EOF'
+first,last
+Muhammad,Lee
+Helmut,Newton
+EOF
+
+"$BIN_DIR/mate_cli" index --csv-dir "$WORK/lake" \
+  --corpus "$WORK/corpus.mate" --index "$WORK/index.mate"
+
+"$BIN_DIR/mate_server" --corpus "$WORK/corpus.mate" \
+  --index "$WORK/index.mate" --port 0 --port-file "$WORK/port.txt" \
+  --queue-depth 16 --tenant-cache-mb 4 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  [[ -s "$WORK/port.txt" ]] && break
+  sleep 0.1
+done
+[[ -s "$WORK/port.txt" ]] || { echo "server never published a port"; exit 1; }
+PORT="$(cat "$WORK/port.txt")"
+
+"$BIN_DIR/mate_cli" client --port "$PORT" --ping
+# Exit 0 requires every request served (sheds exit 3, transport errors 1).
+"$BIN_DIR/mate_cli" client --port "$PORT" --query "$WORK/query.csv" \
+  --key first,last --tenant acme --k 5 --stats
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"  # non-zero here fails the script: drain must be clean
+SERVER_PID=""
+echo "server smoke OK"
