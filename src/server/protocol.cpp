@@ -1,8 +1,10 @@
 #include "server/protocol.h"
 
 #include <errno.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <sstream>
@@ -458,8 +460,11 @@ Status WriteFrame(int fd, std::string_view payload) {
   frame.append(payload);
   size_t written = 0;
   while (written < frame.size()) {
-    const ssize_t n =
-        ::write(fd, frame.data() + written, frame.size() - written);
+    // MSG_NOSIGNAL: a peer that hung up before its response is written must
+    // surface as EPIPE here, not as a process-killing SIGPIPE — one
+    // disconnecting client must never take down a multi-tenant server.
+    const ssize_t n = ::send(fd, frame.data() + written,
+                             frame.size() - written, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::IOError("socket write failed: " +
@@ -511,9 +516,20 @@ Status ReadFrame(int fd, std::string* payload, uint32_t max_bytes) {
         "frame of " + std::to_string(length) + " bytes exceeds limit of " +
         std::to_string(max_bytes));
   }
-  payload->resize(length);
-  if (length == 0) return Status::OK();
-  return ReadExactly(fd, payload->data(), length, &eof_at_start);
+  // Grow the buffer as bytes actually arrive instead of trusting the
+  // client-declared length: a forged header must not allocate max_bytes
+  // upfront for a peer that never sends a payload.
+  constexpr size_t kReadChunkBytes = 256u << 10;
+  payload->clear();
+  size_t got = 0;
+  while (got < length) {
+    const size_t step = std::min<size_t>(kReadChunkBytes, length - got);
+    payload->resize(got + step);
+    s = ReadExactly(fd, payload->data() + got, step, &eof_at_start);
+    if (!s.ok()) return s;
+    got += step;
+  }
+  return Status::OK();
 }
 
 }  // namespace mate

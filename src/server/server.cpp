@@ -101,29 +101,46 @@ void MateServer::Stop() {
   // queue and exits. Connections parked on futures get their responses.
   if (dispatch_thread_.joinable()) dispatch_thread_.join();
 
-  // Unblock connection readers stuck in ReadFrame; they observe EOF-style
-  // errors, shed any still-arriving queries (draining_ is set), and exit.
+  // Unblock connection readers parked in ReadFrame. Read-side only at
+  // first: write sides stay open so responses to just-drained queries
+  // still reach their clients.
   {
     std::lock_guard<std::mutex> lock(connections_mu_);
-    for (int fd : connection_fds_) {
-      if (fd >= 0) ::shutdown(fd, SHUT_RD);
+    for (auto& [id, conn] : connections_) {
+      if (conn.fd >= 0) ::shutdown(conn.fd, SHUT_RD);
     }
   }
-  std::vector<std::thread> workers;
+  // Every connection thread observes the error, deregisters itself (closing
+  // its fd), and hands its handle to finished_threads_; wait for the
+  // registry to empty, then join the handles. A thread blocked in
+  // WriteFrame on a full send buffer (its peer stopped reading) is NOT
+  // woken by the read-side shutdown — after a grace period, escalate those
+  // stragglers to SHUT_RDWR, which fails the blocked send with EPIPE, so
+  // this join cannot hang forever on a stalled client.
   {
-    std::lock_guard<std::mutex> lock(connections_mu_);
-    workers.swap(connection_threads_);
+    std::unique_lock<std::mutex> lock(connections_mu_);
+    if (!connections_cv_.wait_for(lock, options_.drain_write_grace,
+                                  [this] { return connections_.empty(); })) {
+      for (auto& [id, conn] : connections_) {
+        if (conn.fd >= 0) ::shutdown(conn.fd, SHUT_RDWR);
+      }
+      connections_cv_.wait(lock, [this] { return connections_.empty(); });
+    }
   }
-  for (std::thread& t : workers) {
-    if (t.joinable()) t.join();
-  }
-  {
-    std::lock_guard<std::mutex> lock(connections_mu_);
-    for (int& fd : connection_fds_) CloseFd(fd);
-    connection_fds_.clear();
-  }
+  ReapFinishedConnections();
   CloseFd(wake_pipe_[0]);
   CloseFd(wake_pipe_[1]);
+}
+
+void MateServer::ReapFinishedConnections() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    done.swap(finished_threads_);
+  }
+  for (std::thread& t : done) {
+    if (t.joinable()) t.join();
+  }
 }
 
 void MateServer::AcceptLoop() {
@@ -143,16 +160,39 @@ void MateServer::AcceptLoop() {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       break;
     }
-    std::lock_guard<std::mutex> lock(connections_mu_);
-    connection_fds_.push_back(client);
-    active_connections_.fetch_add(1);
-    connection_threads_.emplace_back(
-        [this, client] { ServeConnection(client); });
+    // Join threads of connections that exited since the last accept, so a
+    // long-lived server under connection churn does not accumulate dead
+    // thread handles.
+    ReapFinishedConnections();
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      if (connections_.size() >= options_.max_connections) {
+        shed = true;
+      } else {
+        const uint64_t id = next_connection_id_++;
+        Connection& conn = connections_[id];
+        conn.fd = client;
+        active_connections_.fetch_add(1);
+        conn.thread =
+            std::thread([this, id, client] { ServeConnection(id, client); });
+      }
+    }
+    if (shed) {
+      std::string response;
+      EncodeErrorResponse(
+          Status::Overloaded("connection limit (" +
+                             std::to_string(options_.max_connections) +
+                             ") reached"),
+          &response);
+      (void)WriteFrame(client, response);
+      ::close(client);
+    }
   }
   CloseFd(listen_fd_);
 }
 
-void MateServer::ServeConnection(int fd) {
+void MateServer::ServeConnection(uint64_t id, int fd) {
   std::string payload;
   while (true) {
     Status s = ReadFrame(fd, &payload);
@@ -194,18 +234,22 @@ void MateServer::ServeConnection(int fd) {
     }
   }
   // A response-write failure surfaces as a read failure on the next
-  // ReadFrame, so every exit funnels through here. Close our fd and blank
-  // its registry slot so Stop() does not double-close it.
+  // ReadFrame, so every exit funnels through here. Deregister: close the
+  // fd, hand the thread handle to the reaper, erase the record, and wake
+  // Stop() in case it is waiting for the registry to drain. Moving the
+  // handle of the running thread is fine — only join from another thread
+  // touches the underlying thread of execution.
   {
     std::lock_guard<std::mutex> lock(connections_mu_);
-    for (int& slot : connection_fds_) {
-      if (slot == fd) {
-        CloseFd(slot);
-        break;
-      }
+    auto it = connections_.find(id);
+    if (it != connections_.end()) {
+      CloseFd(it->second.fd);
+      finished_threads_.push_back(std::move(it->second.thread));
+      connections_.erase(it);
     }
+    active_connections_.fetch_sub(1);
   }
-  active_connections_.fetch_sub(1);
+  connections_cv_.notify_all();
 }
 
 void MateServer::HandleQuery(int fd, std::string_view body) {
@@ -314,6 +358,11 @@ void MateServer::DispatchLoop() {
     }
     pending->promise.set_value(std::move(result));
   }
+}
+
+size_t MateServer::registered_connections_for_test() const {
+  std::lock_guard<std::mutex> lock(connections_mu_);
+  return connections_.size();
 }
 
 ServerStatsSnapshot MateServer::stats() const {

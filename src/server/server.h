@@ -16,9 +16,13 @@
 // Admission control. A QUERY is admitted only when the queue holds fewer
 // than `max_queue_depth` pending entries and the server is not draining;
 // otherwise it is shed immediately with Status::Overloaded (the client
-// sees a well-formed error response, not a dropped connection). Stop()
-// drains gracefully: stop accepting, shed new queries, finish every
-// admitted in-flight query, then join.
+// sees a well-formed error response, not a dropped connection). Accepts
+// beyond `max_connections` live connections are shed the same way: one
+// kOverloaded frame, then close. Stop() drains gracefully: stop
+// accepting, shed new queries, finish every admitted in-flight query,
+// then join. Connection threads deregister themselves on exit and their
+// handles are reaped as the server runs, so connection churn does not
+// accumulate dead threads or fd slots.
 //
 // Multi-tenancy. The tenant string on each request selects a result-cache
 // partition inside the shared Session (independent byte budgets,
@@ -57,9 +61,21 @@ struct ServerOptions {
   /// entries are shed with kOverloaded.
   size_t max_queue_depth = 64;
 
+  /// Connection-level admission bound: accepts beyond this many live
+  /// connections are shed with a single kOverloaded response frame and
+  /// closed (a typed refusal, not a hung or dropped connect), bounding the
+  /// thread-per-connection memory surface.
+  size_t max_connections = 256;
+
   /// When non-zero, every tenant's result-cache partition is budgeted to
   /// this many bytes on first contact (0 keeps the session default).
   size_t tenant_cache_bytes = 0;
+
+  /// How long Stop() waits for in-flight response writes before clobbering
+  /// connections whose peers stopped reading (SHUT_RDWR unblocks a send
+  /// stuck on a full buffer). Normal drains never wait this long — the
+  /// grace only bounds the pathological stalled-client case.
+  std::chrono::milliseconds drain_write_grace{5000};
 
   /// Test hook: the dispatcher sleeps this long before each query, making
   /// queue-full sheds deterministic under small max_queue_depth.
@@ -93,6 +109,11 @@ class MateServer {
   /// A consistent observability snapshot (same data the STATS verb serves).
   ServerStatsSnapshot stats() const;
 
+  /// Test-only: live connection records still registered. Exited
+  /// connections deregister themselves, so this must fall back to 0 after
+  /// clients hang up — the registry does not grow with connection churn.
+  size_t registered_connections_for_test() const;
+
  private:
   struct PendingQuery {
     QueryRequest request;
@@ -110,7 +131,12 @@ class MateServer {
 
   void AcceptLoop();
   void DispatchLoop();
-  void ServeConnection(int fd);
+  void ServeConnection(uint64_t id, int fd);
+
+  /// Joins connection threads that have already exited and handed their
+  /// handles to finished_threads_. Called from the accept loop (so churn is
+  /// reaped while the server runs) and from Stop().
+  void ReapFinishedConnections();
 
   /// Admission control: enqueues under the queue bound, or returns
   /// kOverloaded. On success the returned future yields the query result.
@@ -129,9 +155,20 @@ class MateServer {
 
   std::thread accept_thread_;
   std::thread dispatch_thread_;
-  std::mutex connections_mu_;
-  std::vector<std::thread> connection_threads_;
-  std::vector<int> connection_fds_;
+
+  // Connection registry. Each live connection owns one record; on exit the
+  // connection thread closes its fd, moves its thread handle to
+  // finished_threads_ (joined by the accept loop or Stop), erases its
+  // record, and signals connections_cv_ so Stop() can wait for empty.
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+  };
+  mutable std::mutex connections_mu_;
+  std::condition_variable connections_cv_;
+  std::map<uint64_t, Connection> connections_;
+  std::vector<std::thread> finished_threads_;
+  uint64_t next_connection_id_ = 0;
   std::atomic<uint64_t> active_connections_{0};
 
   // Queue + admission state (one mutex so shed-vs-admit is linearized with

@@ -320,6 +320,126 @@ TEST(ServerTest, OversizedFrameIsRefusedAndStreamClosed) {
   server.Stop();
 }
 
+// ---- misbehaving clients --------------------------------------------
+
+TEST(ServerTest, WriteFrameToHungUpPeerFailsTypedInsteadOfSigpipe) {
+  // A peer that hung up must surface as an IOError from WriteFrame. With a
+  // plain write(2) this raises SIGPIPE (default disposition: kill the
+  // process — every tenant of a multi-tenant server); MSG_NOSIGNAL keeps
+  // it a per-connection EPIPE. The closed socketpair end makes the very
+  // first send fail, so this test dies without the fix.
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ::close(sv[1]);
+  Status s = WriteFrame(sv[0], "response for a client that is gone");
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  ::close(sv[0]);
+}
+
+TEST(ServerTest, ClientDisconnectBeforeResponseDoesNotKillServer) {
+  Session session = OpenLakeSession();
+  ServerOptions options;
+  options.dispatch_delay_for_test = std::chrono::milliseconds(50);
+  MateServer server(&session, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const Table query = MakeQuery();
+  std::string payload;
+  EncodeQueryRequest(MakeQueryRequest(query, {0, 1}, 5, "t"), &payload);
+
+  // Send a QUERY, then hard-close before the dispatch delay elapses.
+  // SO_LINGER(0) turns the close into an RST, so the server's response
+  // write hits a reset connection: it must fail with EPIPE, not raise
+  // SIGPIPE and kill the whole multi-tenant process (and this test).
+  int fd = ConnectRaw(server.port());
+  ASSERT_TRUE(WriteFrame(fd, payload).ok());
+  struct linger hard_close = {1, 0};
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_close,
+                         sizeof(hard_close)),
+            0);
+  ::close(fd);
+
+  // The admitted query still completes server-side; the failed response
+  // write only ends that one connection.
+  while (server.stats().completed < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // The server survived: a fresh client still round-trips a full query.
+  const DiscoveryResult expected = DirectDiscover(query, {0, 1});
+  auto client = MateClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto response = client->Query(MakeQueryRequest(query, {0, 1}, 5, "t"));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->status.ok()) << response->status.ToString();
+  ExpectServedMatches(response->results, expected);
+  server.Stop();
+}
+
+TEST(ServerTest, ConnectionChurnDrainsTheRegistry) {
+  Session session = OpenLakeSession();
+  MateServer server(&session, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  // Many short-lived connections: each must deregister itself on hangup —
+  // a resident server must not accumulate dead thread handles or fd slots.
+  for (int i = 0; i < 20; ++i) {
+    auto client = MateClient::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    ASSERT_TRUE(client->Ping().ok());
+  }
+
+  // Deregistration is asynchronous (the reader thread sees EOF first).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.registered_connections_for_test() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.registered_connections_for_test(), 0u);
+  EXPECT_EQ(server.stats().active_connections, 0u);
+  server.Stop();
+}
+
+TEST(ServerTest, AcceptsBeyondConnectionLimitAreShedWithOverloaded) {
+  Session session = OpenLakeSession();
+  ServerOptions options;
+  options.max_connections = 1;
+  MateServer server(&session, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    auto first = MateClient::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    ASSERT_TRUE(first->Ping().ok());
+
+    // With the slot taken, the next accept is shed: one typed kOverloaded
+    // frame (unsolicited — read without sending), then the server hangs up.
+    int fd = ConnectRaw(server.port());
+    std::string response;
+    ASSERT_TRUE(ReadFrame(fd, &response).ok());
+    Status server_status;
+    std::string_view body;
+    ASSERT_TRUE(DecodeResponseStatus(response, &server_status, &body).ok());
+    EXPECT_TRUE(server_status.IsOverloaded()) << server_status.ToString();
+    EXPECT_TRUE(ReadFrame(fd, &response).IsNotFound());
+    ::close(fd);
+  }
+
+  // The first client hung up; once its record drains, the slot frees and a
+  // new connection is admitted again.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.registered_connections_for_test() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto third = MateClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(third.ok()) << third.status().ToString();
+  EXPECT_TRUE(third->Ping().ok());
+  server.Stop();
+}
+
 // ---- admission control ----------------------------------------------
 
 TEST(ServerTest, QueueFullShedsWithOverloaded) {

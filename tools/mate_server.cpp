@@ -7,7 +7,8 @@
 //
 //   mate_server --corpus F --index F [--host 127.0.0.1] [--port 0]
 //               [--port-file PATH] [--threads N] [--queue-depth 64]
-//               [--cache-mb 64] [--tenant-cache-mb 0]
+//               [--max-connections 256] [--cache-mb 64]
+//               [--tenant-cache-mb 0]
 //
 // --port 0 binds an ephemeral port; --port-file writes the resolved port as
 // a single line so scripts (CI smoke, the tail-latency bench) can find the
@@ -43,7 +44,8 @@ int Usage() {
   std::cerr << "usage:\n"
                "  mate_server --corpus F --index F [--host 127.0.0.1]"
                " [--port 0] [--port-file PATH] [--threads N]"
-               " [--queue-depth 64] [--cache-mb 64] [--tenant-cache-mb 0]\n";
+               " [--queue-depth 64] [--max-connections 256]"
+               " [--cache-mb 64] [--tenant-cache-mb 0]\n";
   return 2;
 }
 
@@ -98,6 +100,12 @@ int Run(int argc, char** argv) {
       ParseUintFlag("queue-depth", FlagOr(flags, "queue-depth", "64"),
                     1u << 20);
   if (!queue_depth.ok()) return Fail(queue_depth.status());
+  auto max_connections = ParseUintFlag(
+      "max-connections", FlagOr(flags, "max-connections", "256"), 1u << 16);
+  if (!max_connections.ok()) return Fail(max_connections.status());
+  if (*max_connections == 0) {
+    return Fail(Status::InvalidArgument("--max-connections must be >= 1"));
+  }
   auto cache_mb =
       ParseUintFlag("cache-mb", FlagOr(flags, "cache-mb", "64"), 1u << 20);
   if (!cache_mb.ok()) return Fail(cache_mb.status());
@@ -117,7 +125,16 @@ int Run(int argc, char** argv) {
   server_options.host = FlagOr(flags, "host", "127.0.0.1");
   server_options.port = static_cast<uint16_t>(*port);
   server_options.max_queue_depth = *queue_depth;
+  server_options.max_connections = *max_connections;
   server_options.tenant_cache_bytes = size_t{*tenant_cache_mb} << 20;
+
+  // Belt and braces next to WriteFrame's MSG_NOSIGNAL: a client that hangs
+  // up before its response is written must never SIGPIPE the server.
+  // Installed before Start() so no accepted connection predates it.
+  struct sigaction ignore_pipe;
+  std::memset(&ignore_pipe, 0, sizeof(ignore_pipe));
+  ignore_pipe.sa_handler = SIG_IGN;
+  ::sigaction(SIGPIPE, &ignore_pipe, nullptr);
 
   MateServer server(&session.value(), server_options);
   if (Status s = server.Start(); !s.ok()) return Fail(s);
