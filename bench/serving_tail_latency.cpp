@@ -25,7 +25,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -153,6 +155,22 @@ LoadResult RunOpenLoop(uint16_t port, const std::vector<QueryRequest>& pool,
   return merged;
 }
 
+/// Value of the first unlabeled sample line `name <value>` on a Prometheus
+/// text page; -1 when absent.
+int64_t ParseMetricValue(const std::string& page, const std::string& name) {
+  size_t start = 0;
+  while (start < page.size()) {
+    size_t end = page.find('\n', start);
+    if (end == std::string::npos) end = page.size();
+    const std::string line = page.substr(start, end - start);
+    if (line.rfind(name + " ", 0) == 0) {
+      return std::strtoll(line.c_str() + name.size() + 1, nullptr, 10);
+    }
+    start = end + 1;
+  }
+  return -1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -266,9 +284,37 @@ int main(int argc, char** argv) {
       return 1;
     }
     const double rate = 0.5 * capacity_rps;
+    // Scrape METRICS mid-load on its own connection: observability must
+    // answer while the dispatcher is busy, and the page must stay valid.
+    std::atomic<bool> midrun_metrics_ok{false};
+    std::thread scraper([&server, &midrun_metrics_ok] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      auto client = MateClient::Connect("127.0.0.1", server.port());
+      if (!client.ok()) return;
+      auto page = client->Metrics();
+      midrun_metrics_ok =
+          page.ok() && ParseMetricValue(*page, "mate_queries_total") >= 0 &&
+          page->find("# TYPE mate_query_latency_seconds histogram") !=
+              std::string::npos;
+    });
     LoadResult r = RunOpenLoop(server.port(), pool, expected, kTenants,
                                /*connections_per_tenant=*/4, rate,
                                /*requests_per_connection=*/40, args.seed);
+    scraper.join();
+    // Quiesced: the page's admitted counter must equal the server's own
+    // admission count exactly.
+    int64_t page_queries_total = -1;
+    uint64_t stats_admitted = 0;
+    {
+      auto client = MateClient::Connect("127.0.0.1", server.port());
+      if (client.ok()) {
+        auto page = client->Metrics();
+        if (page.ok()) {
+          page_queries_total = ParseMetricValue(*page, "mate_queries_total");
+        }
+      }
+      stats_admitted = server.stats().admitted;
+    }
     server.Stop();
     table.AddRow({"steady", FormatDouble(rate, 0), std::to_string(r.served),
                   std::to_string(r.shed),
@@ -304,6 +350,21 @@ int main(int argc, char** argv) {
       std::cerr << "GATE FAILED (steady): nothing served\n";
       exit_code = 1;
     }
+    if (!midrun_metrics_ok.load()) {
+      std::cerr << "GATE FAILED (steady): mid-run METRICS scrape did not "
+                   "return a valid page\n";
+      exit_code = 1;
+    }
+    if (page_queries_total < 0 ||
+        static_cast<uint64_t>(page_queries_total) != stats_admitted) {
+      std::cerr << "GATE FAILED (steady): METRICS mate_queries_total="
+                << page_queries_total << " != admitted=" << stats_admitted
+                << "\n";
+      exit_code = 1;
+    }
+    json.AddWithLoad("steady", "metrics_queries_total",
+                     static_cast<double>(page_queries_total), "requests",
+                     kTenants, rate);
   }
 
   // ---- overload: ~4x capacity into a 4-deep queue ----------------------

@@ -11,8 +11,13 @@
 
 #include <algorithm>
 #include <iostream>
+#include <memory>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/trace.h"
 
 #include "bench_util/bench_json.h"
 #include "bench_util/report.h"
@@ -141,6 +146,90 @@ int main(int argc, char** argv) {
     return 1;
   }
   json.Add("width=auto", "wall", auto_wall, "s", auto_shards);
+
+  // ---- tracing overhead + span coverage (src/obs/trace.h) --------------
+  // Re-measure the serial path back-to-back with and without a QueryTrace
+  // armed so the comparison shares thermal/cache state, then check the
+  // traced span tree covers every pipeline phase and that the phases
+  // account for the discover span's wall time.
+  session.SetNumThreads(1);
+  spec.intra_query_threads = 1;
+  uint64_t shards = 0, fanout = 0;
+  const double untraced_wall =
+      TimeQuery(session, spec, &serial, &shards, &fanout);
+  double traced_wall = 0.0;
+  std::unique_ptr<QueryTrace> trace;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    auto rep_trace = std::make_unique<QueryTrace>("bench");
+    spec.trace = rep_trace.get();
+    Stopwatch timer;
+    auto result = session.Discover(spec);
+    const double elapsed = timer.ElapsedSeconds();
+    spec.trace = nullptr;
+    if (!result.ok()) {
+      std::cerr << "traced Discover failed: " << result.status().ToString()
+                << "\n";
+      return 1;
+    }
+    std::vector<DiscoveryResult> run;
+    run.push_back(std::move(*result));
+    if (!SameTopK(serial, run)) {
+      std::cerr << "ERROR: traced run diverged from the serial reference\n";
+      return 1;
+    }
+    traced_wall = rep == 0 ? elapsed : std::min(traced_wall, elapsed);
+    trace = std::move(rep_trace);
+  }
+  const double overhead = untraced_wall > 0.0
+                              ? (traced_wall - untraced_wall) / untraced_wall
+                              : 0.0;
+
+  const std::vector<TraceSpan> spans = trace->Spans();
+  std::set<std::string> names;
+  for (const TraceSpan& span : spans) names.insert(span.name);
+  for (const char* phase :
+       {"discover", "validate", "readiness_wait", "execute", "prepare",
+        "fetch", "evaluate", "merge", "materialize", "row_loop"}) {
+    if (names.count(phase) == 0) {
+      std::cerr << "ERROR: traced span tree misses phase '" << phase
+                << "'\n";
+      return 1;
+    }
+  }
+  // Phase accounting: the discover span's direct children must explain its
+  // duration to within 10% (acceptance gate on the OD workload).
+  const TraceSpan& discover = spans.front();
+  uint64_t children_us = 0;
+  for (const TraceSpan& span : spans) {
+    if (span.parent == discover.id) children_us += span.duration_us;
+  }
+  const double coverage =
+      discover.duration_us > 0
+          ? static_cast<double>(children_us) /
+                static_cast<double>(discover.duration_us)
+          : 1.0;
+  std::cout << "\nTracing: off=" << FormatSeconds(untraced_wall)
+            << " on=" << FormatSeconds(traced_wall) << " overhead="
+            << FormatDouble(overhead * 100.0, 2) << "% ("
+            << spans.size() << " spans, phase coverage "
+            << FormatDouble(coverage * 100.0, 1) << "% of discover wall)\n";
+  if (coverage < 0.9 || coverage > 1.01) {
+    std::cerr << "ERROR: phase spans explain "
+              << FormatDouble(coverage * 100.0, 1)
+              << "% of the discover span (want within 10%)\n";
+    return 1;
+  }
+  if (overhead > 0.25) {
+    std::cerr << "ERROR: armed tracing costs "
+              << FormatDouble(overhead * 100.0, 1)
+              << "% on a full OD query — instrumentation is too hot\n";
+    return 1;
+  }
+  json.Add("trace=off", "wall", untraced_wall, "s", 1);
+  json.Add("trace=on", "wall", traced_wall, "s",
+           static_cast<uint64_t>(spans.size()));
+  json.Add("trace=on", "tracing_overhead", overhead, "frac", 1);
+
   if (!json.WriteTo(args.json_path)) return 1;
   return 0;
 }

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
-#include "util/math_util.h"
+#include "util/latency_histogram.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -15,8 +15,13 @@ BatchStats AggregateBatchStats(const std::vector<DiscoveryResult>& results,
   stats.queries = results.size();
   stats.num_threads = num_threads;
   stats.wall_seconds = wall_seconds;
-  std::vector<double> latencies;
-  latencies.reserve(results.size());
+  // One histogram feeds the percentile fields — the same HDR layout and
+  // nearest-rank rule the serving layer reports (util/latency_histogram.h),
+  // so batch and server percentiles can never disagree on definition.
+  // Latencies record as integer microseconds: exact max, and percentiles
+  // within the histogram's 1/16 relative bound (cross-checked against
+  // PercentileSorted in tests/obs_test.cpp).
+  LatencyHistogram latency_us;
   for (const DiscoveryResult& r : results) {
     stats.total_query_seconds += r.stats.runtime_seconds;
     stats.pl_items_fetched += r.stats.pl_items_fetched;
@@ -31,13 +36,13 @@ BatchStats AggregateBatchStats(const std::vector<DiscoveryResult>& results,
         std::max(stats.max_fanout_threads, r.stats.fanout_threads);
     stats.tables_materialized += r.stats.tables_materialized;
     stats.cell_bytes_materialized += r.stats.cell_bytes_materialized;
-    latencies.push_back(r.stats.runtime_seconds);
+    latency_us.Record(
+        static_cast<uint64_t>(r.stats.runtime_seconds * 1e6));
   }
-  std::sort(latencies.begin(), latencies.end());
-  stats.latency_p50_s = PercentileSorted(latencies, 0.50);
-  stats.latency_p90_s = PercentileSorted(latencies, 0.90);
-  stats.latency_p99_s = PercentileSorted(latencies, 0.99);
-  stats.latency_max_s = latencies.empty() ? 0.0 : latencies.back();
+  stats.latency_p50_s = static_cast<double>(latency_us.Percentile(0.50)) / 1e6;
+  stats.latency_p90_s = static_cast<double>(latency_us.Percentile(0.90)) / 1e6;
+  stats.latency_p99_s = static_cast<double>(latency_us.Percentile(0.99)) / 1e6;
+  stats.latency_max_s = static_cast<double>(latency_us.max()) / 1e6;
   return stats;
 }
 

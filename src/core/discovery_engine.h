@@ -46,10 +46,14 @@ struct BatchStats {
   double wall_seconds = 0.0;         // end-to-end batch time
   double total_query_seconds = 0.0;  // sum of per-query runtimes
 
-  // Per-query latency distribution (seconds), nearest-rank percentiles
-  // (PercentileSorted in util/math_util.h — defined for 0/1/2-query
-  // batches too). A cached query contributes the runtime recorded when its
-  // result was originally computed, not its (near-zero) serving time;
+  // Per-query latency distribution (seconds), computed through a
+  // LatencyHistogram over integer microseconds — the same HDR layout and
+  // nearest-rank rule (PercentileSorted's definition) the serving layer
+  // reports, so the two surfaces can never disagree. max is exact; the
+  // percentiles carry the histogram's bounded relative error (at most
+  // 1/16 above the sorted-vector answer). Defined for 0/1/2-query batches
+  // too. A cached query contributes the runtime recorded when its result
+  // was originally computed, not its (near-zero) serving time;
   // wall_seconds is the honest end-to-end figure.
   double latency_p50_s = 0.0;
   double latency_p90_s = 0.0;

@@ -165,7 +165,10 @@ bool EvaluateCandidates(const Corpus& corpus, const InvertedIndex& index,
                         const DiscoveryOptions& options,
                         const std::vector<TableCandidates>& candidates,
                         size_t start, size_t end,
-                        std::optional<int64_t> floor, ShardOutcome* out) {
+                        std::optional<int64_t> floor, ShardOutcome* out,
+                        QueryTrace* trace = nullptr,
+                        uint32_t trace_parent = QueryTrace::kNoParent,
+                        uint64_t trace_tid = 0) {
   DiscoveryStats& stats = out->stats;
   TopKHeap<TableId>& topk = out->topk;
   const SuperKeyStore& superkeys = index.superkeys();
@@ -187,6 +190,11 @@ bool EvaluateCandidates(const Corpus& corpus, const InvertedIndex& index,
     // order, so once a table cannot beat the current j_k nothing later can.
     if (options.use_table_filters && items_in_table < prune_threshold()) {
       stats.tables_pruned_rule1 += end - cand_idx;
+      if (trace != nullptr) {
+        trace->AddCompleteSpan(
+            "rule1_prune", trace_parent, trace->NowUs(), 0, trace_tid,
+            "\"tables_pruned\":" + std::to_string(end - cand_idx));
+      }
       return true;
     }
 
@@ -215,6 +223,7 @@ bool EvaluateCandidates(const Corpus& corpus, const InvertedIndex& index,
         }
       }
     }
+    const uint64_t mat_start_us = trace != nullptr ? trace->NowUs() : 0;
     const Table& table =
         single_column_key
             ? corpus.MaterializeColumns(cand.table_id, touched_columns, &mat)
@@ -224,6 +233,18 @@ bool EvaluateCandidates(const Corpus& corpus, const InvertedIndex& index,
       stats.cell_bytes_materialized += mat.bytes_parsed;
       if (mat.rematerialized) ++stats.tables_rematerialized;
     }
+    if (trace != nullptr) {
+      const uint64_t now = trace->NowUs();
+      trace->AddCompleteSpan(
+          "materialize", trace_parent, mat_start_us, now - mat_start_us,
+          trace_tid,
+          "\"table\":" + std::to_string(cand.table_id) +
+              ",\"bytes_parsed\":" + std::to_string(mat.bytes_parsed) +
+              ",\"parse_us\":" +
+              std::to_string(
+                  static_cast<uint64_t>(mat.parse_seconds * 1e6)));
+    }
+    const uint64_t rows_start_us = trace != nullptr ? trace->NowUs() : 0;
     acc.Clear();
     int64_t rows_checked_here = 0;
     int64_t rows_matched_here = 0;  // r_match of rule 2
@@ -269,6 +290,14 @@ bool EvaluateCandidates(const Corpus& corpus, const InvertedIndex& index,
       }
     }
 
+    if (trace != nullptr) {
+      const uint64_t now = trace->NowUs();
+      trace->AddCompleteSpan(
+          "row_loop", trace_parent, rows_start_us, now - rows_start_us,
+          trace_tid,
+          "\"table\":" + std::to_string(cand.table_id) +
+              ",\"rows_checked\":" + std::to_string(rows_checked_here));
+    }
     if (pruned_mid_table) continue;
     const int64_t j = acc.MaxJoinability();
     if (j > 0) {
@@ -305,6 +334,8 @@ DiscoveryResult QueryExecutor::Discover(
     const DiscoveryOptions& options, const ExecutorOptions& exec,
     ThreadPool* pool) const {
   Stopwatch timer;
+  QueryTrace* const trace = exec.trace;
+  const uint32_t troot = exec.trace_parent;
   DiscoveryResult result;
   DiscoveryStats& stats = result.stats;
   if (key_columns.empty() || options.k <= 0) {
@@ -313,8 +344,10 @@ DiscoveryResult QueryExecutor::Discover(
   }
   const size_t k = static_cast<size_t>(options.k);
 
+  ScopedSpan prepare_span(trace, "prepare", troot);
   const PreparedQuery prep =
       PrepareQuery(query, key_columns, options, *index_);
+  prepare_span.End();
 
   // ---- Resolve the execution shape -----------------------------------
   const unsigned pool_width = pool != nullptr ? pool->num_threads() : 1;
@@ -346,10 +379,14 @@ DiscoveryResult QueryExecutor::Discover(
   outcomes.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) outcomes.emplace_back(k);
   std::vector<std::vector<TableCandidates>> shard_candidates(num_shards);
+  ScopedSpan fetch_span(trace, "fetch", troot);
   RunStrided(pool, width, num_shards, [&](size_t s) {
+    // Shard spans render on track s + 1 (track 0 is the query's main line).
+    ScopedSpan shard_span(trace, "fetch_shard", fetch_span.id(), s + 1);
     shard_candidates[s] =
         FetchShardCandidates(prep, ranges[s], &outcomes[s].stats);
   });
+  fetch_span.End();
 
   // ---- Round-based evaluation with a shared pruning floor ------------
   // Serial Algorithm 1 prunes against one shared heap whose j_k rises as
@@ -365,10 +402,11 @@ DiscoveryResult QueryExecutor::Discover(
   // drop a final top-k table. Round one evaluates <= S*k tables unpruned
   // (serial evaluates >= k before its heap fills, typically a comparable
   // number); from round two on, rule 1 usually breaks every shard at once.
+  ScopedSpan evaluate_span(trace, "evaluate", troot);
   if (num_shards == 1) {
     EvaluateCandidates(*corpus_, *index_, prep, options, shard_candidates[0],
                        0, shard_candidates[0].size(), /*floor=*/std::nullopt,
-                       &outcomes[0]);
+                       &outcomes[0], trace, evaluate_span.id());
   } else if (num_shards > 1) {
     std::vector<size_t> pos(num_shards, 0);
     std::vector<size_t> chunk_end(num_shards, 0);
@@ -392,11 +430,14 @@ DiscoveryResult QueryExecutor::Discover(
       if (active.empty()) break;
       RunStrided(pool, width, active.size(), [&](size_t i) {
         const size_t s = active[i];
+        ScopedSpan shard_span(trace, "evaluate_shard", evaluate_span.id(),
+                              s + 1);
         const std::vector<TableCandidates>& cands = shard_candidates[s];
         chunk_end[s] = std::min(pos[s] + chunk, cands.size());
         broke[s] = EvaluateCandidates(*corpus_, *index_, prep, options,
                                       cands, pos[s], chunk_end[s], floor,
-                                      &outcomes[s])
+                                      &outcomes[s], trace, shard_span.id(),
+                                      s + 1)
                        ? 1
                        : 0;
       });
@@ -419,10 +460,13 @@ DiscoveryResult QueryExecutor::Discover(
     }
   }
 
+  evaluate_span.End();
+
   // ---- Deterministic merge (score desc, table id asc) ----------------
   // Each local heap holds the best k of its shard, so the union contains
   // the global top-k; re-offering every entry to one heap applies the
   // exact serial tie-break regardless of arrival order.
+  ScopedSpan merge_span(trace, "merge", troot);
   const size_t fanout = std::max<size_t>(std::min<size_t>(width, num_shards),
                                          1);
   TopKHeap<TableId> merged(k);

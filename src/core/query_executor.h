@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "core/mate.h"
+#include "obs/trace.h"
 
 namespace mate {
 
@@ -65,6 +66,15 @@ struct ExecutorOptions {
   /// explicit value is honored even at width 1 (shards then run
   /// sequentially — determinism tests sweep exactly this).
   size_t num_shards = 0;
+
+  /// Optional span recorder (src/obs/trace.h). Null — the default —
+  /// disables tracing; every instrumentation site is then a single pointer
+  /// check. Executor phase spans (prepare / fetch / evaluate / merge and
+  /// their per-shard children) root under `trace_parent`. Tracing never
+  /// changes the result, so it stays out of cache fingerprints like every
+  /// other field here.
+  QueryTrace* trace = nullptr;
+  uint32_t trace_parent = QueryTrace::kNoParent;
 };
 
 class QueryExecutor {

@@ -379,28 +379,47 @@ std::string Session::FingerprintQuery(const QuerySpec& spec) const {
 }
 
 DiscoveryResult Session::RunQuery(const QuerySpec& spec, bool intra_parallel) {
+  // Roots the executor's phase spans under the attach parent — Discover
+  // points it at its "discover" span; the batch path leaves the caller's
+  // (usually no) attachment in place.
+  ScopedSpan execute(spec.trace, "execute",
+                     spec.trace != nullptr ? spec.trace->attach_parent()
+                                           : QueryTrace::kNoParent);
   QueryExecutor executor(&corpus_, index_.get());
   ExecutorOptions exec;
   exec.intra_query_threads = intra_parallel ? spec.intra_query_threads : 1;
   exec.num_shards = intra_parallel ? spec.intra_query_shards : 0;
+  exec.trace = spec.trace;
+  exec.trace_parent = execute.id();
   return executor.Discover(*spec.table, spec.key_columns, spec.options, exec,
                            intra_parallel ? pool_.get() : nullptr);
 }
 
 Result<DiscoveryResult> Session::Discover(const QuerySpec& spec) {
+  QueryTrace* const trace = spec.trace;
+  ScopedSpan discover(trace, "discover",
+                      trace != nullptr ? trace->attach_parent()
+                                       : QueryTrace::kNoParent);
+  if (trace != nullptr) trace->SetAttachParent(discover.id());
   if (!has_index()) {
     return Status::InvalidArgument(
         "session has no index; open with index_path, index, or build_index");
   }
-  MATE_RETURN_IF_ERROR(ValidateQuery(spec));
+  {
+    ScopedSpan span(trace, "validate", discover.id());
+    MATE_RETURN_IF_ERROR(ValidateQuery(spec));
+  }
   // The first query after a phased Open blocks here until postings and
   // super keys are hot (and surfaces any deferred load corruption). It
   // does NOT wait for corpus residency: candidate tables materialize on
   // demand, and a malformed cell blob — hit by this query or latched
   // earlier by the warmer — surfaces as the sticky corpus status instead
   // of a silently stubbed result.
-  MATE_RETURN_IF_ERROR(WaitUntilReady());
-  MATE_RETURN_IF_ERROR(corpus_.load_status());
+  {
+    ScopedSpan span(trace, "readiness_wait", discover.id());
+    MATE_RETURN_IF_ERROR(WaitUntilReady());
+    MATE_RETURN_IF_ERROR(corpus_.load_status());
+  }
   if (cache_ == nullptr) {
     DiscoveryResult result = RunQuery(spec, /*intra_parallel=*/true);
     MATE_RETURN_IF_ERROR(corpus_.load_status());
@@ -409,14 +428,23 @@ Result<DiscoveryResult> Session::Discover(const QuerySpec& spec) {
     corpus_.EvictToBudget();
     return result;
   }
-  const std::string key = FingerprintQuery(spec);
+  std::string key;
   DiscoveryResult result;
-  if (cache_->Lookup(spec.tenant, key, &result)) return result;
+  bool hit = false;
+  {
+    ScopedSpan span(trace, "cache_lookup", discover.id());
+    key = FingerprintQuery(spec);
+    hit = cache_->Lookup(spec.tenant, key, &result);
+  }
+  if (hit) return result;
   result = RunQuery(spec, /*intra_parallel=*/true);
   // Re-check before caching: a result computed over a stub table must
   // neither be returned nor poison future hits.
   MATE_RETURN_IF_ERROR(corpus_.load_status());
-  cache_->Insert(spec.tenant, key, result);
+  {
+    ScopedSpan span(trace, "cache_insert", discover.id());
+    cache_->Insert(spec.tenant, key, result);
+  }
   corpus_.EvictToBudget();
   return result;
 }

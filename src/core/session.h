@@ -63,6 +63,8 @@
 
 namespace mate {
 
+class QueryTrace;  // src/obs/trace.h
+
 /// One discovery request: the query table, the composite key, and the
 /// engine options. Validated by Session before any work happens.
 struct QuerySpec {
@@ -92,6 +94,15 @@ struct QuerySpec {
   /// Evaluation shards; 0 derives one per resolved worker. Explicit values
   /// are honored even at width 1 (shards then run sequentially).
   size_t intra_query_shards = 0;
+
+  /// Optional span recorder (src/obs/trace.h): when set, Discover records
+  /// its pipeline phases (validate -> readiness wait -> cache lookup ->
+  /// execute [prepare / per-shard fetch / rule-1 prune / materialize /
+  /// row loop / merge]) into it, rooted under the trace's attach parent.
+  /// Null — the default — keeps every instrumentation site a single
+  /// pointer check. Must outlive the call; execution-only like the knobs
+  /// above, so it never enters the cache fingerprint.
+  QueryTrace* trace = nullptr;
 };
 
 struct SessionOptions {

@@ -1,0 +1,236 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace mate {
+
+namespace {
+
+// Round-robin stripe assignment: each thread picks a stripe once and keeps
+// it, so a fixed pool of workers spreads evenly instead of hashing thread
+// ids into collisions.
+size_t ThreadStripe() {
+  static std::atomic<size_t> next{0};
+  static thread_local size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return stripe;
+}
+
+// Shortest-form decimal for exposition values ("0.0001", "2", "1e+06").
+std::string FormatNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Counter::Increment(uint64_t delta) {
+  cells_[ThreadStripe() % kStripes].v.fetch_add(delta,
+                                                std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Cell& cell : cells_) {
+    total += cell.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Record(uint64_t value) {
+  Cell& cell = cells_[ThreadStripe() % kStripes];
+  std::lock_guard<std::mutex> lock(cell.mu);
+  cell.h.Record(value);
+}
+
+LatencyHistogram Histogram::Snapshot() const {
+  LatencyHistogram merged;
+  for (const Cell& cell : cells_) {
+    std::lock_guard<std::mutex> lock(cell.mu);
+    merged.Merge(cell.h);
+  }
+  return merged;
+}
+
+const std::vector<uint64_t>& MetricsRegistry::DefaultLatencyBucketsUs() {
+  static const std::vector<uint64_t> kBuckets = {
+      100, 1000, 10000, 100000, 1000000, 10000000};
+  return kBuckets;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Series* MetricsRegistry::FindOrCreateSeries(
+    std::string_view name, std::string_view help, MetricType type,
+    MetricLabels* labels) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Family family;
+    family.type = type;
+    family.help = std::string(help);
+    it = families_.emplace(std::string(name), std::move(family)).first;
+  } else if (it->second.type != type) {
+    return nullptr;
+  }
+  for (Series& series : it->second.series) {
+    if (series.labels == *labels) return &series;
+  }
+  it->second.series.emplace_back();
+  Series& series = it->second.series.back();
+  series.labels = std::move(*labels);
+  return &series;
+}
+
+Counter* MetricsRegistry::RegisterCounter(std::string_view name,
+                                          std::string_view help,
+                                          MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series* series =
+      FindOrCreateSeries(name, help, MetricType::kCounter, &labels);
+  if (series == nullptr) return nullptr;
+  if (series->counter == nullptr) series->counter.reset(new Counter());
+  return series->counter.get();
+}
+
+Gauge* MetricsRegistry::RegisterGauge(std::string_view name,
+                                      std::string_view help,
+                                      MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series* series = FindOrCreateSeries(name, help, MetricType::kGauge, &labels);
+  if (series == nullptr) return nullptr;
+  if (series->gauge == nullptr) series->gauge.reset(new Gauge());
+  return series->gauge.get();
+}
+
+Histogram* MetricsRegistry::RegisterHistogram(std::string_view name,
+                                              std::string_view help,
+                                              double scale,
+                                              std::vector<uint64_t> buckets,
+                                              MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  const bool fresh = it == families_.end();
+  Series* series =
+      FindOrCreateSeries(name, help, MetricType::kHistogram, &labels);
+  if (series == nullptr) return nullptr;
+  if (fresh) {
+    Family& family = families_.find(name)->second;
+    family.scale = scale;
+    family.buckets =
+        buckets.empty() ? DefaultLatencyBucketsUs() : std::move(buckets);
+  }
+  if (series->histogram == nullptr) series->histogram.reset(new Histogram());
+  return series->histogram.get();
+}
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// `{k1="v1",k2="v2"}`, or "" for an unlabeled series. `extra` appends one
+// more pair (the histogram `le` bound).
+std::string RenderLabels(const MetricLabels& labels,
+                         const std::pair<std::string, std::string>* extra) {
+  if (labels.empty() && extra == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key;
+    out += "=\"";
+    out += EscapeLabelValue(value);
+    out += "\"";
+  }
+  if (extra != nullptr) {
+    if (!first) out += ",";
+    out += extra->first;
+    out += "=\"";
+    out += extra->second;
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) {
+      os << "# HELP " << name << " " << family.help << "\n";
+    }
+    os << "# TYPE " << name << " ";
+    switch (family.type) {
+      case MetricType::kCounter:
+        os << "counter\n";
+        break;
+      case MetricType::kGauge:
+        os << "gauge\n";
+        break;
+      case MetricType::kHistogram:
+        os << "histogram\n";
+        break;
+    }
+    for (const Series& series : family.series) {
+      switch (family.type) {
+        case MetricType::kCounter:
+          os << name << RenderLabels(series.labels, nullptr) << " "
+             << series.counter->Value() << "\n";
+          break;
+        case MetricType::kGauge:
+          os << name << RenderLabels(series.labels, nullptr) << " "
+             << series.gauge->Value() << "\n";
+          break;
+        case MetricType::kHistogram: {
+          const LatencyHistogram snapshot = series.histogram->Snapshot();
+          for (uint64_t bound : family.buckets) {
+            const std::pair<std::string, std::string> le = {
+                "le",
+                FormatNumber(static_cast<double>(bound) * family.scale)};
+            os << name << "_bucket" << RenderLabels(series.labels, &le) << " "
+               << snapshot.CountAtOrBelow(bound) << "\n";
+          }
+          const std::pair<std::string, std::string> inf = {"le", "+Inf"};
+          os << name << "_bucket" << RenderLabels(series.labels, &inf) << " "
+             << snapshot.count() << "\n";
+          os << name << "_sum" << RenderLabels(series.labels, nullptr) << " "
+             << FormatNumber(snapshot.Sum() * family.scale) << "\n";
+          os << name << "_count" << RenderLabels(series.labels, nullptr)
+             << " " << snapshot.count() << "\n";
+          break;
+        }
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mate

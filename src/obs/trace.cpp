@@ -1,0 +1,178 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace mate {
+
+namespace {
+
+uint64_t NextTraceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+QueryTrace::QueryTrace(std::string_view name)
+    : name_(name),
+      trace_id_(NextTraceId()),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+uint64_t QueryTrace::NowUs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+uint32_t QueryTrace::BeginSpan(std::string_view span_name, uint32_t parent,
+                               uint64_t tid) {
+  const uint64_t now = NowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSpan span;
+  span.id = static_cast<uint32_t>(spans_.size());
+  span.parent = parent;
+  span.name = std::string(span_name);
+  span.start_us = now;
+  span.tid = tid;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void QueryTrace::EndSpan(uint32_t id) { EndSpan(id, std::string()); }
+
+void QueryTrace::EndSpan(uint32_t id, std::string args_json) {
+  const uint64_t now = NowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= spans_.size()) return;
+  TraceSpan& span = spans_[id];
+  span.duration_us = now > span.start_us ? now - span.start_us : 0;
+  if (!args_json.empty()) span.args_json = std::move(args_json);
+}
+
+uint32_t QueryTrace::AddCompleteSpan(std::string_view span_name,
+                                     uint32_t parent, uint64_t start_us,
+                                     uint64_t duration_us, uint64_t tid,
+                                     std::string args_json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSpan span;
+  span.id = static_cast<uint32_t>(spans_.size());
+  span.parent = parent;
+  span.name = std::string(span_name);
+  span.start_us = start_us;
+  span.duration_us = duration_us;
+  span.tid = tid;
+  span.args_json = std::move(args_json);
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+std::vector<TraceSpan> QueryTrace::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendSpanArgs(const TraceSpan& span, std::ostringstream* os) {
+  *os << "{\"id\":" << span.id;
+  if (span.parent != QueryTrace::kNoParent) {
+    *os << ",\"parent\":" << span.parent;
+  }
+  if (!span.args_json.empty()) *os << "," << span.args_json;
+  *os << "}";
+}
+
+}  // namespace
+
+std::string QueryTrace::ToChromeTraceJson() const {
+  const std::vector<TraceSpan> spans = Spans();
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceSpan& span : spans) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << JsonEscape(span.name) << "\",\"ph\":\"X\""
+       << ",\"ts\":" << span.start_us << ",\"dur\":" << span.duration_us
+       << ",\"pid\":" << trace_id_ << ",\"tid\":" << span.tid
+       << ",\"args\":";
+    AppendSpanArgs(span, &os);
+    os << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+std::string QueryTrace::ToJsonLine(std::string_view extra_fields) const {
+  const std::vector<TraceSpan> spans = Spans();
+  std::ostringstream os;
+  os << "{\"trace_id\":" << trace_id_ << ",\"name\":\"" << JsonEscape(name_)
+     << "\"," << extra_fields << "\"spans\":[";
+  bool first = true;
+  for (const TraceSpan& span : spans) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"id\":" << span.id << ",\"parent\":"
+       << (span.parent == kNoParent ? -1 : static_cast<int64_t>(span.parent))
+       << ",\"name\":\"" << JsonEscape(span.name)
+       << "\",\"start_us\":" << span.start_us
+       << ",\"dur_us\":" << span.duration_us << ",\"tid\":" << span.tid;
+    if (!span.args_json.empty()) os << "," << span.args_json;
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::vector<uint64_t> SelfTimesUs(const std::vector<TraceSpan>& spans) {
+  std::vector<uint64_t> self(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    self[i] = spans[i].duration_us;
+  }
+  for (const TraceSpan& span : spans) {
+    if (span.parent == QueryTrace::kNoParent) continue;
+    if (span.parent >= spans.size()) continue;
+    uint64_t& parent_self = self[span.parent];
+    parent_self =
+        parent_self > span.duration_us ? parent_self - span.duration_us : 0;
+  }
+  return self;
+}
+
+}  // namespace mate

@@ -93,6 +93,20 @@ Result<ServerStatsSnapshot> MateClient::Stats() {
   return snapshot;
 }
 
+Result<std::string> MateClient::Metrics() {
+  std::string payload;
+  EncodeMetricsRequest(&payload);
+  std::string response_payload;
+  Status server_status;
+  std::string_view body;
+  MATE_RETURN_IF_ERROR(
+      RoundTrip(payload, &response_payload, &server_status, &body));
+  MATE_RETURN_IF_ERROR(server_status);
+  std::string text_page;
+  MATE_RETURN_IF_ERROR(DecodeMetricsResponseBody(body, &text_page));
+  return text_page;
+}
+
 Status MateClient::Ping() {
   std::string payload;
   EncodePingRequest(&payload);

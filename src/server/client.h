@@ -35,6 +35,9 @@ class MateClient {
   /// Fetches the server's observability snapshot.
   Result<ServerStatsSnapshot> Stats();
 
+  /// Fetches the server's Prometheus text exposition page.
+  Result<std::string> Metrics();
+
   /// Round-trips an empty PING frame.
   Status Ping();
 

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "util/coding.h"
+#include "util/stopwatch.h"
 
 namespace mate {
 
@@ -170,6 +171,10 @@ void EncodePingRequest(std::string* payload) {
   payload->push_back(static_cast<char>(ServerVerb::kPing));
 }
 
+void EncodeMetricsRequest(std::string* payload) {
+  payload->push_back(static_cast<char>(ServerVerb::kMetrics));
+}
+
 Status DecodeRequestVerb(std::string_view payload, ServerVerb* verb,
                          std::string_view* rest) {
   if (payload.empty()) {
@@ -180,6 +185,7 @@ Status DecodeRequestVerb(std::string_view payload, ServerVerb* verb,
     case static_cast<uint8_t>(ServerVerb::kQuery):
     case static_cast<uint8_t>(ServerVerb::kStats):
     case static_cast<uint8_t>(ServerVerb::kPing):
+    case static_cast<uint8_t>(ServerVerb::kMetrics):
       *verb = static_cast<ServerVerb>(raw);
       *rest = payload.substr(1);
       return Status::OK();
@@ -309,6 +315,22 @@ void EncodeStatsResponse(const ServerStatsSnapshot& snapshot,
 void EncodePingResponse(std::string* payload) {
   payload->push_back(static_cast<char>(StatusCode::kOk));
   PutLengthPrefixed(payload, "");
+}
+
+void EncodeMetricsResponse(std::string_view text_page, std::string* payload) {
+  payload->push_back(static_cast<char>(StatusCode::kOk));
+  PutLengthPrefixed(payload, "");
+  PutLengthPrefixed(payload, text_page);
+}
+
+Status DecodeMetricsResponseBody(std::string_view body,
+                                 std::string* text_page) {
+  std::string_view page;
+  if (!GetLengthPrefixed(&body, &page)) {
+    return Status::Corruption("malformed metrics page in response");
+  }
+  text_page->assign(page);
+  return Status::OK();
 }
 
 Status DecodeResponseStatus(std::string_view payload, Status* server_status,
@@ -500,7 +522,8 @@ Status ReadExactly(int fd, char* buf, size_t n, bool* eof_at_start) {
 
 }  // namespace
 
-Status ReadFrame(int fd, std::string* payload, uint32_t max_bytes) {
+Status ReadFrame(int fd, std::string* payload, uint32_t max_bytes,
+                 double* transfer_seconds) {
   char header[4];
   bool eof_at_start = false;
   Status s = ReadExactly(fd, header, sizeof(header), &eof_at_start);
@@ -508,6 +531,9 @@ Status ReadFrame(int fd, std::string* payload, uint32_t max_bytes) {
     if (eof_at_start) return Status::NotFound("connection closed");
     return s;
   }
+  // Timed from header completion: the wait for a peer to *start* a request
+  // is connection idle time, not frame transfer.
+  Stopwatch transfer_timer;
   std::string_view header_view(header, sizeof(header));
   uint32_t length = 0;
   GetFixed32(&header_view, &length);
@@ -528,6 +554,9 @@ Status ReadFrame(int fd, std::string* payload, uint32_t max_bytes) {
     s = ReadExactly(fd, payload->data() + got, step, &eof_at_start);
     if (!s.ok()) return s;
     got += step;
+  }
+  if (transfer_seconds != nullptr) {
+    *transfer_seconds = transfer_timer.ElapsedSeconds();
   }
   return Status::OK();
 }

@@ -15,6 +15,7 @@
 //                   [varint64 num_rows][lp cell ...]  (row-major, live rows)
 //   STATS request:  [u8 verb=2]
 //   PING  request:  [u8 verb=3]
+//   METRICS req.:   [u8 verb=4]
 //
 //   response:       [u8 status_code][lp status message][verb-specific body]
 //
@@ -50,6 +51,9 @@ enum class ServerVerb : uint8_t {
   kQuery = 1,
   kStats = 2,
   kPing = 3,
+  /// Prometheus text exposition page; answered inline on the connection
+  /// thread like STATS, so scrapes keep working at saturation.
+  kMetrics = 4,
 };
 
 /// Frames larger than this are rejected with a typed error and the
@@ -88,6 +92,7 @@ QuerySpec SpecFromRequest(const QueryRequest& request);
 void EncodeQueryRequest(const QueryRequest& request, std::string* payload);
 void EncodeStatsRequest(std::string* payload);
 void EncodePingRequest(std::string* payload);
+void EncodeMetricsRequest(std::string* payload);
 
 /// Reads the verb byte. InvalidArgument on an empty payload or unknown
 /// verb. `*rest` receives the payload after the verb.
@@ -180,6 +185,9 @@ void EncodeStatsResponse(const ServerStatsSnapshot& snapshot,
                          std::string* payload);
 /// Serializes an OK PING response (status byte only).
 void EncodePingResponse(std::string* payload);
+/// Serializes an OK METRICS response: the Prometheus text page, length-
+/// prefixed.
+void EncodeMetricsResponse(std::string_view text_page, std::string* payload);
 
 /// Decodes any response payload's leading status; OK responses leave the
 /// verb-specific body in `*body`. Corruption on an empty payload or an
@@ -192,6 +200,9 @@ Status DecodeQueryResponseBody(std::string_view body,
 /// Decodes an OK STATS response body.
 Status DecodeStatsResponseBody(std::string_view body,
                                ServerStatsSnapshot* snapshot);
+/// Decodes an OK METRICS response body.
+Status DecodeMetricsResponseBody(std::string_view body,
+                                 std::string* text_page);
 
 // ---- framed socket I/O -------------------------------------------------
 
@@ -205,8 +216,14 @@ Status WriteFrame(int fd, std::string_view payload);
 ///     peer hung up between requests; not an error);
 ///   * IOError / InvalidArgument — truncated frame, socket error, or a
 ///     declared length beyond `max_bytes` (stream unusable; close it).
+///
+/// When `transfer_seconds` is non-null it receives the time from header
+/// completion to the last payload byte — the frame's on-wire transfer
+/// time, excluding however long the socket sat idle waiting for the peer
+/// to start a request (the server's per-request "read_frame" span).
 Status ReadFrame(int fd, std::string* payload,
-                 uint32_t max_bytes = kMaxFrameBytes);
+                 uint32_t max_bytes = kMaxFrameBytes,
+                 double* transfer_seconds = nullptr);
 
 }  // namespace mate
 

@@ -25,7 +25,57 @@ void CloseFd(int& fd) {
 }  // namespace
 
 MateServer::MateServer(Session* session, ServerOptions options)
-    : session_(session), options_(std::move(options)) {}
+    : session_(session), options_(std::move(options)) {
+  m_queries_total_ = metrics_.RegisterCounter(
+      "mate_queries_total", "QUERY requests admitted by the server");
+  m_shed_total_ = metrics_.RegisterCounter(
+      "mate_queries_shed_total", "QUERY requests refused with kOverloaded");
+  m_completed_total_ = metrics_.RegisterCounter(
+      "mate_queries_completed_total",
+      "Queries the dispatcher executed to completion");
+  m_slow_total_ = metrics_.RegisterCounter(
+      "mate_slow_queries_total",
+      "Queries slower end-to-end than slow_query_threshold");
+  m_requests_query_ = metrics_.RegisterCounter(
+      "mate_requests_total", "Request frames decoded, by verb",
+      {{"verb", "query"}});
+  m_requests_stats_ = metrics_.RegisterCounter(
+      "mate_requests_total", "Request frames decoded, by verb",
+      {{"verb", "stats"}});
+  m_requests_ping_ = metrics_.RegisterCounter(
+      "mate_requests_total", "Request frames decoded, by verb",
+      {{"verb", "ping"}});
+  m_requests_metrics_ = metrics_.RegisterCounter(
+      "mate_requests_total", "Request frames decoded, by verb",
+      {{"verb", "metrics"}});
+  m_queue_depth_ = metrics_.RegisterGauge(
+      "mate_queue_depth", "Pending entries in the admission queue");
+  m_queue_capacity_ = metrics_.RegisterGauge(
+      "mate_queue_capacity", "Admission queue bound (max_queue_depth)");
+  m_connections_ = metrics_.RegisterGauge("mate_connections_active",
+                                          "Live client connections");
+  m_draining_ = metrics_.RegisterGauge(
+      "mate_draining", "1 while Stop() drains admitted queries");
+  m_cache_hits_ = metrics_.RegisterGauge(
+      "mate_result_cache_hits", "Result-cache hits across all partitions");
+  m_cache_misses_ = metrics_.RegisterGauge(
+      "mate_result_cache_misses",
+      "Result-cache misses across all partitions");
+  m_corpus_resident_bytes_ = metrics_.RegisterGauge(
+      "mate_corpus_resident_bytes", "Corpus extent bytes resident");
+  m_corpus_budget_bytes_ = metrics_.RegisterGauge(
+      "mate_corpus_budget_bytes",
+      "Corpus residency budget (0 = unlimited)");
+  m_corpus_evictions_ = metrics_.RegisterGauge(
+      "mate_corpus_evictions", "Tables evicted by the residency budget");
+  m_tables_resident_ = metrics_.RegisterGauge(
+      "mate_tables_resident", "Tables partially or fully resident");
+  m_latency_seconds_ = metrics_.RegisterHistogram(
+      "mate_query_latency_seconds",
+      "Served query latency (admission to completion)", 1e-6);
+  m_queue_capacity_->Set(
+      static_cast<int64_t>(options_.max_queue_depth));
+}
 
 MateServer::~MateServer() { Stop(); }
 
@@ -74,6 +124,19 @@ Status MateServer::Start() {
                                std::string(std::strerror(errno)));
     CloseFd(listen_fd_);
     return s;
+  }
+
+  if (options_.slow_query_threshold.count() > 0 &&
+      !options_.slow_query_log_path.empty()) {
+    slow_log_file_.open(options_.slow_query_log_path,
+                        std::ios::out | std::ios::app);
+    if (!slow_log_file_.is_open()) {
+      CloseFd(listen_fd_);
+      CloseFd(wake_pipe_[0]);
+      CloseFd(wake_pipe_[1]);
+      return Status::IOError("cannot open slow-query log " +
+                             options_.slow_query_log_path);
+    }
   }
 
   accept_thread_ = std::thread([this] { AcceptLoop(); });
@@ -195,7 +258,8 @@ void MateServer::AcceptLoop() {
 void MateServer::ServeConnection(uint64_t id, int fd) {
   std::string payload;
   while (true) {
-    Status s = ReadFrame(fd, &payload);
+    double read_seconds = 0.0;
+    Status s = ReadFrame(fd, &payload, kMaxFrameBytes, &read_seconds);
     if (s.IsNotFound()) break;  // clean EOF between frames
     if (s.IsInvalidArgument()) {
       // Oversized declared length: answer once, then close — the stream
@@ -220,17 +284,26 @@ void MateServer::ServeConnection(uint64_t id, int fd) {
     }
     switch (verb) {
       case ServerVerb::kQuery:
-        HandleQuery(fd, body);
+        m_requests_query_->Increment();
+        HandleQuery(fd, body, read_seconds);
         break;
       case ServerVerb::kStats:
+        m_requests_stats_->Increment();
         HandleStats(fd);
         break;
       case ServerVerb::kPing: {
+        m_requests_ping_->Increment();
         std::string response;
         EncodePingResponse(&response);
         (void)WriteFrame(fd, response);
         break;
       }
+      case ServerVerb::kMetrics:
+        // Inline on the connection thread, like STATS: scrapes must keep
+        // answering while the admission queue is saturated.
+        m_requests_metrics_->Increment();
+        HandleMetrics(fd);
+        break;
     }
   }
   // A response-write failure surfaces as a read failure on the next
@@ -252,17 +325,36 @@ void MateServer::ServeConnection(uint64_t id, int fd) {
   connections_cv_.notify_all();
 }
 
-void MateServer::HandleQuery(int fd, std::string_view body) {
+void MateServer::HandleQuery(int fd, std::string_view body,
+                             double read_seconds) {
+  // Per-request tracing is armed by the slow-query threshold: every query
+  // records its server-side phases, and only the ones that end up slow pay
+  // for serialization. Threshold 0 = the null-sink path.
+  std::unique_ptr<QueryTrace> trace;
+  uint32_t root = QueryTrace::kNoParent;
+  if (options_.slow_query_threshold.count() > 0) {
+    trace = std::make_unique<QueryTrace>("request");
+    root = trace->BeginSpan("request");
+    // The frame's transfer time predates the trace; reconstruct it at the
+    // epoch.
+    trace->AddCompleteSpan("read_frame", root, 0,
+                           static_cast<uint64_t>(read_seconds * 1e6));
+  }
   std::string response;
   QueryRequest request;
-  Status s = DecodeQueryRequest(body, &request);
+  Status s;
+  {
+    ScopedSpan decode_span(trace.get(), "decode", root);
+    s = DecodeQueryRequest(body, &request);
+  }
   if (!s.ok()) {
     EncodeErrorResponse(s, &response);
     (void)WriteFrame(fd, response);
     return;
   }
+  const std::string tenant = request.tenant;
   std::future<Result<DiscoveryResult>> future;
-  s = Admit(std::move(request), &future);
+  s = Admit(std::move(request), &future, trace.get(), root);
   if (!s.ok()) {
     EncodeErrorResponse(s, &response);
     (void)WriteFrame(fd, response);
@@ -274,7 +366,14 @@ void MateServer::HandleQuery(int fd, std::string_view body) {
   } else {
     EncodeQueryResponse(session_->corpus(), result.value(), &response);
   }
-  (void)WriteFrame(fd, response);
+  {
+    ScopedSpan write_span(trace.get(), "write_frame", root);
+    (void)WriteFrame(fd, response);
+  }
+  if (trace != nullptr) {
+    trace->EndSpan(root);
+    MaybeLogSlowQuery(*trace, root, tenant, result.status());
+  }
 }
 
 void MateServer::HandleStats(int fd) {
@@ -283,32 +382,101 @@ void MateServer::HandleStats(int fd) {
   (void)WriteFrame(fd, response);
 }
 
+void MateServer::HandleMetrics(int fd) {
+  std::string response;
+  EncodeMetricsResponse(RenderMetricsText(), &response);
+  (void)WriteFrame(fd, response);
+}
+
+std::string MateServer::RenderMetricsText() {
+  // Counters are maintained at their event sites; gauges are levels and
+  // refresh here, from the same snapshot STATS serves.
+  const ServerStatsSnapshot snapshot = stats();
+  m_queue_depth_->Set(static_cast<int64_t>(snapshot.queue_depth));
+  m_connections_->Set(static_cast<int64_t>(snapshot.active_connections));
+  m_draining_->Set(snapshot.draining ? 1 : 0);
+  m_cache_hits_->Set(static_cast<int64_t>(snapshot.cache_hits));
+  m_cache_misses_->Set(static_cast<int64_t>(snapshot.cache_misses));
+  m_corpus_resident_bytes_->Set(
+      static_cast<int64_t>(snapshot.corpus_resident_bytes));
+  m_corpus_budget_bytes_->Set(
+      static_cast<int64_t>(snapshot.corpus_budget_bytes));
+  m_corpus_evictions_->Set(static_cast<int64_t>(snapshot.corpus_evictions));
+  m_tables_resident_->Set(static_cast<int64_t>(snapshot.tables_resident));
+  return metrics_.RenderPrometheusText();
+}
+
+void MateServer::MaybeLogSlowQuery(const QueryTrace& trace,
+                                   uint32_t root_span,
+                                   const std::string& tenant,
+                                   const Status& status) {
+  const std::vector<TraceSpan> spans = trace.Spans();
+  if (root_span >= spans.size()) return;
+  const uint64_t wall_us = spans[root_span].duration_us;
+  const uint64_t threshold_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          options_.slow_query_threshold)
+          .count());
+  if (wall_us <= threshold_us) return;
+  m_slow_total_->Increment();
+  std::string extra = "\"tenant\":\"" + JsonEscape(tenant) +
+                      "\",\"status\":\"" +
+                      JsonEscape(status.ok() ? "ok" : status.message()) +
+                      "\",\"wall_us\":" + std::to_string(wall_us) + ",";
+  const std::string line = trace.ToJsonLine(extra);
+  std::lock_guard<std::mutex> lock(slow_log_mu_);
+  if (slow_log_file_.is_open()) {
+    slow_log_file_ << line << "\n";
+    slow_log_file_.flush();
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
 Status MateServer::Admit(QueryRequest request,
-                         std::future<Result<DiscoveryResult>>* future) {
+                         std::future<Result<DiscoveryResult>>* future,
+                         QueryTrace* trace, uint32_t root_span) {
   bool configure_partition = false;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     TenantCounters& tenant = tenants_[request.tenant];
     ++tenant.requests;
+    if (tenant.requests_metric == nullptr) {
+      // First contact: mint the tenant's labeled counter series. Lock order
+      // here is queue_mu_ -> registry mutex; the registry never calls back
+      // out, so this nesting cannot invert.
+      tenant.requests_metric = metrics_.RegisterCounter(
+          "mate_tenant_requests_total",
+          "QUERY frames received, by tenant.", {{"tenant", request.tenant}});
+    }
+    tenant.requests_metric->Increment();
     if (draining_) {
       ++shed_;
       ++tenant.shed;
+      m_shed_total_->Increment();
       return Status::Overloaded("server is draining");
     }
     if (queue_.size() >= options_.max_queue_depth) {
       ++shed_;
       ++tenant.shed;
+      m_shed_total_->Increment();
       return Status::Overloaded(
           "admission queue full (" +
           std::to_string(options_.max_queue_depth) + " pending)");
     }
     ++admitted_;
+    m_queries_total_->Increment();
     configure_partition =
         tenant.admitted == 0 && options_.tenant_cache_bytes > 0;
     ++tenant.admitted;
     auto pending = std::make_unique<PendingQuery>();
     pending->request = std::move(request);
     pending->enqueue_time = std::chrono::steady_clock::now();
+    if (trace != nullptr) {
+      pending->trace = trace;
+      pending->root_span = root_span;
+      pending->queue_wait_span = trace->BeginSpan("queue_wait", root_span);
+    }
     *future = pending->promise.get_future();
     if (configure_partition) {
       // First admitted query of this tenant: give its cache partition the
@@ -318,6 +486,7 @@ Status MateServer::Admit(QueryRequest request,
                                         options_.tenant_cache_bytes);
     }
     queue_.push_back(std::move(pending));
+    m_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
   }
   queue_cv_.notify_one();
   return Status::OK();
@@ -336,12 +505,27 @@ void MateServer::DispatchLoop() {
       }
       pending = std::move(queue_.front());
       queue_.pop_front();
+      m_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
     }
     if (options_.dispatch_delay_for_test.count() > 0) {
       std::this_thread::sleep_for(options_.dispatch_delay_for_test);
     }
+    uint32_t dispatch_span = QueryTrace::kNoParent;
+    if (pending->trace != nullptr) {
+      pending->trace->EndSpan(pending->queue_wait_span);
+      dispatch_span =
+          pending->trace->BeginSpan("dispatch", pending->root_span);
+      // Discover roots its own span tree under whatever attach_parent says;
+      // point it at the dispatch span so the query pipeline's phases nest
+      // inside this request.
+      pending->trace->SetAttachParent(dispatch_span);
+    }
     QuerySpec spec = SpecFromRequest(pending->request);
+    spec.trace = pending->trace;
     Result<DiscoveryResult> result = session_->Discover(spec);
+    if (pending->trace != nullptr) {
+      pending->trace->EndSpan(dispatch_span);
+    }
     const auto now = std::chrono::steady_clock::now();
     const uint64_t waited_us =
         static_cast<uint64_t>(std::chrono::duration_cast<
@@ -356,6 +540,8 @@ void MateServer::DispatchLoop() {
         total_query_seconds_ += result.value().stats.runtime_seconds;
       }
     }
+    m_completed_total_->Increment();
+    m_latency_seconds_->Record(waited_us);
     pending->promise.set_value(std::move(result));
   }
 }

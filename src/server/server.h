@@ -37,6 +37,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <fstream>
 #include <future>
 #include <map>
 #include <memory>
@@ -46,6 +47,8 @@
 #include <vector>
 
 #include "core/session.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/protocol.h"
 #include "util/latency_histogram.h"
 #include "util/status.h"
@@ -80,6 +83,18 @@ struct ServerOptions {
   /// Test hook: the dispatcher sleeps this long before each query, making
   /// queue-full sheds deterministic under small max_queue_depth.
   std::chrono::milliseconds dispatch_delay_for_test{0};
+
+  /// Slow-query tracing. When non-zero, every QUERY request carries a
+  /// QueryTrace through its whole lifetime (read frame -> decode -> queue
+  /// wait -> dispatch [the Discover pipeline's spans join here] -> write
+  /// frame); requests whose end-to-end wall time exceeds this threshold
+  /// dump that span tree as one JSONL line. 0 (the default) disables
+  /// per-request tracing entirely — queries run on the null-sink path.
+  std::chrono::milliseconds slow_query_threshold{0};
+
+  /// Where slow-query JSONL lines go (appended, one object per line).
+  /// Empty -> stderr.
+  std::string slow_query_log_path;
 };
 
 class MateServer {
@@ -109,6 +124,13 @@ class MateServer {
   /// A consistent observability snapshot (same data the STATS verb serves).
   ServerStatsSnapshot stats() const;
 
+  /// The Prometheus text page the METRICS verb serves: hot-path counters
+  /// (queries admitted/shed/completed, per-verb request counts, latency
+  /// histogram) plus point-in-time gauges (queue depth, connections, cache
+  /// and residency figures) refreshed from the session at render time. The
+  /// registry is per-server, so the page covers this server's lifetime.
+  std::string RenderMetricsText();
+
   /// Test-only: live connection records still registered. Exited
   /// connections deregister themselves, so this must fall back to 0 after
   /// clients hang up — the registry does not grow with connection churn.
@@ -121,12 +143,22 @@ class MateServer {
     /// Admission time; served latency = completion − admission, so queue
     /// wait is part of every measured latency.
     std::chrono::steady_clock::time_point enqueue_time;
+    /// Slow-query tracing handoff: the connection thread owns the trace
+    /// and parks on the promise while the dispatcher records into it —
+    /// the future's happens-before edges sequence all access.
+    QueryTrace* trace = nullptr;
+    uint32_t root_span = QueryTrace::kNoParent;
+    uint32_t queue_wait_span = QueryTrace::kNoParent;
   };
 
   struct TenantCounters {
     uint64_t requests = 0;
     uint64_t admitted = 0;
     uint64_t shed = 0;
+    /// The tenant's mate_tenant_requests_total series, registered on first
+    /// contact (the tenant string is a label — escaping is the renderer's
+    /// job).
+    Counter* requests_metric = nullptr;
   };
 
   void AcceptLoop();
@@ -141,10 +173,18 @@ class MateServer {
   /// Admission control: enqueues under the queue bound, or returns
   /// kOverloaded. On success the returned future yields the query result.
   Status Admit(QueryRequest request,
-               std::future<Result<DiscoveryResult>>* future);
+               std::future<Result<DiscoveryResult>>* future,
+               QueryTrace* trace, uint32_t root_span);
 
-  void HandleQuery(int fd, std::string_view body);
+  void HandleQuery(int fd, std::string_view body, double read_seconds);
   void HandleStats(int fd);
+  void HandleMetrics(int fd);
+
+  /// End of a traced request: bumps the slow counter and writes the span
+  /// tree as one JSONL line when the root span's wall time exceeds
+  /// slow_query_threshold.
+  void MaybeLogSlowQuery(const QueryTrace& trace, uint32_t root_span,
+                         const std::string& tenant, const Status& status);
 
   Session* const session_;
   const ServerOptions options_;
@@ -190,6 +230,35 @@ class MateServer {
   uint64_t cache_misses_ = 0;
   LatencyHistogram latency_us_;
   std::map<std::string, TenantCounters> tenants_;
+
+  // Metrics cells (owned by metrics_; registered in the constructor, so
+  // hot paths never look anything up). Counters/histogram are bumped at
+  // the same points as the queue_mu_-guarded figures above; gauges refresh
+  // from stats() at render time.
+  MetricsRegistry metrics_;
+  Counter* m_queries_total_ = nullptr;
+  Counter* m_shed_total_ = nullptr;
+  Counter* m_completed_total_ = nullptr;
+  Counter* m_slow_total_ = nullptr;
+  Counter* m_requests_query_ = nullptr;
+  Counter* m_requests_stats_ = nullptr;
+  Counter* m_requests_ping_ = nullptr;
+  Counter* m_requests_metrics_ = nullptr;
+  Gauge* m_queue_depth_ = nullptr;
+  Gauge* m_queue_capacity_ = nullptr;
+  Gauge* m_connections_ = nullptr;
+  Gauge* m_draining_ = nullptr;
+  Gauge* m_cache_hits_ = nullptr;
+  Gauge* m_cache_misses_ = nullptr;
+  Gauge* m_corpus_resident_bytes_ = nullptr;
+  Gauge* m_corpus_budget_bytes_ = nullptr;
+  Gauge* m_corpus_evictions_ = nullptr;
+  Gauge* m_tables_resident_ = nullptr;
+  Histogram* m_latency_seconds_ = nullptr;
+
+  // Slow-query log sink (append; stderr when no path is configured).
+  std::mutex slow_log_mu_;
+  std::ofstream slow_log_file_;
 };
 
 }  // namespace mate

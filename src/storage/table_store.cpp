@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "util/coding.h"
+#include "util/stopwatch.h"
 
 namespace mate {
 
@@ -244,7 +245,11 @@ struct TableStore::Impl {
     Slot& slot = slots[t];
     if (slot.state.load(std::memory_order_acquire) != 2) {
       std::lock_guard<std::mutex> lock(slot.mu);
+      Stopwatch parse_timer;
       MaterializeLocked(t, slot, nullptr, outcome);
+      if (outcome != nullptr) {
+        outcome->parse_seconds += parse_timer.ElapsedSeconds();
+      }
     }
     Touch(slot);
   }
@@ -255,7 +260,11 @@ struct TableStore::Impl {
     Slot& slot = slots[t];
     if (slot.state.load(std::memory_order_acquire) != 2) {
       std::lock_guard<std::mutex> lock(slot.mu);
+      Stopwatch parse_timer;
       MaterializeLocked(t, slot, &columns, outcome);
+      if (outcome != nullptr) {
+        outcome->parse_seconds += parse_timer.ElapsedSeconds();
+      }
     }
     Touch(slot);
   }

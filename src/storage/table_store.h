@@ -89,6 +89,11 @@ struct TableShape {
 struct MaterializeOutcome {
   uint64_t bytes_parsed = 0;
   bool rematerialized = false;
+  /// Wall time this call spent inside the cell parsers (0.0 on a residency
+  /// hit or when the call waited on another thread's parse — waiting shows
+  /// up in bytes_parsed == 0 too). Query tracing splits "materialize" span
+  /// time into parse work vs. latch waits with this.
+  double parse_seconds = 0.0;
 };
 
 /// Residency gauges + cumulative counters for the memory-governance layer

@@ -74,6 +74,14 @@ uint64_t LatencyHistogram::Percentile(double p) const {
   return max_;  // unreachable: seen == count_ after the loop
 }
 
+uint64_t LatencyHistogram::CountAtOrBelow(uint64_t value) const {
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets && BucketUpperBound(i) <= value; ++i) {
+    seen += counts_[i];
+  }
+  return seen;
+}
+
 double LatencyHistogram::Mean() const {
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }

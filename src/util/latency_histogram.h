@@ -47,12 +47,21 @@ class LatencyHistogram {
   /// clamped to [0, 1].
   uint64_t Percentile(double p) const;
 
+  /// Cumulative count of samples whose *bucket* upper bound is <= `value`
+  /// — the Prometheus `le` bucket count for this histogram's layout. Exact
+  /// below kUnitBuckets; above, a sample within 1/kSubBucketsPerOctave of
+  /// `value` may be attributed to the next boundary up (the same bounded
+  /// skew Percentile() carries).
+  uint64_t CountAtOrBelow(uint64_t value) const;
+
   uint64_t count() const { return count_; }
   /// Smallest / largest raw value recorded (0 when empty).
   uint64_t min() const { return count_ == 0 ? 0 : min_; }
   uint64_t max() const { return max_; }
   /// Exact mean of the raw values (0.0 when empty).
   double Mean() const;
+  /// Exact sum of the raw values (0.0 when empty).
+  double Sum() const { return sum_; }
 
   /// "count=N min=A p50=B p90=C p99=D p99.9=E max=F" — the serving stats
   /// line. Values are rendered as plain integers in the recorded unit.

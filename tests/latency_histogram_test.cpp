@@ -127,5 +127,41 @@ TEST(LatencyHistogramTest, ToStringCarriesTheServingStatsShape) {
   EXPECT_NE(s.find("max=5"), std::string::npos);
 }
 
+TEST(LatencyHistogramTest, CountAtOrBelowIsTheCumulativeBucketCount) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.CountAtOrBelow(0), 0u);
+  EXPECT_EQ(h.CountAtOrBelow(1u << 30), 0u);
+  for (uint64_t v : {0, 1, 5, 31, 100}) h.Record(v);
+  // Values < 32 live in exact buckets, so their thresholds are sharp.
+  EXPECT_EQ(h.CountAtOrBelow(0), 1u);
+  EXPECT_EQ(h.CountAtOrBelow(1), 2u);
+  EXPECT_EQ(h.CountAtOrBelow(4), 2u);
+  EXPECT_EQ(h.CountAtOrBelow(5), 3u);
+  EXPECT_EQ(h.CountAtOrBelow(31), 4u);
+  // 100's bucket upper bound is >= 100 and at most 1/16 above it.
+  EXPECT_EQ(h.CountAtOrBelow(99), 4u);
+  EXPECT_EQ(h.CountAtOrBelow(110), 5u);
+  // Monotone, and the top threshold covers everything.
+  uint64_t prev = 0;
+  for (uint64_t t = 0; t < 256; ++t) {
+    const uint64_t c = h.CountAtOrBelow(t);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_EQ(h.CountAtOrBelow(std::numeric_limits<uint64_t>::max()),
+            h.count());
+}
+
+TEST(LatencyHistogramTest, SumIsExactAndMerges) {
+  LatencyHistogram a;
+  EXPECT_DOUBLE_EQ(a.Sum(), 0.0);
+  for (uint64_t v : {0, 1, 5, 31, 100, 1000000}) a.Record(v);
+  EXPECT_DOUBLE_EQ(a.Sum(), 1000137.0);
+  LatencyHistogram b;
+  b.Record(63);
+  b.Merge(a);
+  EXPECT_DOUBLE_EQ(b.Sum(), 1000200.0);
+}
+
 }  // namespace
 }  // namespace mate

@@ -14,6 +14,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -535,6 +537,117 @@ TEST(ServerTest, StopDrainsAdmittedInFlightQueries) {
     auto response = late->Query(MakeQueryRequest(query, {0, 1}, 5, "t"));
     EXPECT_TRUE(!response.ok() || response->status.IsOverloaded());
   }
+}
+
+// ---- METRICS verb + slow-query log -----------------------------------
+
+TEST(ServerTest, MetricsVerbServesPrometheusPageMatchingAdmissions) {
+  Session session = OpenLakeSession();
+  MateServer server(&session, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  const Table query = MakeQuery();
+  auto client = MateClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 3; ++i) {
+    auto response = client->Query(MakeQueryRequest(query, {0, 1}, 5, "t"));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_TRUE(response->status.ok()) << response->status.ToString();
+  }
+
+  auto page = client->Metrics();
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  for (const char* series :
+       {"# TYPE mate_queries_total counter", "mate_queries_total 3",
+        "# TYPE mate_queue_depth gauge",
+        "# TYPE mate_query_latency_seconds histogram",
+        "mate_query_latency_seconds_count 3",
+        "mate_queries_completed_total 3",
+        "mate_tenant_requests_total{tenant=\"t\"} 3",
+        "mate_requests_total{verb=\"query\"} 3"}) {
+    EXPECT_NE(page->find(series), std::string::npos)
+        << "missing from page:\n" << series << "\npage:\n" << *page;
+  }
+  // Every line is either a comment or `name{labels} value`.
+  size_t start = 0;
+  while (start < page->size()) {
+    size_t end = page->find('\n', start);
+    ASSERT_NE(end, std::string::npos) << "page must end with a newline";
+    const std::string line = page->substr(start, end - start);
+    if (!line.empty() && line[0] != '#') {
+      EXPECT_NE(line.find(' '), std::string::npos) << line;
+    }
+    start = end + 1;
+  }
+  server.Stop();
+}
+
+TEST(ServerTest, SlowQueriesDumpTheirSpanTreeAsJsonl) {
+  Session session = OpenLakeSession();
+  ServerOptions options;
+  // Every query is "slow": the dispatcher sleeps 20ms against a 1ms
+  // threshold, so the log line is deterministic.
+  options.dispatch_delay_for_test = std::chrono::milliseconds(20);
+  options.slow_query_threshold = std::chrono::milliseconds(1);
+  const std::string log_path =
+      testing::TempDir() + "/mate_slow_query_test.jsonl";
+  std::remove(log_path.c_str());
+  options.slow_query_log_path = log_path;
+  MateServer server(&session, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const Table query = MakeQuery();
+  const DiscoveryResult expected = DirectDiscover(query, {0, 1});
+  auto client = MateClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  auto response = client->Query(MakeQueryRequest(query, {0, 1}, 5, "acme"));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->status.ok()) << response->status.ToString();
+  ExpectServedMatches(response->results, expected);
+  server.Stop();
+
+  std::ifstream log(log_path);
+  ASSERT_TRUE(log.is_open()) << log_path;
+  std::string line;
+  ASSERT_TRUE(std::getline(log, line)) << "expected one slow-query record";
+  for (const char* needle :
+       {"\"tenant\":\"acme\"", "\"status\":\"ok\"", "\"wall_us\":",
+        "\"name\":\"request\"", "\"name\":\"queue_wait\"",
+        "\"name\":\"dispatch\"", "\"name\":\"discover\"",
+        "\"name\":\"write_frame\""}) {
+    EXPECT_NE(line.find(needle), std::string::npos)
+        << "missing " << needle << " in: " << line;
+  }
+  EXPECT_FALSE(std::getline(log, line)) << "exactly one record expected";
+
+  auto page_client = MateClient::Connect("127.0.0.1", server.port());
+  EXPECT_FALSE(page_client.ok()) << "server is stopped";
+}
+
+TEST(ServerTest, FastQueriesUnderThresholdAreNotLogged) {
+  Session session = OpenLakeSession();
+  ServerOptions options;
+  options.slow_query_threshold = std::chrono::seconds(30);
+  const std::string log_path =
+      testing::TempDir() + "/mate_slow_query_quiet_test.jsonl";
+  std::remove(log_path.c_str());
+  options.slow_query_log_path = log_path;
+  MateServer server(&session, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const Table query = MakeQuery();
+  auto client = MateClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  auto response = client->Query(MakeQueryRequest(query, {0, 1}, 5, "t"));
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response->status.ok());
+  server.Stop();
+
+  std::ifstream log(log_path);
+  ASSERT_TRUE(log.is_open()) << "log file is created when armed";
+  std::string line;
+  EXPECT_FALSE(std::getline(log, line))
+      << "no query crossed the threshold, log must be empty: " << line;
 }
 
 }  // namespace

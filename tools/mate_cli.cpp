@@ -61,7 +61,9 @@
 // atomically via rename, after a round-trip equality check against the
 // original — or to --out.
 
+#include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -70,6 +72,7 @@
 #include "core/session.h"
 #include "core/similarity.h"
 #include "core/union_search.h"
+#include "obs/trace.h"
 #include "server/client.h"
 #include "hash/xash.h"
 #include "storage/corpus_io.h"
@@ -87,7 +90,7 @@ int Usage() {
       " [--hash Xash] [--bits 128] [--threads N]\n"
       "  mate_cli search --corpus F --index F --query Q.csv --key a,b [--k N]"
       " [--threads N] [--intra-threads N | --auto-parallel] [--eager]"
-      " [--eager-corpus]\n"
+      " [--eager-corpus] [--trace PATH]\n"
       "  mate_cli search --corpus F --index F --batch DIR --key a,b [--k N]"
       " [--threads N] [--cache-mb N] [--no-cache]"
       " [--intra-threads N | --auto-parallel] [--eager] [--eager-corpus]"
@@ -99,7 +102,7 @@ int Usage() {
       "  mate_cli convert-corpus --corpus F [--out G]\n"
       "  mate_cli client --port N [--host 127.0.0.1]"
       " [--query Q.csv --key a,b | --batch DIR --key a,b] [--k N]"
-      " [--tenant T] [--stats] [--ping]\n";
+      " [--tenant T] [--stats] [--ping] [--metrics]\n";
   return 2;
 }
 
@@ -107,7 +110,7 @@ int Usage() {
 bool IsBooleanFlag(std::string_view name) {
   return name == "no-cache" || name == "auto-parallel" || name == "eager" ||
          name == "eager-corpus" || name == "verify-stats" ||
-         name == "stats" || name == "ping";
+         name == "stats" || name == "ping" || name == "metrics";
 }
 
 // --flag value parsing into a map; returns false on malformed input.
@@ -383,6 +386,45 @@ int CmdSearch(const std::map<std::string, std::string>& flags) {
     return Fail(Status::NotFound("no query resolves key <" + key_spec + ">"));
   }
 
+  // --trace PATH: run the (single) query with phase tracing armed, dump the
+  // span tree as Chrome trace-event JSON, and print the top spans by self
+  // time — the quick "where did the time go" view without opening the file.
+  const std::string trace_path = FlagOr(flags, "trace", "");
+  if (!trace_path.empty()) {
+    if (specs.size() != 1 || query_path.empty()) {
+      return Fail(Status::InvalidArgument(
+          "--trace requires single-query mode (--query, not --batch)"));
+    }
+    QueryTrace trace("search");
+    specs[0].trace = &trace;
+    auto result = session->Discover(specs[0]);
+    if (!result.ok()) return Fail(result.status());
+    std::cout << "[" << specs[0].table->name() << "] top-" << options.k
+              << " joinable tables on key <" << key_spec << ">:\n";
+    PrintTopK(session->corpus(), *specs[0].table, specs[0].key_columns,
+              result.value());
+    std::cout << "  stats: " << result.value().stats.ToString() << "\n";
+    std::ofstream out(trace_path, std::ios::trunc);
+    out << trace.ToChromeTraceJson() << "\n";
+    if (!out) return Fail(Status::IOError("cannot write " + trace_path));
+    const std::vector<TraceSpan> spans = trace.Spans();
+    std::vector<uint64_t> self_us = SelfTimesUs(spans);
+    std::vector<size_t> order(spans.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return self_us[a] > self_us[b];
+    });
+    std::cerr << "trace written to " << trace_path << "; top spans by self"
+              << " time:\n";
+    for (size_t i = 0; i < order.size() && i < 3; ++i) {
+      const TraceSpan& span = spans[order[i]];
+      std::cerr << "  " << span.name << "  self=" << self_us[order[i]]
+                << "us total=" << span.duration_us << "us\n";
+    }
+    if (*budget_bytes > 0) PrintResidency(session->corpus_residency());
+    return 0;
+  }
+
   auto batch = session->DiscoverBatch(specs);
   if (!batch.ok()) return Fail(batch.status());
 
@@ -561,11 +603,14 @@ int CmdClient(const std::map<std::string, std::string>& flags) {
   const std::string key_spec = FlagOr(flags, "key", "");
   const bool want_stats = flags.count("stats") > 0;
   const bool want_ping = flags.count("ping") > 0;
+  const bool want_metrics = flags.count("metrics") > 0;
   const bool has_queries = !query_path.empty() || !batch_dir.empty();
   if (port_text.empty()) return Usage();
   if (!query_path.empty() && !batch_dir.empty()) return Usage();
   if (has_queries && key_spec.empty()) return Usage();
-  if (!has_queries && !want_stats && !want_ping) return Usage();
+  if (!has_queries && !want_stats && !want_ping && !want_metrics) {
+    return Usage();
+  }
   auto port = ParseUintFlag("port", port_text, 65535);
   if (!port.ok()) return Fail(port.status());
   auto k = ParseUintFlag("k", FlagOr(flags, "k", "10"), 1000000);
@@ -656,6 +701,12 @@ int CmdClient(const std::map<std::string, std::string>& flags) {
     auto stats = client->Stats();
     if (!stats.ok()) return Fail(stats.status());
     std::cout << stats->ToString();
+  }
+
+  if (want_metrics) {
+    auto page = client->Metrics();
+    if (!page.ok()) return Fail(page.status());
+    std::cout << *page;
   }
   return shed > 0 ? 3 : 0;
 }

@@ -8,13 +8,16 @@
 //   mate_server --corpus F --index F [--host 127.0.0.1] [--port 0]
 //               [--port-file PATH] [--threads N] [--queue-depth 64]
 //               [--max-connections 256] [--cache-mb 64]
-//               [--tenant-cache-mb 0]
+//               [--tenant-cache-mb 0] [--slow-query-ms 0]
+//               [--slow-query-log PATH]
 //
 // --port 0 binds an ephemeral port; --port-file writes the resolved port as
 // a single line so scripts (CI smoke, the tail-latency bench) can find the
 // server without racing its stdout. --tenant-cache-mb gives every tenant's
 // result-cache partition an independent byte budget; 0 leaves partitions on
-// the session-wide default.
+// the session-wide default. --slow-query-ms arms per-request tracing:
+// queries slower than the threshold dump their span tree as one JSONL line
+// to --slow-query-log (stderr when unset); 0 disables tracing entirely.
 
 #include <signal.h>
 #include <unistd.h>
@@ -45,7 +48,8 @@ int Usage() {
                "  mate_server --corpus F --index F [--host 127.0.0.1]"
                " [--port 0] [--port-file PATH] [--threads N]"
                " [--queue-depth 64] [--max-connections 256]"
-               " [--cache-mb 64] [--tenant-cache-mb 0]\n";
+               " [--cache-mb 64] [--tenant-cache-mb 0]"
+               " [--slow-query-ms 0] [--slow-query-log PATH]\n";
   return 2;
 }
 
@@ -112,6 +116,9 @@ int Run(int argc, char** argv) {
   auto tenant_cache_mb = ParseUintFlag(
       "tenant-cache-mb", FlagOr(flags, "tenant-cache-mb", "0"), 1u << 20);
   if (!tenant_cache_mb.ok()) return Fail(tenant_cache_mb.status());
+  auto slow_query_ms = ParseUintFlag(
+      "slow-query-ms", FlagOr(flags, "slow-query-ms", "0"), 1u << 30);
+  if (!slow_query_ms.ok()) return Fail(slow_query_ms.status());
 
   SessionOptions session_options;
   session_options.corpus_path = corpus_path;
@@ -127,6 +134,9 @@ int Run(int argc, char** argv) {
   server_options.max_queue_depth = *queue_depth;
   server_options.max_connections = *max_connections;
   server_options.tenant_cache_bytes = size_t{*tenant_cache_mb} << 20;
+  server_options.slow_query_threshold =
+      std::chrono::milliseconds(*slow_query_ms);
+  server_options.slow_query_log_path = FlagOr(flags, "slow-query-log", "");
 
   // Belt and braces next to WriteFrame's MSG_NOSIGNAL: a client that hangs
   // up before its response is written must never SIGPIPE the server.

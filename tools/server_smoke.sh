@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # End-to-end serving smoke: index a toy CSV lake, start mate_server on an
-# ephemeral port, round-trip a client PING + QUERY + STATS over the wire,
-# then SIGTERM the server and require a clean graceful-drain exit (0).
+# ephemeral port, round-trip a client PING + QUERY + STATS + METRICS over
+# the wire (asserting the Prometheus page parses and carries the core
+# serving series), then SIGTERM the server and require a clean
+# graceful-drain exit (0).
 #
 # Usage: tools/server_smoke.sh [BIN_DIR]   (default: build)
 set -euo pipefail
@@ -53,6 +55,20 @@ PORT="$(cat "$WORK/port.txt")"
 # Exit 0 requires every request served (sheds exit 3, transport errors 1).
 "$BIN_DIR/mate_cli" client --port "$PORT" --query "$WORK/query.csv" \
   --key first,last --tenant acme --k 5 --stats
+
+# METRICS: the Prometheus text page must parse (every non-comment line is
+# `name{labels} value`) and carry the core serving series, with the
+# admitted-queries counter reflecting the query served above.
+"$BIN_DIR/mate_cli" client --port "$PORT" --metrics > "$WORK/metrics.txt"
+for series in mate_queries_total mate_queue_depth \
+    mate_query_latency_seconds; do
+  grep -q "^# TYPE $series " "$WORK/metrics.txt" || {
+    echo "METRICS page is missing series $series"; exit 1; }
+done
+grep -q '^mate_queries_total 1$' "$WORK/metrics.txt" || {
+  echo "mate_queries_total should be 1 after one served query"; cat "$WORK/metrics.txt"; exit 1; }
+awk '/^#/ { next } NF != 2 && !/^$/ { print "unparseable metrics line: " $0; bad = 1 } END { exit bad }' \
+  "$WORK/metrics.txt"
 
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID"  # non-zero here fails the script: drain must be clean
