@@ -9,7 +9,7 @@
 // numbers instead of silently throttling the load (closed-loop coordinated
 // omission).
 //
-// Two scenarios:
+// Three scenarios:
 //   steady   — arrival rate ~50% of measured capacity, deep queue: every
 //              request must be served, and every served top-k must be
 //              bit-identical to an in-process Session::Discover of the
@@ -19,6 +19,18 @@
 //              crash or grow its queue beyond the bound, and the p99 of
 //              *admitted* requests must stay finite — admission control is
 //              what keeps served latency bounded when offered load is not.
+//   mixed    — a giant query (synthesized until its pre-execution PL
+//              estimate clears the executor's auto-parallel gate) blended
+//              into the small-query pool, offered at ~4x capacity, run
+//              twice with identical seeds: once with steering off (the
+//              executor's auto gate fans the giant out every time) and
+//              once with --steering=auto (dequeue-time SLO steering
+//              degrades it to serial while the queue is deep or the p99 is
+//              over target). Hard gates: zero bit-identity violations in
+//              BOTH runs, steering must take serial decisions under
+//              overload, and the steered p99 must not exceed the
+//              fixed-fanout p99 — on an oversubscribed box, fan-out under
+//              pressure is pure overhead and steering must claw it back.
 //
 // Every JSON record carries the tenant count and offered arrival rate
 // (bench_util AddWithLoad), so the trajectory records the load shape.
@@ -29,11 +41,13 @@
 #include <iostream>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "bench_util/bench_json.h"
 #include "bench_util/report.h"
 #include "bench_util/runner.h"
+#include "core/query_executor.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "util/latency_histogram.h"
@@ -427,6 +441,222 @@ int main(int argc, char** argv) {
     }
     if (stats.queue_depth > stats.queue_capacity) {
       std::cerr << "GATE FAILED (overload): queue grew beyond its bound\n";
+      exit_code = 1;
+    }
+  }
+
+  // ---- mixed giant+small at 4x capacity: steering off vs auto ----------
+  {
+    // Synthesize the giant: a single-column query of corpus values, grown
+    // until its pre-execution PL estimate clears the executor's
+    // auto-parallel gate with margin — so the steering-off baseline
+    // genuinely fans it out on every dispatch.
+    Table giant_table("giant");
+    giant_table.AddColumn("a");
+    uint64_t giant_estimate = 0;
+    {
+      const Corpus& corpus = session.corpus();
+      const uint64_t target = 2 * QueryExecutor::kAutoParallelMinItems;
+      std::unordered_set<std::string> seen;
+      for (TableId t = 0;
+           t < corpus.NumTables() && giant_estimate < target; ++t) {
+        const Table& src = corpus.table(t);
+        if (src.NumColumns() == 0) continue;
+        const size_t rows = std::min<size_t>(src.NumRows(), 8);
+        for (size_t r = 0; r < rows; ++r) {
+          if (src.IsRowDeleted(r)) continue;
+          const std::string& value = src.cell(r, 0);
+          if (value.empty() || !seen.insert(value).second) continue;
+          (void)giant_table.AppendRow({value});
+        }
+        QuerySpec probe;
+        probe.table = &giant_table;
+        probe.key_columns = {0};
+        probe.options.k = args.k;
+        auto e = session.EstimatePlItems(probe);
+        if (e.ok()) giant_estimate = *e;
+      }
+    }
+    std::cout << "\nmixed: giant query " << giant_table.NumRows()
+              << " rows, estimated PL items " << giant_estimate
+              << " (auto-parallel gate "
+              << QueryExecutor::kAutoParallelMinItems << ")\n";
+
+    // In-process ground truth for the giant (no server is running now).
+    QuerySpec giant_spec;
+    giant_spec.table = &giant_table;
+    giant_spec.key_columns = {0};
+    giant_spec.options.k = args.k;
+    auto giant_expected = session.Discover(giant_spec);
+    if (!giant_expected.ok()) {
+      std::cerr << "giant ground truth failed: "
+                << giant_expected.status().ToString() << "\n";
+      return 1;
+    }
+
+    // Giant first: Zipf rank 0 is hottest, so giant traffic dominates.
+    std::vector<QueryRequest> mixed_pool;
+    std::vector<const DiscoveryResult*> mixed_expected;
+    mixed_pool.push_back(MakeQueryRequest(giant_table, {0}, args.k, ""));
+    mixed_expected.push_back(&*giant_expected);
+    for (size_t i = 0; i < pool.size(); ++i) {
+      mixed_pool.push_back(pool[i]);
+      mixed_expected.push_back(expected[i]);
+    }
+
+    // Capacity of the mixed pool (fixed-fanout server, cache disabled).
+    double mixed_capacity_rps = 0.0;
+    {
+      ServerOptions options;
+      options.max_queue_depth = 64;
+      options.tenant_cache_bytes = 1;  // nothing fits: every query executes
+      MateServer server(&session, options);
+      if (Status s = server.Start(); !s.ok()) {
+        std::cerr << "server start failed: " << s.ToString() << "\n";
+        return 1;
+      }
+      auto client = MateClient::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        std::cerr << "mixed probe connect failed\n";
+        return 1;
+      }
+      const auto probe_start = Clock::now();
+      size_t probes = 0;
+      for (const QueryRequest& request : mixed_pool) {
+        QueryRequest probe = request;
+        probe.tenant = "probe";
+        auto response = client->Query(probe);
+        if (!response.ok() || !response->status.ok()) {
+          std::cerr << "mixed probe query failed\n";
+          return 1;
+        }
+        ++probes;
+      }
+      mixed_capacity_rps =
+          static_cast<double>(probes) /
+          std::chrono::duration<double>(Clock::now() - probe_start).count();
+      server.Stop();
+    }
+    const double rate = 4.0 * mixed_capacity_rps;
+
+    // Identical seeds and schedules; the only difference is the steering
+    // mode, so the p99 comparison isolates the dequeue-time policy.
+    const auto run_mixed = [&](SteeringMode mode,
+                               ServerStatsSnapshot* stats_out) {
+      ServerOptions options;
+      options.max_queue_depth = 8;
+      // A 1-byte partition per tenant: no served result ever fits, so
+      // every request executes — steering must win on execution shape,
+      // not on result caching.
+      options.tenant_cache_bytes = 1;
+      options.steering = mode;
+      options.target_p99 = std::chrono::milliseconds(2);
+      MateServer server(&session, options);
+      if (Status s = server.Start(); !s.ok()) {
+        std::cerr << "server start failed: " << s.ToString() << "\n";
+        std::exit(1);
+      }
+      // One request per connection: every latency sample is a pure
+      // queue-wait + service measurement from its own scheduled arrival.
+      // With multi-shot connections the server that sheds LESS (steering)
+      // accumulates per-connection backlog into its served histogram —
+      // coordinated omission would punish the better policy.
+      LoadResult r = RunOpenLoop(server.port(), mixed_pool, mixed_expected,
+                                 kTenants, /*connections_per_tenant=*/48,
+                                 rate, /*requests_per_connection=*/1,
+                                 args.seed + 2);
+      *stats_out = server.stats();
+      server.Stop();
+      return r;
+    };
+    ServerStatsSnapshot off_stats;
+    ServerStatsSnapshot auto_stats;
+    const LoadResult off = run_mixed(SteeringMode::kOff, &off_stats);
+    const LoadResult steered = run_mixed(SteeringMode::kAuto, &auto_stats);
+
+    for (const auto& [label, r] :
+         {std::pair<const char*, const LoadResult&>{"mixed steering=off",
+                                                    off},
+          std::pair<const char*, const LoadResult&>{"mixed steering=auto",
+                                                    steered}}) {
+      table.AddRow({label, FormatDouble(rate, 0), std::to_string(r.served),
+                    std::to_string(r.shed),
+                    std::to_string(r.served_us.Percentile(0.50)) + "us",
+                    std::to_string(r.served_us.Percentile(0.90)) + "us",
+                    std::to_string(r.served_us.Percentile(0.99)) + "us",
+                    std::to_string(r.served_us.Percentile(0.999)) + "us"});
+    }
+    json.AddWithLoad("mixed_off", "p50", off.served_us.Percentile(0.50),
+                     "us", kTenants, rate);
+    json.AddWithLoad("mixed_off", "p99", off.served_us.Percentile(0.99),
+                     "us", kTenants, rate);
+    json.AddWithLoad("mixed_off", "served", static_cast<double>(off.served),
+                     "requests", kTenants, rate);
+    json.AddWithLoad("mixed_auto", "p50",
+                     steered.served_us.Percentile(0.50), "us", kTenants,
+                     rate);
+    json.AddWithLoad("mixed_auto", "p99",
+                     steered.served_us.Percentile(0.99), "us", kTenants,
+                     rate);
+    json.AddWithLoad("mixed_auto", "served",
+                     static_cast<double>(steered.served), "requests",
+                     kTenants, rate);
+    json.AddWithLoad("mixed_auto", "steer_serial",
+                     static_cast<double>(auto_stats.steering_serial),
+                     "decisions", kTenants, rate);
+    json.AddWithLoad("mixed_auto", "steer_partial",
+                     static_cast<double>(auto_stats.steering_partial),
+                     "decisions", kTenants, rate);
+    json.AddWithLoad("mixed_auto", "steer_full",
+                     static_cast<double>(auto_stats.steering_full),
+                     "decisions", kTenants, rate);
+    json.AddWithLoad("mixed_auto", "giant_estimate",
+                     static_cast<double>(giant_estimate), "pl_items",
+                     kTenants, rate);
+
+    if (off.transport_errors + steered.transport_errors > 0) {
+      std::cerr << "GATE FAILED (mixed): transport errors (off="
+                << off.transport_errors
+                << ", auto=" << steered.transport_errors << ")\n";
+      exit_code = 1;
+    }
+    if (off.mismatches + steered.mismatches > 0) {
+      std::cerr << "GATE FAILED (mixed): " << off.mismatches << "+"
+                << steered.mismatches
+                << " served results diverged from in-process Discover — "
+                   "steering must never change served bits\n";
+      exit_code = 1;
+    }
+    if (off.served == 0 || steered.served == 0) {
+      std::cerr << "GATE FAILED (mixed): nothing served (off="
+                << off.served << ", auto=" << steered.served << ")\n";
+      exit_code = 1;
+    }
+    if (auto_stats.steering_serial == 0) {
+      std::cerr << "GATE FAILED (mixed): 4x overload but steering never "
+                   "degraded a query to serial\n";
+      exit_code = 1;
+    }
+    if (off_stats.steering_serial + off_stats.steering_partial +
+            off_stats.steering_full >
+        0) {
+      std::cerr << "GATE FAILED (mixed): steering=off server counted "
+                   "steering decisions\n";
+      exit_code = 1;
+    }
+    if (giant_estimate < QueryExecutor::kAutoParallelMinItems) {
+      std::cerr << "GATE FAILED (mixed): giant query estimate "
+                << giant_estimate
+                << " never cleared the auto-parallel gate — the baseline "
+                   "is not fanning out\n";
+      exit_code = 1;
+    }
+    if (steered.served_us.Percentile(0.99) >
+        off.served_us.Percentile(0.99)) {
+      std::cerr << "GATE FAILED (mixed): steered p99 "
+                << steered.served_us.Percentile(0.99)
+                << "us exceeds fixed-fanout p99 "
+                << off.served_us.Percentile(0.99) << "us\n";
       exit_code = 1;
     }
   }

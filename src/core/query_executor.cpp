@@ -88,7 +88,7 @@ PreparedQuery PrepareQuery(const Table& query,
 
 // Upper bound on the PL items the row loop would visit — the auto-parallel
 // gate. List sizes only, no PL scan.
-uint64_t EstimatePlItems(const PreparedQuery& prep) {
+uint64_t EstimatePreparedPlItems(const PreparedQuery& prep) {
   uint64_t total = 0;
   for (const PostingList* pl : prep.posting_lists) {
     if (pl != nullptr) total += pl->size();
@@ -329,6 +329,30 @@ void RunStrided(ThreadPool* pool, size_t fanout, size_t n,
 
 }  // namespace
 
+uint64_t QueryExecutor::EstimatePlItems(
+    const Table& query, const std::vector<ColumnId>& key_columns,
+    const DiscoveryOptions& options) const {
+  if (key_columns.empty() || options.k <= 0) return 0;
+  const size_t init_pos =
+      SelectInitColumn(query, key_columns, options.init_strategy, index_);
+  // PrepareQuery derives its distinct init values from the distinct key
+  // combos, but the value set is identical to the distinct live values of
+  // the init column itself — every live row's combo is in the combo set and
+  // vice versa — so this skips the tuple hashing and super-key work and
+  // matches EstimatePreparedPlItems(prep) exactly.
+  const ColumnId init_column = key_columns[init_pos];
+  std::unordered_set<std::string_view> seen;
+  uint64_t total = 0;
+  for (RowId r = 0; r < query.NumRows(); ++r) {
+    if (query.IsRowDeleted(r)) continue;
+    const std::string& v = query.cell(r, init_column);
+    if (!seen.insert(v).second) continue;
+    const PostingList* pl = index_->Lookup(v);
+    if (pl != nullptr) total += pl->size();
+  }
+  return total;
+}
+
 DiscoveryResult QueryExecutor::Discover(
     const Table& query, const std::vector<ColumnId>& key_columns,
     const DiscoveryOptions& options, const ExecutorOptions& exec,
@@ -353,7 +377,8 @@ DiscoveryResult QueryExecutor::Discover(
   const unsigned pool_width = pool != nullptr ? pool->num_threads() : 1;
   unsigned width = 1;
   if (exec.intra_query_threads == 0) {
-    if (pool_width > 1 && EstimatePlItems(prep) >= kAutoParallelMinItems) {
+    if (pool_width > 1 &&
+        EstimatePreparedPlItems(prep) >= kAutoParallelMinItems) {
       width = pool_width;
     }
   } else {

@@ -99,6 +99,17 @@ class QueryExecutor {
                            const ExecutorOptions& exec,
                            ThreadPool* pool) const;
 
+  /// The auto-parallel gate's PL-traffic estimate, surfaced *before*
+  /// execution: the summed size of the posting lists the query's distinct
+  /// init-column values resolve to — exactly the figure Discover's auto
+  /// mode compares against kAutoParallelMinItems. Cheap relative to
+  /// execution (one init-column pass plus one index probe per distinct
+  /// value; no super-key hashing, no PL scan), so an admission layer can
+  /// afford it per dequeue to steer fan-out (src/server/).
+  uint64_t EstimatePlItems(const Table& query,
+                           const std::vector<ColumnId>& key_columns,
+                           const DiscoveryOptions& options) const;
+
  private:
   const Corpus* corpus_;
   const InvertedIndex* index_;

@@ -395,6 +395,18 @@ DiscoveryResult Session::RunQuery(const QuerySpec& spec, bool intra_parallel) {
                            intra_parallel ? pool_.get() : nullptr);
 }
 
+Result<uint64_t> Session::EstimatePlItems(const QuerySpec& spec) const {
+  if (!has_index()) {
+    return Status::InvalidArgument(
+        "session has no index; open with index_path, index, or build_index");
+  }
+  MATE_RETURN_IF_ERROR(ValidateQuery(spec));
+  MATE_RETURN_IF_ERROR(WaitUntilReady());
+  QueryExecutor executor(&corpus_, index_.get());
+  return executor.EstimatePlItems(*spec.table, spec.key_columns,
+                                  spec.options);
+}
+
 Result<DiscoveryResult> Session::Discover(const QuerySpec& spec) {
   QueryTrace* const trace = spec.trace;
   ScopedSpan discover(trace, "discover",

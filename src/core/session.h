@@ -247,6 +247,17 @@ class Session {
   /// stats recorded).
   Result<DiscoveryResult> Discover(const QuerySpec& spec);
 
+  /// Pre-execution cost estimate of one query: the PL-item-traffic figure
+  /// the executor's auto-parallel gate compares against
+  /// QueryExecutor::kAutoParallelMinItems, surfaced *before* execution so
+  /// an admission layer (src/server/) can steer the spec's
+  /// intra_query_threads/intra_query_shards knobs per query. Validates the
+  /// spec and blocks on index readiness exactly like Discover; cheap
+  /// relative to execution (one init-column pass, one index probe per
+  /// distinct value). The estimate never affects results — it only
+  /// predicts how much work Discover would do.
+  Result<uint64_t> EstimatePlItems(const QuerySpec& spec) const;
+
   /// Batch discovery over the session pool. All specs are validated before
   /// any query runs (the error names the failing spec's position). With
   /// the cache enabled, duplicate specs inside the batch compute once and

@@ -14,10 +14,11 @@ uint64_t NextTraceId() {
 
 }  // namespace
 
-QueryTrace::QueryTrace(std::string_view name)
+QueryTrace::QueryTrace(std::string_view name, uint64_t epoch_rewind_us)
     : name_(name),
       trace_id_(NextTraceId()),
-      epoch_(std::chrono::steady_clock::now()) {}
+      epoch_(std::chrono::steady_clock::now() -
+             std::chrono::microseconds(epoch_rewind_us)) {}
 
 uint64_t QueryTrace::NowUs() const {
   return static_cast<uint64_t>(
@@ -35,6 +36,19 @@ uint32_t QueryTrace::BeginSpan(std::string_view span_name, uint32_t parent,
   span.parent = parent;
   span.name = std::string(span_name);
   span.start_us = now;
+  span.tid = tid;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+uint32_t QueryTrace::BeginSpanAt(std::string_view span_name, uint32_t parent,
+                                 uint64_t start_us, uint64_t tid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSpan span;
+  span.id = static_cast<uint32_t>(spans_.size());
+  span.parent = parent;
+  span.name = std::string(span_name);
+  span.start_us = start_us;
   span.tid = tid;
   spans_.push_back(std::move(span));
   return spans_.back().id;

@@ -54,7 +54,12 @@ class QueryTrace {
  public:
   static constexpr uint32_t kNoParent = 0xFFFFFFFFu;
 
-  explicit QueryTrace(std::string_view name = "query");
+  /// `epoch_rewind_us` back-dates the trace epoch: work that finished just
+  /// before the trace existed (the server's frame read) can then be
+  /// recorded at [0, rewind) without overlapping spans that begin "now"
+  /// (= rewind), keeping SelfTimesUs's containment accounting sound.
+  explicit QueryTrace(std::string_view name = "query",
+                      uint64_t epoch_rewind_us = 0);
 
   /// Process-unique id (monotonic; stamped into exports).
   uint64_t trace_id() const { return trace_id_; }
@@ -63,6 +68,11 @@ class QueryTrace {
   /// Opens a span starting now; close it with EndSpan. Thread-safe.
   uint32_t BeginSpan(std::string_view span_name, uint32_t parent = kNoParent,
                      uint64_t tid = 0);
+  /// Opens a span at an explicit epoch offset (pairs with a rewound epoch:
+  /// the server's root "request" span starts at 0, before spans recorded
+  /// "now"). Close it with EndSpan like any other span.
+  uint32_t BeginSpanAt(std::string_view span_name, uint32_t parent,
+                       uint64_t start_us, uint64_t tid = 0);
   void EndSpan(uint32_t id);
   void EndSpan(uint32_t id, std::string args_json);
 

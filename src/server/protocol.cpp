@@ -200,6 +200,11 @@ Status DecodeQueryRequest(std::string_view body, QueryRequest* request) {
   if (!GetLengthPrefixed(&body, &tenant)) {
     return Status::InvalidArgument("malformed tenant in query request");
   }
+  if (tenant.size() > kMaxTenantNameBytes) {
+    return Status::InvalidArgument(
+        "tenant name of " + std::to_string(tenant.size()) +
+        " bytes exceeds limit of " + std::to_string(kMaxTenantNameBytes));
+  }
   request->tenant.assign(tenant);
   uint32_t k = 0;
   if (!GetVarint32(&body, &k)) {
@@ -308,6 +313,9 @@ void EncodeStatsResponse(const ServerStatsSnapshot& snapshot,
   PutVarint64(payload, snapshot.corpus_evictions);
   PutVarint64(payload, snapshot.tables_resident);
   PutVarint64(payload, snapshot.num_tables);
+  PutVarint64(payload, snapshot.steering_serial);
+  PutVarint64(payload, snapshot.steering_partial);
+  PutVarint64(payload, snapshot.steering_full);
   PutVarint64(payload, snapshot.tenants.size());
   for (const TenantStats& t : snapshot.tenants) EncodeTenantStats(t, payload);
 }
@@ -427,7 +435,10 @@ Status DecodeStatsResponseBody(std::string_view body,
        GetVarint64(&body, &snapshot->corpus_budget_bytes) &&
        GetVarint64(&body, &snapshot->corpus_evictions) &&
        GetVarint64(&body, &snapshot->tables_resident) &&
-       GetVarint64(&body, &snapshot->num_tables);
+       GetVarint64(&body, &snapshot->num_tables) &&
+       GetVarint64(&body, &snapshot->steering_serial) &&
+       GetVarint64(&body, &snapshot->steering_partial) &&
+       GetVarint64(&body, &snapshot->steering_full);
   uint64_t num_tenants = 0;
   ok = ok && GetVarint64(&body, &num_tenants) && num_tenants <= body.size();
   if (!ok) {
@@ -465,6 +476,10 @@ std::string ServerStatsSnapshot::ToString() const {
       << " bytes resident (peak " << corpus_peak_resident_bytes << "), "
       << tables_resident << "/" << num_tables << " tables, "
       << corpus_evictions << " evictions\n";
+  if (steering_serial + steering_partial + steering_full > 0) {
+    out << "steering: " << steering_serial << " serial, " << steering_partial
+        << " partial, " << steering_full << " full\n";
+  }
   for (const TenantStats& t : tenants) {
     out << "tenant '" << t.tenant << "': " << t.requests << " requests, "
         << t.admitted << " admitted, " << t.shed << " shed, cache "

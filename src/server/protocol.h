@@ -60,6 +60,12 @@ enum class ServerVerb : uint8_t {
 /// connection is closed (the declared length cannot be trusted).
 constexpr uint32_t kMaxFrameBytes = 64u << 20;
 
+/// Tenant names longer than this are rejected at decode with a typed
+/// InvalidArgument. The tenant string becomes a metric label, a stats-row
+/// key, and a cache-partition key, so its length must be bounded far below
+/// the 64MB frame cap an adversarial client could otherwise exploit.
+constexpr size_t kMaxTenantNameBytes = 256;
+
 // ---- client-side request construction ---------------------------------
 
 /// One discovery request as it travels the wire. `query` holds only the key
@@ -168,6 +174,13 @@ struct ServerStatsSnapshot {
   uint64_t corpus_evictions = 0;
   uint64_t tables_resident = 0;
   uint64_t num_tables = 0;
+
+  // SLO-aware steering decisions taken at dequeue (zero when steering is
+  // off): how many queries ran serial / at partial fan-out / at full
+  // fan-out. Mirrors mate_steering_decisions_total{mode=...}.
+  uint64_t steering_serial = 0;
+  uint64_t steering_partial = 0;
+  uint64_t steering_full = 0;
 
   std::vector<TenantStats> tenants;
 

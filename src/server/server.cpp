@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
@@ -48,6 +49,15 @@ MateServer::MateServer(Session* session, ServerOptions options)
   m_requests_metrics_ = metrics_.RegisterCounter(
       "mate_requests_total", "Request frames decoded, by verb",
       {{"verb", "metrics"}});
+  m_steer_serial_ = metrics_.RegisterCounter(
+      "mate_steering_decisions_total",
+      "Dequeue-time fan-out decisions, by mode", {{"mode", "serial"}});
+  m_steer_partial_ = metrics_.RegisterCounter(
+      "mate_steering_decisions_total",
+      "Dequeue-time fan-out decisions, by mode", {{"mode", "partial"}});
+  m_steer_full_ = metrics_.RegisterCounter(
+      "mate_steering_decisions_total",
+      "Dequeue-time fan-out decisions, by mode", {{"mode", "full"}});
   m_queue_depth_ = metrics_.RegisterGauge(
       "mate_queue_depth", "Pending entries in the admission queue");
   m_queue_capacity_ = metrics_.RegisterGauge(
@@ -56,18 +66,20 @@ MateServer::MateServer(Session* session, ServerOptions options)
                                           "Live client connections");
   m_draining_ = metrics_.RegisterGauge(
       "mate_draining", "1 while Stop() drains admitted queries");
-  m_cache_hits_ = metrics_.RegisterGauge(
+  // Monotone counts exposed as counters (rate() works); their source of
+  // truth is the session, so RenderMetricsText advances them by delta.
+  m_cache_hits_ = metrics_.RegisterCounter(
       "mate_result_cache_hits", "Result-cache hits across all partitions");
-  m_cache_misses_ = metrics_.RegisterGauge(
+  m_cache_misses_ = metrics_.RegisterCounter(
       "mate_result_cache_misses",
       "Result-cache misses across all partitions");
+  m_corpus_evictions_ = metrics_.RegisterCounter(
+      "mate_corpus_evictions", "Tables evicted by the residency budget");
   m_corpus_resident_bytes_ = metrics_.RegisterGauge(
       "mate_corpus_resident_bytes", "Corpus extent bytes resident");
   m_corpus_budget_bytes_ = metrics_.RegisterGauge(
       "mate_corpus_budget_bytes",
       "Corpus residency budget (0 = unlimited)");
-  m_corpus_evictions_ = metrics_.RegisterGauge(
-      "mate_corpus_evictions", "Tables evicted by the residency budget");
   m_tables_resident_ = metrics_.RegisterGauge(
       "mate_tables_resident", "Tables partially or fully resident");
   m_latency_seconds_ = metrics_.RegisterHistogram(
@@ -333,12 +345,16 @@ void MateServer::HandleQuery(int fd, std::string_view body,
   std::unique_ptr<QueryTrace> trace;
   uint32_t root = QueryTrace::kNoParent;
   if (options_.slow_query_threshold.count() > 0) {
-    trace = std::make_unique<QueryTrace>("request");
-    root = trace->BeginSpan("request");
-    // The frame's transfer time predates the trace; reconstruct it at the
-    // epoch.
-    trace->AddCompleteSpan("read_frame", root, 0,
-                           static_cast<uint64_t>(read_seconds * 1e6));
+    // The frame's transfer finished just before this trace exists, so the
+    // epoch is rewound by its duration: read_frame occupies [0, read_us),
+    // the root "request" span starts at 0 and covers it, and the decode
+    // span (beginning "now" = read_us) does not overlap its sibling —
+    // span-containment self-time accounting stays sound, and the root's
+    // wall time includes what the client spent sending the frame.
+    const uint64_t read_us = static_cast<uint64_t>(read_seconds * 1e6);
+    trace = std::make_unique<QueryTrace>("request", read_us);
+    root = trace->BeginSpanAt("request", QueryTrace::kNoParent, 0);
+    trace->AddCompleteSpan("read_frame", root, 0, read_us);
   }
   std::string response;
   QueryRequest request;
@@ -349,15 +365,31 @@ void MateServer::HandleQuery(int fd, std::string_view body,
   }
   if (!s.ok()) {
     EncodeErrorResponse(s, &response);
-    (void)WriteFrame(fd, response);
+    {
+      ScopedSpan write_span(trace.get(), "write_frame", root);
+      (void)WriteFrame(fd, response);
+    }
+    if (trace != nullptr) {
+      trace->EndSpan(root);
+      MaybeLogSlowQuery(*trace, root, request.tenant, s);
+    }
     return;
   }
   const std::string tenant = request.tenant;
   std::future<Result<DiscoveryResult>> future;
   s = Admit(std::move(request), &future, trace.get(), root);
   if (!s.ok()) {
+    // Shed (queue full / draining). The overload tail matters most in the
+    // slow-query log, so this path ends the trace like a served request.
     EncodeErrorResponse(s, &response);
-    (void)WriteFrame(fd, response);
+    {
+      ScopedSpan write_span(trace.get(), "write_frame", root);
+      (void)WriteFrame(fd, response);
+    }
+    if (trace != nullptr) {
+      trace->EndSpan(root);
+      MaybeLogSlowQuery(*trace, root, tenant, s);
+    }
     return;
   }
   Result<DiscoveryResult> result = future.get();
@@ -388,20 +420,35 @@ void MateServer::HandleMetrics(int fd) {
   (void)WriteFrame(fd, response);
 }
 
+namespace {
+
+// Advances a counter cell to a monotone total maintained elsewhere (the
+// session). Caller serializes concurrent advances (render_mu_).
+void AdvanceCounterTo(Counter* counter, uint64_t total) {
+  const uint64_t current = counter->Value();
+  if (total > current) counter->Increment(total - current);
+}
+
+}  // namespace
+
 std::string MateServer::RenderMetricsText() {
-  // Counters are maintained at their event sites; gauges are levels and
-  // refresh here, from the same snapshot STATS serves.
+  // Server-side counters are maintained at their event sites; gauges are
+  // levels and refresh here from the same snapshot STATS serves. Cache and
+  // eviction traffic is monotone but owned by the session, so those
+  // counter cells advance by delta — under render_mu_, so concurrent
+  // scrapes cannot double-apply a delta.
   const ServerStatsSnapshot snapshot = stats();
+  std::lock_guard<std::mutex> lock(render_mu_);
   m_queue_depth_->Set(static_cast<int64_t>(snapshot.queue_depth));
   m_connections_->Set(static_cast<int64_t>(snapshot.active_connections));
   m_draining_->Set(snapshot.draining ? 1 : 0);
-  m_cache_hits_->Set(static_cast<int64_t>(snapshot.cache_hits));
-  m_cache_misses_->Set(static_cast<int64_t>(snapshot.cache_misses));
+  AdvanceCounterTo(m_cache_hits_, snapshot.cache_hits);
+  AdvanceCounterTo(m_cache_misses_, snapshot.cache_misses);
+  AdvanceCounterTo(m_corpus_evictions_, snapshot.corpus_evictions);
   m_corpus_resident_bytes_->Set(
       static_cast<int64_t>(snapshot.corpus_resident_bytes));
   m_corpus_budget_bytes_->Set(
       static_cast<int64_t>(snapshot.corpus_budget_bytes));
-  m_corpus_evictions_->Set(static_cast<int64_t>(snapshot.corpus_evictions));
   m_tables_resident_->Set(static_cast<int64_t>(snapshot.tables_resident));
   return metrics_.RenderPrometheusText();
 }
@@ -436,65 +483,149 @@ void MateServer::MaybeLogSlowQuery(const QueryTrace& trace,
 Status MateServer::Admit(QueryRequest request,
                          std::future<Result<DiscoveryResult>>* future,
                          QueryTrace* trace, uint32_t root_span) {
-  bool configure_partition = false;
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    TenantCounters& tenant = tenants_[request.tenant];
-    ++tenant.requests;
-    if (tenant.requests_metric == nullptr) {
-      // First contact: mint the tenant's labeled counter series. Lock order
-      // here is queue_mu_ -> registry mutex; the registry never calls back
-      // out, so this nesting cannot invert.
-      tenant.requests_metric = metrics_.RegisterCounter(
-          "mate_tenant_requests_total",
-          "QUERY frames received, by tenant.", {{"tenant", request.tenant}});
+  TenantCounters* tenant = nullptr;
+  // The loop runs at most twice: once to claim a tenant's first-admission
+  // partition configuration (performed between iterations, outside
+  // queue_mu_ — a slow ResultCache resize must not stall every concurrent
+  // admit/shed/stats behind the queue lock), then again to re-run the
+  // admission checks atomically with the enqueue.
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (tenant == nullptr) {
+        // Tenant resolution under the cardinality bound: a name without a
+        // dedicated row folds into the shared overflow row once adding one
+        // would exceed max_tenants. request.tenant is rewritten so the
+        // cache partition, counters, and metric series all agree.
+        auto it = tenants_.find(request.tenant);
+        if (it == tenants_.end() &&
+            tenants_.size() + 1 >= std::max<size_t>(options_.max_tenants, 1)) {
+          request.tenant = kOverflowTenant;
+          it = tenants_.find(request.tenant);
+        }
+        if (it == tenants_.end()) {
+          it = tenants_.try_emplace(request.tenant).first;
+        }
+        tenant = &it->second;
+        ++tenant->requests;
+        if (tenant->requests_metric == nullptr) {
+          // First contact: mint the tenant's labeled counter series (now
+          // bounded by max_tenants). Lock order here is queue_mu_ ->
+          // registry mutex; the registry never calls back out, so this
+          // nesting cannot invert.
+          tenant->requests_metric = metrics_.RegisterCounter(
+              "mate_tenant_requests_total", "QUERY frames received, by tenant.",
+              {{"tenant", request.tenant}});
+        }
+        tenant->requests_metric->Increment();
+      }
+      if (draining_) {
+        ++shed_;
+        ++tenant->shed;
+        m_shed_total_->Increment();
+        return Status::Overloaded("server is draining");
+      }
+      if (queue_.size() >= options_.max_queue_depth) {
+        ++shed_;
+        ++tenant->shed;
+        m_shed_total_->Increment();
+        return Status::Overloaded(
+            "admission queue full (" +
+            std::to_string(options_.max_queue_depth) + " pending)");
+      }
+      if (options_.tenant_cache_bytes > 0 && !tenant->partition_configured) {
+        // Claim the one-time configuration now, under the lock (exactly
+        // once per tenant row, however many first admissions race), but
+        // perform it outside: control falls past this scope to the
+        // configure step below, then loops.
+        tenant->partition_configured = true;
+      } else {
+        ++admitted_;
+        m_queries_total_->Increment();
+        ++tenant->admitted;
+        auto pending = std::make_unique<PendingQuery>();
+        pending->request = std::move(request);
+        pending->enqueue_time = std::chrono::steady_clock::now();
+        if (trace != nullptr) {
+          pending->trace = trace;
+          pending->root_span = root_span;
+          pending->queue_wait_span = trace->BeginSpan("queue_wait", root_span);
+        }
+        *future = pending->promise.get_future();
+        queue_.push_back(std::move(pending));
+        m_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+        break;
+      }
     }
-    tenant.requests_metric->Increment();
-    if (draining_) {
-      ++shed_;
-      ++tenant.shed;
-      m_shed_total_->Increment();
-      return Status::Overloaded("server is draining");
+    // First would-be-admitted query of this tenant: budget its cache
+    // partition before this query can be enqueued (so nothing of *this*
+    // query lands in an unbudgeted partition; a same-tenant racer admitted
+    // in the window lands before the resize, which then evicts down —
+    // transient, and far cheaper than serializing every admit behind the
+    // configure). ResultCache is internally synchronized.
+    if (options_.configure_partition_delay_for_test.count() > 0) {
+      std::this_thread::sleep_for(options_.configure_partition_delay_for_test);
     }
-    if (queue_.size() >= options_.max_queue_depth) {
-      ++shed_;
-      ++tenant.shed;
-      m_shed_total_->Increment();
-      return Status::Overloaded(
-          "admission queue full (" +
-          std::to_string(options_.max_queue_depth) + " pending)");
-    }
-    ++admitted_;
-    m_queries_total_->Increment();
-    configure_partition =
-        tenant.admitted == 0 && options_.tenant_cache_bytes > 0;
-    ++tenant.admitted;
-    auto pending = std::make_unique<PendingQuery>();
-    pending->request = std::move(request);
-    pending->enqueue_time = std::chrono::steady_clock::now();
-    if (trace != nullptr) {
-      pending->trace = trace;
-      pending->root_span = root_span;
-      pending->queue_wait_span = trace->BeginSpan("queue_wait", root_span);
-    }
-    *future = pending->promise.get_future();
-    if (configure_partition) {
-      // First admitted query of this tenant: give its cache partition the
-      // configured budget before anything lands in it. ResultCache is
-      // internally synchronized, so this is safe alongside the dispatcher.
-      session_->ConfigureCachePartition(pending->request.tenant,
-                                        options_.tenant_cache_bytes);
-    }
-    queue_.push_back(std::move(pending));
-    m_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+    session_->ConfigureCachePartition(request.tenant,
+                                      options_.tenant_cache_bytes);
+    partition_configures_.fetch_add(1);
   }
   queue_cv_.notify_one();
   return Status::OK();
 }
 
+void MateServer::SteerSpec(QuerySpec* spec, size_t queue_depth,
+                           uint64_t p99_us, uint32_t dispatch_span) {
+  const Result<uint64_t> estimate = session_->EstimatePlItems(*spec);
+  if (!estimate.ok()) {
+    // A spec Discover will reject anyway; leave the knobs alone so the
+    // error surfaces unchanged, and count no decision.
+    return;
+  }
+  const uint64_t target_p99_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          options_.target_p99)
+          .count());
+  const bool big = estimate.value() >= options_.steering_min_items;
+  const bool over_slo = target_p99_us > 0 && p99_us > target_p99_us;
+  const bool queue_deep = queue_depth * 2 >= options_.max_queue_depth;
+  const char* mode = nullptr;
+  if (!big || over_slo || queue_deep) {
+    // Small queries gain nothing from fan-out; big ones degrade to serial
+    // while the server is in the red — a giant query must not grab the
+    // whole pool while the queue backs up or the SLO is already blown.
+    spec->intra_query_threads = 1;
+    mode = "serial";
+    steer_serial_.fetch_add(1, std::memory_order_relaxed);
+    m_steer_serial_->Increment();
+  } else if (queue_depth > 0) {
+    // Pressure building but not critical: half the pool.
+    spec->intra_query_threads = std::max(1u, session_->num_threads() / 2);
+    mode = "partial";
+    steer_partial_.fetch_add(1, std::memory_order_relaxed);
+    m_steer_partial_->Increment();
+  } else {
+    // Idle: the executor's auto mode (full fan-out for big queries).
+    spec->intra_query_threads = 0;
+    mode = "full";
+    steer_full_.fetch_add(1, std::memory_order_relaxed);
+    m_steer_full_->Increment();
+  }
+  if (spec->trace != nullptr) {
+    spec->trace->AddCompleteSpan(
+        "steer", dispatch_span, spec->trace->NowUs(), 0, 0,
+        "\"mode\":\"" + std::string(mode) +
+            "\",\"estimate\":" + std::to_string(estimate.value()) +
+            ",\"queue_depth\":" + std::to_string(queue_depth) +
+            ",\"p99_us\":" + std::to_string(p99_us));
+  }
+}
+
 void MateServer::DispatchLoop() {
   while (true) {
     std::unique_ptr<PendingQuery> pending;
+    size_t queue_depth = 0;
+    uint64_t p99_us = 0;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock,
@@ -506,6 +637,12 @@ void MateServer::DispatchLoop() {
       pending = std::move(queue_.front());
       queue_.pop_front();
       m_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+      // Steering inputs, captured atomically with the dequeue: the backlog
+      // left behind this query and the live served p99.
+      queue_depth = queue_.size();
+      if (options_.steering == SteeringMode::kAuto) {
+        p99_us = latency_us_.Percentile(0.99);
+      }
     }
     if (options_.dispatch_delay_for_test.count() > 0) {
       std::this_thread::sleep_for(options_.dispatch_delay_for_test);
@@ -522,6 +659,9 @@ void MateServer::DispatchLoop() {
     }
     QuerySpec spec = SpecFromRequest(pending->request);
     spec.trace = pending->trace;
+    if (options_.steering == SteeringMode::kAuto) {
+      SteerSpec(&spec, queue_depth, p99_us, dispatch_span);
+    }
     Result<DiscoveryResult> result = session_->Discover(spec);
     if (pending->trace != nullptr) {
       pending->trace->EndSpan(dispatch_span);
@@ -580,6 +720,9 @@ ServerStatsSnapshot MateServer::stats() const {
     }
   }
   snapshot.active_connections = active_connections_.load();
+  snapshot.steering_serial = steer_serial_.load();
+  snapshot.steering_partial = steer_partial_.load();
+  snapshot.steering_full = steer_full_.load();
 
   const ResultCacheStats cache = session_->cache_stats();
   snapshot.cache_hits = cache.hits;

@@ -27,7 +27,23 @@
 // Multi-tenancy. The tenant string on each request selects a result-cache
 // partition inside the shared Session (independent byte budgets,
 // ConfigureCachePartition on first contact when `tenant_cache_bytes` is
-// set) and a per-tenant request/admitted/shed counter row in STATS.
+// set) and a per-tenant request/admitted/shed counter row in STATS. The
+// tenant string comes off the wire, so everything keyed on it is bounded:
+// names longer than kMaxTenantNameBytes are rejected at decode, and once
+// `max_tenants` distinct names hold dedicated rows, further tenants fold
+// into one shared "__other__" row, metric series, and cache partition — an
+// adversarial client cycling fresh names cannot grow the registry, the
+// METRICS page, or the cache's partition map without bound.
+//
+// SLO-aware steering. With `steering` = kAuto the dispatcher picks each
+// query's intra-query fan-out at dequeue time from (a) the queue depth,
+// (b) the live served p99 vs `target_p99`, and (c) the session's
+// pre-execution PL-traffic estimate: big queries fan out across the pool
+// only when the server has headroom and degrade to serial under pressure,
+// so one giant query cannot convoy the tail. The executor guarantees
+// bit-identical results at every fan-out setting, and the knobs are
+// excluded from the result-cache fingerprint — steering is invisible in
+// every way except latency.
 
 #ifndef MATE_SERVER_SERVER_H_
 #define MATE_SERVER_SERVER_H_
@@ -46,6 +62,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/query_executor.h"
 #include "core/session.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -54,6 +71,21 @@
 #include "util/status.h"
 
 namespace mate {
+
+/// Per-query fan-out steering at the dispatcher's dequeue point.
+enum class SteeringMode {
+  /// Every query runs with the spec's default knobs (auto fan-out) — the
+  /// pre-steering behavior.
+  kOff,
+  /// Choose intra_query_threads per query from queue depth, live p99 vs
+  /// target_p99, and the pre-execution PL-traffic estimate.
+  kAuto,
+};
+
+/// The tenant row every over-bound tenant folds into (satellite of
+/// ServerOptions::max_tenants). Clients may also name it directly; it
+/// behaves like any other tenant.
+inline constexpr const char* kOverflowTenant = "__other__";
 
 struct ServerOptions {
   std::string host = "127.0.0.1";
@@ -73,6 +105,32 @@ struct ServerOptions {
   /// When non-zero, every tenant's result-cache partition is budgeted to
   /// this many bytes on first contact (0 keeps the session default).
   size_t tenant_cache_bytes = 0;
+
+  /// Cardinality bound on everything keyed by the wire's tenant string:
+  /// at most this many tenant rows (counters, labeled metric series, cache
+  /// partitions) ever exist. Once dedicated rows would exceed the bound,
+  /// new tenant names share the kOverflowTenant row. Values below 1 behave
+  /// as 1 (everything folds).
+  size_t max_tenants = 64;
+
+  /// Fan-out steering policy at dequeue (kOff = pre-steering behavior).
+  SteeringMode steering = SteeringMode::kOff;
+
+  /// Served-latency SLO consulted by steering: while the live p99 is over
+  /// this target, big queries degrade to serial. 0 disables the latency
+  /// term (steering then reacts to queue depth alone).
+  std::chrono::milliseconds target_p99{0};
+
+  /// PL-traffic estimate below which a query counts as small and always
+  /// runs serial under steering (fan-out would buy nothing — this is the
+  /// executor's own auto gate). Tests lower it to exercise steering on toy
+  /// corpora.
+  uint64_t steering_min_items = QueryExecutor::kAutoParallelMinItems;
+
+  /// Test hook: Admit sleeps this long inside the (unlocked)
+  /// first-admission ConfigureCachePartition step, so tests can pin that
+  /// concurrent admits/stats are NOT stalled behind it.
+  std::chrono::milliseconds configure_partition_delay_for_test{0};
 
   /// How long Stop() waits for in-flight response writes before clobbering
   /// connections whose peers stopped reading (SHUT_RDWR unblocks a send
@@ -136,6 +194,13 @@ class MateServer {
   /// clients hang up — the registry does not grow with connection churn.
   size_t registered_connections_for_test() const;
 
+  /// Test-only: how many times Admit called ConfigureCachePartition (must
+  /// be exactly one per distinct tenant row, however many first admissions
+  /// race).
+  uint64_t partition_configures_for_test() const {
+    return partition_configures_.load();
+  }
+
  private:
   struct PendingQuery {
     QueryRequest request;
@@ -159,6 +224,9 @@ class MateServer {
     /// contact (the tenant string is a label — escaping is the renderer's
     /// job).
     Counter* requests_metric = nullptr;
+    /// Claimed (under queue_mu_) by the first would-be-admitted query so
+    /// ConfigureCachePartition runs exactly once — outside the lock.
+    bool partition_configured = false;
   };
 
   void AcceptLoop();
@@ -172,9 +240,20 @@ class MateServer {
 
   /// Admission control: enqueues under the queue bound, or returns
   /// kOverloaded. On success the returned future yields the query result.
+  /// Folds over-bound tenants into kOverflowTenant (rewriting
+  /// request.tenant so accounting and the cache partition agree) and runs
+  /// the tenant's first-admission ConfigureCachePartition outside
+  /// queue_mu_.
   Status Admit(QueryRequest request,
                std::future<Result<DiscoveryResult>>* future,
                QueryTrace* trace, uint32_t root_span);
+
+  /// Steering (options_.steering == kAuto): picks spec->intra_query_threads
+  /// from the queue depth observed at dequeue, the live served p99, and the
+  /// session's PL-traffic estimate; tallies the decision. Never changes
+  /// results — only how fast they are computed.
+  void SteerSpec(QuerySpec* spec, size_t queue_depth, uint64_t p99_us,
+                 uint32_t dispatch_span);
 
   void HandleQuery(int fd, std::string_view body, double read_seconds);
   void HandleStats(int fd);
@@ -231,6 +310,13 @@ class MateServer {
   LatencyHistogram latency_us_;
   std::map<std::string, TenantCounters> tenants_;
 
+  // Steering decision tallies (atomics: bumped by the dispatcher outside
+  // queue_mu_, read by stats()).
+  std::atomic<uint64_t> steer_serial_{0};
+  std::atomic<uint64_t> steer_partial_{0};
+  std::atomic<uint64_t> steer_full_{0};
+  std::atomic<uint64_t> partition_configures_{0};
+
   // Metrics cells (owned by metrics_; registered in the constructor, so
   // hot paths never look anything up). Counters/histogram are bumped at
   // the same points as the queue_mu_-guarded figures above; gauges refresh
@@ -244,17 +330,26 @@ class MateServer {
   Counter* m_requests_stats_ = nullptr;
   Counter* m_requests_ping_ = nullptr;
   Counter* m_requests_metrics_ = nullptr;
+  Counter* m_steer_serial_ = nullptr;
+  Counter* m_steer_partial_ = nullptr;
+  Counter* m_steer_full_ = nullptr;
   Gauge* m_queue_depth_ = nullptr;
   Gauge* m_queue_capacity_ = nullptr;
   Gauge* m_connections_ = nullptr;
   Gauge* m_draining_ = nullptr;
-  Gauge* m_cache_hits_ = nullptr;
-  Gauge* m_cache_misses_ = nullptr;
+  // Monotone session-side counts (cache hit/miss traffic, corpus
+  // evictions) are *counters* on the exposition page — rate() must work —
+  // but their source of truth lives in the session, so RenderMetricsText
+  // advances each cell by the delta since the last render (serialized by
+  // render_mu_).
+  Counter* m_cache_hits_ = nullptr;
+  Counter* m_cache_misses_ = nullptr;
+  Counter* m_corpus_evictions_ = nullptr;
   Gauge* m_corpus_resident_bytes_ = nullptr;
   Gauge* m_corpus_budget_bytes_ = nullptr;
-  Gauge* m_corpus_evictions_ = nullptr;
   Gauge* m_tables_resident_ = nullptr;
   Histogram* m_latency_seconds_ = nullptr;
+  std::mutex render_mu_;
 
   // Slow-query log sink (append; stderr when no path is configured).
   std::mutex slow_log_mu_;

@@ -199,6 +199,41 @@ TEST(QueryTraceTest, SelfTimeSubtractsDirectChildren) {
   EXPECT_EQ(self[3], 50u);
 }
 
+TEST(QueryTraceTest, EpochRewindBackdatesSpansForPreTraceWork) {
+  // Work that happened before the trace existed (a server reading a request
+  // frame) is accounted by rewinding the epoch: a root begun at 0 covers
+  // the rewound window, a complete span for the pre-trace work occupies
+  // [0, rewind), and a span begun "now" starts at or after the rewind — so
+  // the pre-trace span and its live siblings never overlap and SelfTimesUs
+  // containment stays sound.
+  const uint64_t rewind_us = 50000;
+  QueryTrace trace("request", rewind_us);
+  const uint32_t root =
+      trace.BeginSpanAt("request", QueryTrace::kNoParent, 0);
+  trace.AddCompleteSpan("read_frame", root, 0, rewind_us);
+  const uint32_t decode = trace.BeginSpan("decode", root);
+  trace.EndSpan(decode);
+  trace.EndSpan(root);
+
+  const std::vector<TraceSpan> spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "request");
+  EXPECT_EQ(spans[0].start_us, 0u);
+  // The root's wall clock includes the pre-trace window.
+  EXPECT_GE(spans[0].duration_us, rewind_us);
+  EXPECT_EQ(spans[1].start_us, 0u);
+  EXPECT_EQ(spans[1].duration_us, rewind_us);
+  // Begun "now": at or past the rewound window, no sibling overlap.
+  EXPECT_GE(spans[2].start_us, rewind_us);
+
+  // Containment arithmetic: the root's self time is its wall minus both
+  // direct children, never negative.
+  const std::vector<uint64_t> self = SelfTimesUs(spans);
+  ASSERT_EQ(self.size(), 3u);
+  EXPECT_EQ(self[0],
+            spans[0].duration_us - rewind_us - spans[2].duration_us);
+}
+
 TEST(QueryTraceTest, TraceOffPathDoesNotAllocate) {
   QueryTrace* off = nullptr;
   bool ids_stayed_null = true;

@@ -298,6 +298,128 @@ TEST(QueryExecutorTest, AutoModeFansOutLargeQueries) {
   ExpectSameResult(serial, result, "auto large");
 }
 
+TEST(QueryExecutorTest, EstimatePlItemsMatchesFetchTraffic) {
+  const Corpus corpus = MakeTieCorpus();
+  const auto index = Build(corpus);
+  const Table query = MakeQuery();
+  const std::vector<ColumnId> keys = {0, 1};
+  QueryExecutor executor(&corpus, index.get());
+
+  DiscoveryOptions options;
+  options.k = 7;
+  ExecutorOptions exec;
+  exec.intra_query_threads = 1;
+  exec.num_shards = 1;
+  const DiscoveryResult serial =
+      executor.Discover(query, keys, options, exec, nullptr);
+  const uint64_t estimate = executor.EstimatePlItems(query, keys, options);
+  EXPECT_GT(estimate, 0u);
+  // The estimate is exactly the PL traffic the row loop fetches: shard
+  // slices partition every probed posting list, and fetch counters tally
+  // whole slices before any exclude/restrict filtering.
+  EXPECT_EQ(estimate, serial.stats.pl_items_fetched);
+
+  // Duplicate rows add no new init values, so the estimate is unchanged —
+  // it is a pass over *distinct* init-column values, matching how
+  // PrepareQuery derives its probe set from distinct key combos.
+  Table doubled = MakeQuery();
+  for (int i = 0; i < 10; ++i) {
+    (void)doubled.AppendRow(
+        {"k" + std::to_string(i), "v" + std::to_string(i)});
+  }
+  EXPECT_EQ(executor.EstimatePlItems(doubled, keys, options), estimate);
+
+  // Degenerate shapes estimate zero, mirroring Discover's early return.
+  DiscoveryOptions zero_k = options;
+  zero_k.k = 0;
+  EXPECT_EQ(executor.EstimatePlItems(query, keys, zero_k), 0u);
+  EXPECT_EQ(executor.EstimatePlItems(query, {}, options), 0u);
+}
+
+TEST(QueryExecutorTest, EstimateAgreesWithAutoParallelGate) {
+  // The public estimate is the same figure the auto-parallel gate consults:
+  // the tie corpus sits under the threshold (auto mode stays serial), while
+  // a corpus with one hot posting list clears it (auto mode fans out).
+  {
+    const Corpus corpus = MakeTieCorpus();
+    const auto index = Build(corpus);
+    QueryExecutor executor(&corpus, index.get());
+    EXPECT_LT(executor.EstimatePlItems(MakeQuery(), {0, 1},
+                                       DiscoveryOptions{}),
+              QueryExecutor::kAutoParallelMinItems);
+  }
+  {
+    Corpus corpus;
+    Table big("big");
+    big.AddColumn("a");
+    big.AddColumn("b");
+    for (uint64_t r = 0; r < QueryExecutor::kAutoParallelMinItems + 100;
+         ++r) {
+      (void)big.AppendRow({"dup", "v" + std::to_string(r % 7)});
+    }
+    corpus.AddTable(std::move(big));
+    const auto index = Build(corpus);
+    Table query("q");
+    query.AddColumn("a");
+    query.AddColumn("b");
+    for (int i = 0; i < 5; ++i) {
+      (void)query.AppendRow({"dup", "v" + std::to_string(i)});
+    }
+    QueryExecutor executor(&corpus, index.get());
+    EXPECT_GE(executor.EstimatePlItems(query, {0, 1}, DiscoveryOptions{}),
+              QueryExecutor::kAutoParallelMinItems);
+  }
+}
+
+TEST(QueryExecutorTest, SessionEstimateMatchesExecutorAndValidates) {
+  SessionOptions session_options;
+  session_options.corpus = MakeTieCorpus();
+  session_options.build_index = true;
+  session_options.num_threads = 1;
+  session_options.cache_bytes = 0;
+  auto session = Session::Open(std::move(session_options));
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  const Table query = MakeQuery();
+  QuerySpec spec;
+  spec.table = &query;
+  spec.key_columns = {0, 1};
+  spec.options.k = 7;
+
+  auto estimate = session->EstimatePlItems(spec);
+  ASSERT_TRUE(estimate.ok()) << estimate.status().ToString();
+  EXPECT_GT(*estimate, 0u);
+  {
+    // Same figure as an executor over an independent build of the lake.
+    const Corpus corpus = MakeTieCorpus();
+    const auto index = Build(corpus);
+    QueryExecutor executor(&corpus, index.get());
+    EXPECT_EQ(*estimate,
+              executor.EstimatePlItems(query, {0, 1}, spec.options));
+  }
+
+  // Estimating never perturbs discovery: the subsequent Discover matches a
+  // never-estimated session bit for bit.
+  auto discovered = session->Discover(spec);
+  ASSERT_TRUE(discovered.ok());
+  {
+    const Corpus corpus = MakeTieCorpus();
+    const auto index = Build(corpus);
+    QueryExecutor executor(&corpus, index.get());
+    ExecutorOptions exec;
+    exec.intra_query_threads = 1;
+    exec.num_shards = 1;
+    ExpectSameResult(
+        executor.Discover(query, {0, 1}, spec.options, exec, nullptr),
+        *discovered, "estimate-then-discover");
+  }
+
+  // Validation mirrors Discover: a bad spec gets the same typed error.
+  QuerySpec bad = spec;
+  bad.key_columns = {0, 99};
+  EXPECT_FALSE(session->EstimatePlItems(bad).ok());
+}
+
 TEST(QueryExecutorTest, SessionRoutesKnobsAndReportsShape) {
   SessionOptions session_options;
   session_options.corpus = MakeTieCorpus();

@@ -243,6 +243,10 @@ TEST(ServerTest, StatsVerbServesTheObservabilitySnapshot) {
   EXPECT_GT(stats->total_query_seconds, 0.0);
   EXPECT_EQ(stats->num_tables, 2u);  // the lake
   EXPECT_EQ(stats->cache_hits, 1u);  // the repeat hit acme's partition
+  // Steering is off by default: no decisions are ever counted.
+  EXPECT_EQ(stats->steering_serial, 0u);
+  EXPECT_EQ(stats->steering_partial, 0u);
+  EXPECT_EQ(stats->steering_full, 0u);
   ASSERT_EQ(stats->tenants.size(), 1u);
   EXPECT_EQ(stats->tenants[0].tenant, "acme");
   EXPECT_EQ(stats->tenants[0].requests, 2u);
@@ -564,7 +568,14 @@ TEST(ServerTest, MetricsVerbServesPrometheusPageMatchingAdmissions) {
         "mate_query_latency_seconds_count 3",
         "mate_queries_completed_total 3",
         "mate_tenant_requests_total{tenant=\"t\"} 3",
-        "mate_requests_total{verb=\"query\"} 3"}) {
+        "mate_requests_total{verb=\"query\"} 3",
+        // Monotone session-owned counts are typed counter (rate() works),
+        // advanced by delta at render time.
+        "# TYPE mate_result_cache_hits counter",
+        "# TYPE mate_result_cache_misses counter",
+        "# TYPE mate_corpus_evictions counter",
+        "# TYPE mate_steering_decisions_total counter",
+        "mate_result_cache_hits 2", "mate_result_cache_misses 1"}) {
     EXPECT_NE(page->find(series), std::string::npos)
         << "missing from page:\n" << series << "\npage:\n" << *page;
   }
@@ -648,6 +659,409 @@ TEST(ServerTest, FastQueriesUnderThresholdAreNotLogged) {
   std::string line;
   EXPECT_FALSE(std::getline(log, line))
       << "no query crossed the threshold, log must be empty: " << line;
+}
+
+// ---- tenant cardinality ----------------------------------------------
+
+TEST(ServerTest, TenantChurnIsBoundedByMaxTenants) {
+  Session session = OpenLakeSession();
+  ServerOptions options;
+  options.max_tenants = 8;
+  options.tenant_cache_bytes = 1 << 16;
+  MateServer server(&session, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const Table query = MakeQuery();
+  const DiscoveryResult expected = DirectDiscover(query, {0, 1});
+  auto client = MateClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  // An adversarial client cycling through 10k distinct tenant names must
+  // not mint 10k counter rows, metric series, or cache partitions: the
+  // first max_tenants-1 names get dedicated rows, the rest fold into the
+  // shared overflow row.
+  constexpr int kNames = 10000;
+  for (int i = 0; i < kNames; ++i) {
+    auto response = client->Query(
+        MakeQueryRequest(query, {0, 1}, 5, "t" + std::to_string(i)));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_TRUE(response->status.ok()) << response->status.ToString();
+    if (i % 997 == 0) ExpectServedMatches(response->results, expected);
+  }
+
+  const ServerStatsSnapshot stats = server.stats();
+  ASSERT_EQ(stats.tenants.size(), 8u);
+  uint64_t total_requests = 0;
+  const TenantStats* overflow = nullptr;
+  for (const TenantStats& t : stats.tenants) {
+    total_requests += t.requests;
+    if (t.tenant == kOverflowTenant) overflow = &t;
+  }
+  EXPECT_EQ(total_requests, static_cast<uint64_t>(kNames));
+  ASSERT_NE(overflow, nullptr) << "overflow row must exist";
+  // 7 dedicated rows (t0..t6), everything else shares __other__.
+  EXPECT_EQ(overflow->requests, static_cast<uint64_t>(kNames - 7));
+  // The overflow row's partition was budgeted once and soaks up repeats:
+  // one miss, then hits for every folded tenant.
+  EXPECT_EQ(overflow->cache_capacity_bytes, 1u << 16);
+  EXPECT_EQ(overflow->cache_misses, 1u);
+  EXPECT_EQ(overflow->cache_hits, static_cast<uint64_t>(kNames - 8));
+
+  // The metric registry is bounded too: exactly 8 tenant series.
+  auto page = client->Metrics();
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  size_t series = 0;
+  const std::string needle = "mate_tenant_requests_total{tenant=";
+  for (size_t pos = page->find(needle); pos != std::string::npos;
+       pos = page->find(needle, pos + 1)) {
+    ++series;
+  }
+  EXPECT_EQ(series, 8u);
+  server.Stop();
+}
+
+TEST(ServerTest, OversizedTenantNameIsRejectedAtDecode) {
+  Session session = OpenLakeSession();
+  MateServer server(&session, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  const Table query = MakeQuery();
+  auto client = MateClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  auto response = client->Query(MakeQueryRequest(
+      query, {0, 1}, 5, std::string(kMaxTenantNameBytes + 1, 'x')));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->status.IsInvalidArgument())
+      << response->status.ToString();
+  EXPECT_NE(response->status.message().find("tenant name"),
+            std::string::npos)
+      << response->status.ToString();
+
+  // No tenant row was minted for the rejected name, and the connection
+  // survived: a name at the limit is accepted.
+  EXPECT_EQ(server.stats().tenants.size(), 0u);
+  auto ok_response = client->Query(MakeQueryRequest(
+      query, {0, 1}, 5, std::string(kMaxTenantNameBytes, 'x')));
+  ASSERT_TRUE(ok_response.ok());
+  EXPECT_TRUE(ok_response->status.ok()) << ok_response->status.ToString();
+  EXPECT_EQ(server.stats().tenants.size(), 1u);
+  server.Stop();
+}
+
+// ---- first-admission partition configuration -------------------------
+
+TEST(ServerTest, PartitionConfigureRunsOutsideTheQueueLock) {
+  Session session = OpenLakeSession();
+  ServerOptions options;
+  options.tenant_cache_bytes = 1 << 18;
+  // Simulate a slow ResultCache resize: pre-hoist this sleep sat inside
+  // queue_mu_ and stalled every concurrent admit/shed/stats behind it.
+  options.configure_partition_delay_for_test =
+      std::chrono::milliseconds(400);
+  MateServer server(&session, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const Table query = MakeQuery();
+  const DiscoveryResult expected = DirectDiscover(query, {0, 1});
+
+  // Four racing first admissions of the same tenant.
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 4; ++c) {
+    threads.emplace_back([&] {
+      auto client = MateClient::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      auto response =
+          client->Query(MakeQueryRequest(query, {0, 1}, 5, "acme"));
+      if (!response.ok() || !response->status.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      ExpectServedMatches(response->results, expected);
+    });
+  }
+
+  // While the claiming thread sleeps in the configure step, stats() must
+  // answer promptly — the queue lock is free.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const auto t0 = std::chrono::steady_clock::now();
+  const ServerStatsSnapshot mid = server.stats();
+  const auto stats_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_LT(stats_ms.count(), 200)
+      << "stats() stalled behind a partition configure";
+  (void)mid;
+
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Exactly one configure, however many first admissions raced.
+  EXPECT_EQ(server.partition_configures_for_test(), 1u);
+  const ServerStatsSnapshot stats = server.stats();
+  ASSERT_EQ(stats.tenants.size(), 1u);
+  EXPECT_EQ(stats.tenants[0].cache_capacity_bytes, 1u << 18);
+  EXPECT_EQ(stats.tenants[0].admitted, 4u);
+
+  // A second tenant triggers its own (single) configure.
+  auto client = MateClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  auto response = client->Query(MakeQueryRequest(query, {0, 1}, 5, "globex"));
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response->status.ok());
+  EXPECT_EQ(server.partition_configures_for_test(), 2u);
+  server.Stop();
+}
+
+// ---- slow-query log covers shed and decode-error requests ------------
+
+/// Writes one frame in two halves with a pause between them, so the
+/// server-side frame read (and with it the request's wall clock) takes at
+/// least `gap`.
+void SendFrameSlowly(int fd, std::string_view payload,
+                     std::chrono::milliseconds gap) {
+  std::string frame;
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  frame.append(payload);
+  const size_t split = 4 + payload.size() / 2;
+  ASSERT_EQ(::send(fd, frame.data(), split, 0),
+            static_cast<ssize_t>(split));
+  std::this_thread::sleep_for(gap);
+  ASSERT_EQ(::send(fd, frame.data() + split, frame.size() - split, 0),
+            static_cast<ssize_t>(frame.size() - split));
+}
+
+Status ReadResponseStatus(int fd) {
+  std::string response;
+  Status s = ReadFrame(fd, &response);
+  if (!s.ok()) return s;
+  Status server_status;
+  std::string_view body;
+  s = DecodeResponseStatus(response, &server_status, &body);
+  return s.ok() ? server_status : s;
+}
+
+TEST(ServerTest, ShedAndDecodeErrorRequestsAreSlowLogged) {
+  Session session = OpenLakeSession();
+  ServerOptions options;
+  options.max_queue_depth = 1;
+  options.dispatch_delay_for_test = std::chrono::milliseconds(400);
+  options.slow_query_threshold = std::chrono::milliseconds(1);
+  const std::string log_path =
+      testing::TempDir() + "/mate_slow_query_shed_test.jsonl";
+  std::remove(log_path.c_str());
+  options.slow_query_log_path = log_path;
+  MateServer server(&session, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const Table query = MakeQuery();
+  std::string payload;
+  EncodeQueryRequest(MakeQueryRequest(query, {0, 1}, 5, "a"), &payload);
+
+  // q1 is popped by the dispatcher (which then sleeps 400ms); q2 fills the
+  // one-deep queue; q3 — transmitted slowly — is shed on a full queue.
+  int fd1 = ConnectRaw(server.port());
+  ASSERT_TRUE(WriteFrame(fd1, payload).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  int fd2 = ConnectRaw(server.port());
+  ASSERT_TRUE(WriteFrame(fd2, payload).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::string shed_payload;
+  EncodeQueryRequest(MakeQueryRequest(query, {0, 1}, 5, "slowpoke"),
+                     &shed_payload);
+  int fd3 = ConnectRaw(server.port());
+  SendFrameSlowly(fd3, shed_payload, std::chrono::milliseconds(50));
+  Status shed_status = ReadResponseStatus(fd3);
+  EXPECT_TRUE(shed_status.IsOverloaded()) << shed_status.ToString();
+
+  // A malformed QUERY body, also transmitted slowly: the decode-error
+  // path must end the trace and log too.
+  int fd4 = ConnectRaw(server.port());
+  SendFrameSlowly(fd4, "\x01garbage-body", std::chrono::milliseconds(50));
+  Status decode_status = ReadResponseStatus(fd4);
+  EXPECT_TRUE(decode_status.IsInvalidArgument()) << decode_status.ToString();
+
+  // The two admitted queries are served normally.
+  EXPECT_TRUE(ReadResponseStatus(fd1).ok());
+  EXPECT_TRUE(ReadResponseStatus(fd2).ok());
+  ::close(fd1);
+  ::close(fd2);
+  ::close(fd3);
+  ::close(fd4);
+  server.Stop();
+
+  std::ifstream log(log_path);
+  ASSERT_TRUE(log.is_open()) << log_path;
+  std::string line;
+  bool found_shed = false;
+  bool found_decode_error = false;
+  while (std::getline(log, line)) {
+    if (line.find("\"tenant\":\"slowpoke\"") != std::string::npos) {
+      found_shed = true;
+      // The shed record carries the typed overload status, covers the
+      // frame read (epoch rewind: wall includes the slow transmission),
+      // and never reached the query pipeline.
+      EXPECT_NE(line.find("queue full"), std::string::npos) << line;
+      EXPECT_NE(line.find("\"name\":\"read_frame\""), std::string::npos)
+          << line;
+      EXPECT_EQ(line.find("\"name\":\"discover\""), std::string::npos)
+          << line;
+      const size_t wall_pos = line.find("\"wall_us\":");
+      ASSERT_NE(wall_pos, std::string::npos) << line;
+      EXPECT_GE(std::stoull(line.substr(wall_pos + 10)), 40000u)
+          << "wall must include the slow frame read: " << line;
+    } else if (line.find("\"tenant\":\"\"") != std::string::npos) {
+      found_decode_error = true;
+      EXPECT_NE(line.find("\"name\":\"read_frame\""), std::string::npos)
+          << line;
+      EXPECT_NE(line.find("\"name\":\"decode\""), std::string::npos) << line;
+      EXPECT_EQ(line.find("\"name\":\"dispatch\""), std::string::npos)
+          << line;
+    }
+  }
+  EXPECT_TRUE(found_shed) << "shed request missing from the slow-query log";
+  EXPECT_TRUE(found_decode_error)
+      << "decode-error request missing from the slow-query log";
+}
+
+// ---- SLO-aware steering ----------------------------------------------
+
+uint64_t MetricValue(const std::string& page, const std::string& series) {
+  const size_t pos = page.find(series + " ");
+  EXPECT_NE(pos, std::string::npos) << series << " missing from:\n" << page;
+  if (pos == std::string::npos) return ~0ull;
+  return std::stoull(page.substr(pos + series.size() + 1));
+}
+
+void ExpectSteeringCountsAgree(MateServer* server, MateClient* client) {
+  const ServerStatsSnapshot stats = server->stats();
+  auto page = client->Metrics();
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_EQ(
+      MetricValue(*page, "mate_steering_decisions_total{mode=\"serial\"}"),
+      stats.steering_serial);
+  EXPECT_EQ(
+      MetricValue(*page, "mate_steering_decisions_total{mode=\"partial\"}"),
+      stats.steering_partial);
+  EXPECT_EQ(
+      MetricValue(*page, "mate_steering_decisions_total{mode=\"full\"}"),
+      stats.steering_full);
+}
+
+TEST(ServerTest, SteeringFullFanoutWhenIdleIsBitIdentical) {
+  Session session = OpenLakeSession();
+  ServerOptions options;
+  options.steering = SteeringMode::kAuto;
+  options.steering_min_items = 0;  // every query counts as "big"
+  MateServer server(&session, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const Table query = MakeQuery();
+  const DiscoveryResult expected = DirectDiscover(query, {0, 1});
+  auto client = MateClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 3; ++i) {
+    auto response = client->Query(MakeQueryRequest(query, {0, 1}, 5, "t"));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_TRUE(response->status.ok()) << response->status.ToString();
+    ExpectServedMatches(response->results, expected);
+  }
+
+  // Idle queue, no SLO target: every decision is full fan-out.
+  const ServerStatsSnapshot stats = server.stats();
+  EXPECT_EQ(stats.steering_full, 3u);
+  EXPECT_EQ(stats.steering_serial, 0u);
+  EXPECT_EQ(stats.steering_partial, 0u);
+  ExpectSteeringCountsAgree(&server, &*client);
+  server.Stop();
+}
+
+TEST(ServerTest, SteeringDegradesToSerialWhenOverSlo) {
+  Session session = OpenLakeSession();
+  ServerOptions options;
+  options.steering = SteeringMode::kAuto;
+  options.steering_min_items = 0;
+  // Every served query takes >= 20ms (dispatch delay) against a 1ms
+  // target, so the SLO is blown from the first completion onward.
+  options.target_p99 = std::chrono::milliseconds(1);
+  options.dispatch_delay_for_test = std::chrono::milliseconds(20);
+  MateServer server(&session, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const Table query = MakeQuery();
+  const DiscoveryResult expected = DirectDiscover(query, {0, 1});
+  auto client = MateClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  // First query: no latency samples yet, queue idle -> full fan-out.
+  // Second query: live p99 (~20ms) is over the 1ms target -> serial, and
+  // the served result is still bit-identical.
+  for (int i = 0; i < 2; ++i) {
+    auto response = client->Query(MakeQueryRequest(query, {0, 1}, 5, "t"));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_TRUE(response->status.ok()) << response->status.ToString();
+    ExpectServedMatches(response->results, expected);
+  }
+
+  const ServerStatsSnapshot stats = server.stats();
+  EXPECT_EQ(stats.steering_full, 1u);
+  EXPECT_EQ(stats.steering_serial, 1u);
+  EXPECT_EQ(stats.steering_partial, 0u);
+  ExpectSteeringCountsAgree(&server, &*client);
+  server.Stop();
+}
+
+TEST(ServerTest, SteeringDegradesUnderQueuePressureAndStaysBitIdentical) {
+  Session session = OpenLakeSession();
+  ServerOptions options;
+  options.steering = SteeringMode::kAuto;
+  options.steering_min_items = 0;
+  options.max_queue_depth = 4;  // "deep" at backlog >= 2
+  options.dispatch_delay_for_test = std::chrono::milliseconds(150);
+  MateServer server(&session, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const Table query = MakeQuery();
+  const DiscoveryResult expected = DirectDiscover(query, {0, 1});
+  std::string payload;
+  EncodeQueryRequest(MakeQueryRequest(query, {0, 1}, 5, "t"), &payload);
+
+  // q1 is dequeued against an empty queue (full fan-out), then sleeps in
+  // the dispatcher while q2..q4 pile up: q2 sees a backlog of 2 (deep ->
+  // serial), q3 a backlog of 1 (partial), q4 an empty queue again (full).
+  int fds[4];
+  fds[0] = ConnectRaw(server.port());
+  ASSERT_TRUE(WriteFrame(fds[0], payload).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  for (int i = 1; i < 4; ++i) {
+    fds[i] = ConnectRaw(server.port());
+    ASSERT_TRUE(WriteFrame(fds[i], payload).ok());
+  }
+
+  for (int i = 0; i < 4; ++i) {
+    std::string response;
+    ASSERT_TRUE(ReadFrame(fds[i], &response).ok()) << "query " << i;
+    Status server_status;
+    std::string_view body;
+    ASSERT_TRUE(
+        DecodeResponseStatus(response, &server_status, &body).ok());
+    ASSERT_TRUE(server_status.ok()) << server_status.ToString();
+    std::vector<ServedResult> results;
+    ASSERT_TRUE(DecodeQueryResponseBody(body, &results).ok());
+    ExpectServedMatches(results, expected);
+    ::close(fds[i]);
+  }
+
+  const ServerStatsSnapshot stats = server.stats();
+  EXPECT_EQ(stats.steering_full, 2u);
+  EXPECT_EQ(stats.steering_serial, 1u);
+  EXPECT_EQ(stats.steering_partial, 1u);
+  auto client = MateClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  ExpectSteeringCountsAgree(&server, &*client);
+  server.Stop();
 }
 
 }  // namespace

@@ -7,17 +7,25 @@
 //
 //   mate_server --corpus F --index F [--host 127.0.0.1] [--port 0]
 //               [--port-file PATH] [--threads N] [--queue-depth 64]
-//               [--max-connections 256] [--cache-mb 64]
+//               [--max-connections 256] [--max-tenants 64] [--cache-mb 64]
 //               [--tenant-cache-mb 0] [--slow-query-ms 0]
-//               [--slow-query-log PATH]
+//               [--slow-query-log PATH] [--steering=off|auto]
+//               [--target-p99-ms 0]
 //
 // --port 0 binds an ephemeral port; --port-file writes the resolved port as
 // a single line so scripts (CI smoke, the tail-latency bench) can find the
 // server without racing its stdout. --tenant-cache-mb gives every tenant's
 // result-cache partition an independent byte budget; 0 leaves partitions on
-// the session-wide default. --slow-query-ms arms per-request tracing:
-// queries slower than the threshold dump their span tree as one JSONL line
-// to --slow-query-log (stderr when unset); 0 disables tracing entirely.
+// the session-wide default. --max-tenants bounds how many distinct tenant
+// rows (counters, metric series, cache partitions) can exist; overflow
+// tenants share the "__other__" row. --slow-query-ms arms per-request
+// tracing: queries slower than the threshold dump their span tree as one
+// JSONL line to --slow-query-log (stderr when unset); 0 disables tracing
+// entirely. --steering=auto turns on SLO-aware fan-out steering at the
+// dispatcher's dequeue point: big queries fan out across the pool only when
+// the queue is shallow and the live p99 is within --target-p99-ms (0
+// disables the latency term; queue depth still steers). Flags accept both
+// "--key value" and "--key=value".
 
 #include <signal.h>
 #include <unistd.h>
@@ -48,8 +56,9 @@ int Usage() {
                "  mate_server --corpus F --index F [--host 127.0.0.1]"
                " [--port 0] [--port-file PATH] [--threads N]"
                " [--queue-depth 64] [--max-connections 256]"
-               " [--cache-mb 64] [--tenant-cache-mb 0]"
-               " [--slow-query-ms 0] [--slow-query-log PATH]\n";
+               " [--max-tenants 64] [--cache-mb 64] [--tenant-cache-mb 0]"
+               " [--slow-query-ms 0] [--slow-query-log PATH]"
+               " [--steering=off|auto] [--target-p99-ms 0]\n";
   return 2;
 }
 
@@ -59,6 +68,10 @@ bool ParseFlags(int argc, char** argv, int first,
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) return false;
     key = key.substr(2);
+    if (const size_t eq = key.find('='); eq != std::string::npos) {
+      (*flags)[key.substr(0, eq)] = key.substr(eq + 1);
+      continue;
+    }
     if (i + 1 >= argc) return false;
     (*flags)[key] = argv[++i];
   }
@@ -119,6 +132,20 @@ int Run(int argc, char** argv) {
   auto slow_query_ms = ParseUintFlag(
       "slow-query-ms", FlagOr(flags, "slow-query-ms", "0"), 1u << 30);
   if (!slow_query_ms.ok()) return Fail(slow_query_ms.status());
+  auto max_tenants = ParseUintFlag(
+      "max-tenants", FlagOr(flags, "max-tenants", "64"), 1u << 16);
+  if (!max_tenants.ok()) return Fail(max_tenants.status());
+  if (*max_tenants == 0) {
+    return Fail(Status::InvalidArgument("--max-tenants must be >= 1"));
+  }
+  auto target_p99_ms = ParseUintFlag(
+      "target-p99-ms", FlagOr(flags, "target-p99-ms", "0"), 1u << 30);
+  if (!target_p99_ms.ok()) return Fail(target_p99_ms.status());
+  const std::string steering = FlagOr(flags, "steering", "off");
+  if (steering != "off" && steering != "auto") {
+    return Fail(Status::InvalidArgument(
+        "--steering must be 'off' or 'auto', got '" + steering + "'"));
+  }
 
   SessionOptions session_options;
   session_options.corpus_path = corpus_path;
@@ -134,6 +161,10 @@ int Run(int argc, char** argv) {
   server_options.max_queue_depth = *queue_depth;
   server_options.max_connections = *max_connections;
   server_options.tenant_cache_bytes = size_t{*tenant_cache_mb} << 20;
+  server_options.max_tenants = *max_tenants;
+  server_options.steering =
+      steering == "auto" ? SteeringMode::kAuto : SteeringMode::kOff;
+  server_options.target_p99 = std::chrono::milliseconds(*target_p99_ms);
   server_options.slow_query_threshold =
       std::chrono::milliseconds(*slow_query_ms);
   server_options.slow_query_log_path = FlagOr(flags, "slow-query-log", "");

@@ -73,4 +73,35 @@ awk '/^#/ { next } NF != 2 && !/^$/ { print "unparseable metrics line: " $0; bad
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID"  # non-zero here fails the script: drain must be clean
 SERVER_PID=""
+
+# Steering smoke: same lake, --steering=auto with a deliberately tiny p99
+# target. Served bits must still match (mate_cli client verifies ranks
+# in-process via --stats) and the steering decision counter must appear
+# on the METRICS page with at least one decision taken.
+"$BIN_DIR/mate_server" --corpus "$WORK/corpus.mate" \
+  --index "$WORK/index.mate" --port 0 --port-file "$WORK/port2.txt" \
+  --queue-depth 16 --tenant-cache-mb 4 --max-tenants 8 \
+  --steering=auto --target-p99-ms 1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  [[ -s "$WORK/port2.txt" ]] && break
+  sleep 0.1
+done
+[[ -s "$WORK/port2.txt" ]] || { echo "steering server never published a port"; exit 1; }
+PORT="$(cat "$WORK/port2.txt")"
+
+"$BIN_DIR/mate_cli" client --port "$PORT" --query "$WORK/query.csv" \
+  --key first,last --tenant acme --k 5 --stats
+"$BIN_DIR/mate_cli" client --port "$PORT" --metrics > "$WORK/metrics2.txt"
+grep -q '^# TYPE mate_steering_decisions_total counter$' "$WORK/metrics2.txt" || {
+  echo "METRICS page is missing mate_steering_decisions_total"; exit 1; }
+awk -F' ' '/^mate_steering_decisions_total\{/ { total += $2 }
+  END { exit total > 0 ? 0 : 1 }' "$WORK/metrics2.txt" || {
+  echo "steering=auto served a query but counted no steering decision"
+  cat "$WORK/metrics2.txt"; exit 1; }
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_PID=""
 echo "server smoke OK"
