@@ -1,6 +1,7 @@
 #include "core/query_executor.h"
 
 #include <algorithm>
+#include <array>
 #include <limits>
 #include <optional>
 #include <string_view>
@@ -215,13 +216,18 @@ bool EvaluateCandidates(const Corpus& corpus, const InvertedIndex& index,
         !prep.combos.empty() && prep.combos[0].size() == 1;
     std::vector<ColumnId> touched_columns;
     if (single_column_key) {
+      // Sorted distinct column set: a wide candidate can carry thousands
+      // of items over a handful of columns, and the former find-per-item
+      // dedup was O(items * columns). The store materializes per column
+      // under done-flags, so the order change is invisible to it.
+      touched_columns.reserve(cand.items.size());
       for (const FetchedItem& item : cand.items) {
-        const ColumnId c = item.entry.column_id;
-        if (std::find(touched_columns.begin(), touched_columns.end(), c) ==
-            touched_columns.end()) {
-          touched_columns.push_back(c);
-        }
+        touched_columns.push_back(item.entry.column_id);
       }
+      std::sort(touched_columns.begin(), touched_columns.end());
+      touched_columns.erase(
+          std::unique(touched_columns.begin(), touched_columns.end()),
+          touched_columns.end());
     }
     const uint64_t mat_start_us = trace != nullptr ? trace->NowUs() : 0;
     const Table& table =
@@ -250,44 +256,89 @@ bool EvaluateCandidates(const Corpus& corpus, const InvertedIndex& index,
     int64_t rows_matched_here = 0;  // r_match of rule 2
     bool pruned_mid_table = false;
 
-    for (const FetchedItem& item : cand.items) {
-      // Table filter rule 2 (line 14): even if every remaining row is
-      // joinable, the table cannot beat the worst top-k entry.
-      if (options.use_table_filters &&
-          items_in_table - rows_checked_here + rows_matched_here <
-              prune_threshold()) {
-        ++stats.tables_pruned_rule2;
-        pruned_mid_table = true;
-        break;
+    // The row loop runs gather -> probe -> walk. Items arrive grouped by
+    // init value (FetchShardCandidates appends one PL slice at a time), so
+    // each run shares one combo set; within a run, blocks of up to
+    // kMaxProbeBatch rows are gathered and every combo's super key is
+    // probed over the whole block in one SuperKeyStore::CoversBatch call.
+    // Rule 2's mid-table prune semantics survive unchanged: probes are
+    // side-effect free, items are still walked strictly in row order, every
+    // counter (rows_checked, rows_sent_to_verification, value_comparisons)
+    // advances only for walked items, and a prune simply discards the
+    // unused tail of the block's masks.
+    const size_t num_items = cand.items.size();
+    std::array<RowId, SuperKeyStore::kMaxProbeBatch> block_rows;
+    std::vector<uint32_t> combo_masks;
+    size_t run_begin = 0;
+    while (run_begin < num_items && !pruned_mid_table) {
+      const uint32_t value_idx = cand.items[run_begin].init_value_idx;
+      size_t run_end = run_begin + 1;
+      while (run_end < num_items &&
+             cand.items[run_end].init_value_idx == value_idx) {
+        ++run_end;
       }
-      ++rows_checked_here;
-      ++stats.rows_checked;
+      const std::vector<uint32_t>& combo_ids =
+          prep.combos_of_value[value_idx];
 
-      const RowId row = item.entry.row_id;
-      bool row_passed_filter = false;
-      bool row_matched = false;
-      for (uint32_t combo_id : prep.combos_of_value[item.init_value_idx]) {
-        // Row filter (§6.3, line 18): the combo's super key must be masked
-        // by the row's super key.
-        if (options.use_row_filter &&
-            !superkeys.Covers(cand.table_id, row,
-                              prep.combo_keys[combo_id])) {
-          continue;
+      for (size_t block = run_begin; block < run_end && !pruned_mid_table;
+           block += SuperKeyStore::kMaxProbeBatch) {
+        const size_t count =
+            std::min(SuperKeyStore::kMaxProbeBatch, run_end - block);
+        if (options.use_row_filter) {
+          for (size_t i = 0; i < count; ++i) {
+            block_rows[i] = cand.items[block + i].entry.row_id;
+          }
+          combo_masks.resize(combo_ids.size());
+          for (size_t c = 0; c < combo_ids.size(); ++c) {
+            // Row filter (§6.3, line 18): the combo's super key must be
+            // masked by each row's super key; one batched probe per combo.
+            combo_masks[c] =
+                superkeys.CoversBatch(cand.table_id, block_rows.data(),
+                                      count, prep.combo_keys[combo_ids[c]]);
+          }
         }
-        row_passed_filter = true;
-        if (VerifyComboInRow(table, row, prep.combos[combo_id], combo_id,
-                             item.entry.column_id, prep.init_pos, &acc,
-                             &stats.value_comparisons)) {
-          row_matched = true;
+
+        for (size_t i = 0; i < count; ++i) {
+          const FetchedItem& item = cand.items[block + i];
+          // Table filter rule 2 (line 14): even if every remaining row is
+          // joinable, the table cannot beat the worst top-k entry.
+          if (options.use_table_filters &&
+              items_in_table - rows_checked_here + rows_matched_here <
+                  prune_threshold()) {
+            ++stats.tables_pruned_rule2;
+            pruned_mid_table = true;
+            break;
+          }
+          ++rows_checked_here;
+          ++stats.rows_checked;
+
+          const RowId row = item.entry.row_id;
+          bool row_passed_filter = false;
+          bool row_matched = false;
+          for (size_t c = 0; c < combo_ids.size(); ++c) {
+            if (options.use_row_filter &&
+                ((combo_masks[c] >> i) & 1u) == 0) {
+              continue;
+            }
+            const uint32_t combo_id = combo_ids[c];
+            row_passed_filter = true;
+            if (VerifyComboInRow(table, row, prep.combos[combo_id],
+                                 combo_id, item.entry.column_id,
+                                 prep.init_pos, &acc,
+                                 &stats.value_comparisons)) {
+              row_matched = true;
+            }
+          }
+          if (row_passed_filter) ++stats.rows_sent_to_verification;
+          if (row_matched) ++stats.rows_true_positive;
+          // r_match: with the super-key filter the paper counts filter
+          // survivors (cheap, optimistic); without it, exact matches.
+          if (options.use_row_filter ? row_passed_filter : row_matched) {
+            ++rows_matched_here;
+          }
         }
       }
-      if (row_passed_filter) ++stats.rows_sent_to_verification;
-      if (row_matched) ++stats.rows_true_positive;
-      // r_match: with the super-key filter the paper counts filter
-      // survivors (cheap, optimistic); without it, exact matches.
-      if (options.use_row_filter ? row_passed_filter : row_matched) {
-        ++rows_matched_here;
-      }
+      run_begin = run_end;
     }
 
     if (trace != nullptr) {

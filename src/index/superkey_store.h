@@ -7,11 +7,13 @@
 #ifndef MATE_INDEX_SUPERKEY_STORE_H_
 #define MATE_INDEX_SUPERKEY_STORE_H_
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
 #include "storage/types.h"
 #include "util/bitvector.h"
+#include "util/simd.h"
 #include "util/status.h"
 
 namespace mate {
@@ -53,13 +55,30 @@ class SuperKeyStore {
 
   /// True iff every set bit of `query` is set in the stored key of (t, r) —
   /// the row-filter probe of §6.3, walking words upward so the XASH length
-  /// segment short-circuits first.
+  /// segment short-circuits first. Dispatches to the active SIMD kernel
+  /// (util/simd.h) over the query's raw word pointer.
   bool Covers(TableId t, RowId r, const BitVector& query) const {
-    const uint64_t* row = RowWords(t, r);
-    for (size_t w = 0; w < words_per_key_; ++w) {
-      if ((query.word(w) & ~row[w]) != 0) return false;
-    }
-    return true;
+    return simd::Kernels().covers(query.words(), RowWords(t, r),
+                                  words_per_key_);
+  }
+
+  /// Rows one CoversBatch call probes at most. 16 keeps a rule-2 prune's
+  /// wasted probes bounded while amortizing the dispatch indirection and
+  /// the query-side register loads over the whole block.
+  static constexpr size_t kMaxProbeBatch = 16;
+
+  /// Batched row-filter probe: bit i of the result is
+  /// Covers(t, rows[i], query) for i in [0, count). Precondition:
+  /// count <= kMaxProbeBatch. The per-row flat-word layout makes each probe
+  /// one pointer computation off the table's slab, so the whole block runs
+  /// inside one kernel call (the executor's gather/probe row loop feeds
+  /// this; probes are side-effect free, so callers may probe ahead of the
+  /// rule-2 walk without changing any decision).
+  uint32_t CoversBatch(TableId t, const RowId* rows, size_t count,
+                       const BitVector& query) const {
+    assert(count <= kMaxProbeBatch);
+    return simd::Kernels().covers_batch(query.words(), tables_[t].data(),
+                                        rows, words_per_key_, count);
   }
 
   size_t NumRows(TableId t) const {

@@ -16,6 +16,7 @@
 #include <string>
 #include <string_view>
 
+#include "util/simd.h"
 #include "util/status.h"
 
 namespace mate {
@@ -65,13 +66,13 @@ class BitVector {
   /// this |= other. Precondition: same width.
   void OrWith(const BitVector& other) {
     assert(num_bits_ == other.num_bits_);
-    for (size_t w = 0; w < num_words_; ++w) words_[w] |= other.words_[w];
+    simd::Kernels().or_words(words_.data(), other.words_.data(), num_words_);
   }
 
   /// this &= other. Precondition: same width.
   void AndWith(const BitVector& other) {
     assert(num_bits_ == other.num_bits_);
-    for (size_t w = 0; w < num_words_; ++w) words_[w] &= other.words_[w];
+    simd::Kernels().and_words(words_.data(), other.words_.data(), num_words_);
   }
 
   /// this ^= other. Precondition: same width.
@@ -81,29 +82,25 @@ class BitVector {
   }
 
   /// True iff every 1-bit of *this is also set in `other` — the super-key
-  /// masking test of §6.3 ((q | sk) == sk). Walks words from word 0 (the
-  /// paper's left-most segment) upward and exits on the first miss.
+  /// masking test of §6.3 ((q | sk) == sk). The dispatched kernel walks
+  /// words from word 0 (the paper's left-most segment) upward and exits on
+  /// the first chunk with a miss, so the XASH length short-circuit holds
+  /// at every SIMD level.
   bool IsSubsetOf(const BitVector& other) const {
     assert(num_bits_ == other.num_bits_);
-    for (size_t w = 0; w < num_words_; ++w) {
-      if ((words_[w] & ~other.words_[w]) != 0) return false;
-    }
-    return true;
+    return simd::Kernels().covers(words_.data(), other.words_.data(),
+                                  num_words_);
   }
 
   /// True iff no bit is set.
   bool IsZero() const {
-    for (size_t w = 0; w < num_words_; ++w) {
-      if (words_[w] != 0) return false;
-    }
-    return true;
+    return simd::Kernels().is_zero(words_.data(), num_words_);
   }
 
   /// Number of set bits.
   size_t CountOnes() const {
-    size_t n = 0;
-    for (size_t w = 0; w < num_words_; ++w) n += __builtin_popcountll(words_[w]);
-    return n;
+    return static_cast<size_t>(
+        simd::Kernels().popcount(words_.data(), num_words_));
   }
 
   /// Rotates the bit range [start, start+len) left by `k` positions, in the

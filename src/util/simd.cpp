@@ -1,0 +1,439 @@
+#include "util/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+// x86 SIMD variants are compiled whenever a GNU-flavored compiler targets
+// x86: per-function target attributes let one translation unit carry SSE2
+// and AVX2 code without raising the global -m baseline, and the dispatcher
+// below only *selects* what cpuid reports. Everything else (non-x86, other
+// compilers) runs the scalar reference.
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+#define MATE_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define MATE_SIMD_X86 0
+#endif
+
+namespace mate {
+namespace simd {
+
+namespace {
+
+// ------------------------------------------------------------ scalar ----
+// The reference implementations every other level is differentially tested
+// against (tests/simd_test.cpp). Raw-pointer sweeps, no per-word accessor
+// calls.
+
+bool CoversScalar(const uint64_t* q, const uint64_t* row, size_t n) {
+  for (size_t w = 0; w < n; ++w) {
+    if ((q[w] & ~row[w]) != 0) return false;
+  }
+  return true;
+}
+
+bool AndNotAnyScalar(const uint64_t* a, const uint64_t* b, size_t n) {
+  return !CoversScalar(a, b, n);
+}
+
+uint32_t CoversBatchScalar(const uint64_t* q, const uint64_t* base,
+                           const uint32_t* rows, size_t words, size_t count) {
+  uint32_t mask = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t* row = base + static_cast<size_t>(rows[i]) * words;
+    if (CoversScalar(q, row, words)) mask |= uint32_t{1} << i;
+  }
+  return mask;
+}
+
+void OrWordsScalar(uint64_t* a, const uint64_t* b, size_t n) {
+  for (size_t w = 0; w < n; ++w) a[w] |= b[w];
+}
+
+void AndWordsScalar(uint64_t* a, const uint64_t* b, size_t n) {
+  for (size_t w = 0; w < n; ++w) a[w] &= b[w];
+}
+
+uint64_t PopcountScalar(const uint64_t* a, size_t n) {
+  uint64_t total = 0;
+  for (size_t w = 0; w < n; ++w) {
+    total += static_cast<uint64_t>(__builtin_popcountll(a[w]));
+  }
+  return total;
+}
+
+bool IsZeroScalar(const uint64_t* a, size_t n) {
+  for (size_t w = 0; w < n; ++w) {
+    if (a[w] != 0) return false;
+  }
+  return true;
+}
+
+constexpr KernelTable kScalarTable = {
+    CoversScalar,   AndNotAnyScalar, CoversBatchScalar,   OrWordsScalar,
+    AndWordsScalar, PopcountScalar,  IsZeroScalar,
+    KernelLevel::kScalar, "scalar"};
+
+#if MATE_SIMD_X86
+
+// -------------------------------------------------------------- SSE2 ----
+// 128-bit sweeps. SSE2 has no PTEST, so zero checks go through a byte
+// compare + movemask.
+
+__attribute__((target("sse2"))) inline bool IsZero128Sse2(__m128i v) {
+  const __m128i eq = _mm_cmpeq_epi8(v, _mm_setzero_si128());
+  return _mm_movemask_epi8(eq) == 0xFFFF;
+}
+
+__attribute__((target("sse2"))) bool CoversSse2(const uint64_t* q,
+                                                const uint64_t* row,
+                                                size_t n) {
+  size_t w = 0;
+  for (; w + 2 <= n; w += 2) {
+    const __m128i vq =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + w));
+    const __m128i vr =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + w));
+    // andnot(a, b) = ~a & b: the uncovered query bits of this chunk.
+    if (!IsZero128Sse2(_mm_andnot_si128(vr, vq))) return false;
+  }
+  if (w < n && (q[w] & ~row[w]) != 0) return false;
+  return true;
+}
+
+__attribute__((target("sse2"))) bool AndNotAnySse2(const uint64_t* a,
+                                                   const uint64_t* b,
+                                                   size_t n) {
+  return !CoversSse2(a, b, n);
+}
+
+__attribute__((target("sse2"))) uint32_t CoversBatchSse2(
+    const uint64_t* q, const uint64_t* base, const uint32_t* rows,
+    size_t words, size_t count) {
+  uint32_t mask = 0;
+  if (words == 2) {
+    // The paper's default 128-bit keys: the query loads once, each row is
+    // one load + andnot + zero test.
+    const __m128i vq = _mm_loadu_si128(reinterpret_cast<const __m128i*>(q));
+    for (size_t i = 0; i < count; ++i) {
+      const uint64_t* row = base + static_cast<size_t>(rows[i]) * 2;
+      const __m128i vr =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(row));
+      if (IsZero128Sse2(_mm_andnot_si128(vr, vq))) mask |= uint32_t{1} << i;
+    }
+    return mask;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t* row = base + static_cast<size_t>(rows[i]) * words;
+    if (CoversSse2(q, row, words)) mask |= uint32_t{1} << i;
+  }
+  return mask;
+}
+
+__attribute__((target("sse2"))) void OrWordsSse2(uint64_t* a,
+                                                 const uint64_t* b,
+                                                 size_t n) {
+  size_t w = 0;
+  for (; w + 2 <= n; w += 2) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<__m128i*>(a + w));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + w));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(a + w),
+                     _mm_or_si128(va, vb));
+  }
+  if (w < n) a[w] |= b[w];
+}
+
+__attribute__((target("sse2"))) void AndWordsSse2(uint64_t* a,
+                                                  const uint64_t* b,
+                                                  size_t n) {
+  size_t w = 0;
+  for (; w + 2 <= n; w += 2) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<__m128i*>(a + w));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + w));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(a + w),
+                     _mm_and_si128(va, vb));
+  }
+  if (w < n) a[w] &= b[w];
+}
+
+__attribute__((target("sse2"))) bool IsZeroSse2(const uint64_t* a, size_t n) {
+  size_t w = 0;
+  for (; w + 2 <= n; w += 2) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + w));
+    if (!IsZero128Sse2(va)) return false;
+  }
+  return w >= n || a[w] == 0;
+}
+
+constexpr KernelTable kSse2Table = {
+    CoversSse2,   AndNotAnySse2, CoversBatchSse2,   OrWordsSse2,
+    AndWordsSse2, PopcountScalar, IsZeroSse2,
+    KernelLevel::kSse2, "sse2"};
+
+// -------------------------------------------------------------- AVX2 ----
+// 256-bit sweeps. VPTEST's carry flag gives the containment test directly:
+// testc(row, q) sets CF iff (~row & q) == 0 — one instruction per 4-word
+// chunk. -mavx2 also implies POPCNT, so the popcount sweep compiles to the
+// hardware instruction here (the baseline build's __builtin_popcountll
+// expands to bit twiddling).
+
+__attribute__((target("avx2"))) bool CoversAvx2(const uint64_t* q,
+                                                const uint64_t* row,
+                                                size_t n) {
+  size_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    const __m256i vq =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q + w));
+    const __m256i vr =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + w));
+    if (!_mm256_testc_si256(vr, vq)) return false;
+  }
+  if (w + 2 <= n) {
+    const __m128i vq =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + w));
+    const __m128i vr =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + w));
+    if (!_mm_testc_si128(vr, vq)) return false;
+    w += 2;
+  }
+  if (w < n && (q[w] & ~row[w]) != 0) return false;
+  return true;
+}
+
+__attribute__((target("avx2"))) bool AndNotAnyAvx2(const uint64_t* a,
+                                                   const uint64_t* b,
+                                                   size_t n) {
+  return !CoversAvx2(a, b, n);
+}
+
+__attribute__((target("avx2"))) uint32_t CoversBatchAvx2(
+    const uint64_t* q, const uint64_t* base, const uint32_t* rows,
+    size_t words, size_t count) {
+  uint32_t mask = 0;
+  switch (words) {
+    case 2: {
+      // Two 128-bit keys per 256-bit op: rows i and i+1 land in the two
+      // lanes, andnot finds uncovered query bits, a per-64-bit-lane zero
+      // compare + movemask yields both verdicts without flag round-trips.
+      const __m256i vq2 = _mm256_broadcastsi128_si256(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(q)));
+      const __m256i zero = _mm256_setzero_si256();
+      size_t i = 0;
+      for (; i + 4 <= count; i += 4) {
+        const __m128i r0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+            base + static_cast<size_t>(rows[i]) * 2));
+        const __m128i r1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+            base + static_cast<size_t>(rows[i + 1]) * 2));
+        const __m128i r2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+            base + static_cast<size_t>(rows[i + 2]) * 2));
+        const __m128i r3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+            base + static_cast<size_t>(rows[i + 3]) * 2));
+        const __m256i miss01 =
+            _mm256_andnot_si256(_mm256_set_m128i(r1, r0), vq2);
+        const __m256i miss23 =
+            _mm256_andnot_si256(_mm256_set_m128i(r3, r2), vq2);
+        // zeros bits 2k..2k+1 = row i+k's words; a row is covered iff both
+        // of its words missed nothing.
+        const unsigned zeros =
+            static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(
+                _mm256_cmpeq_epi64(miss01, zero)))) |
+            (static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(
+                 _mm256_cmpeq_epi64(miss23, zero))))
+             << 4);
+        const unsigned both = zeros & (zeros >> 1);  // bits 0,2,4,6
+        mask |= ((both & 1u) | ((both >> 1) & 2u) | ((both >> 2) & 4u) |
+                 ((both >> 3) & 8u))
+                << i;
+      }
+      for (; i + 2 <= count; i += 2) {
+        const __m128i r0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+            base + static_cast<size_t>(rows[i]) * 2));
+        const __m128i r1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+            base + static_cast<size_t>(rows[i + 1]) * 2));
+        const __m256i miss =
+            _mm256_andnot_si256(_mm256_set_m128i(r1, r0), vq2);
+        const unsigned zeros =
+            static_cast<unsigned>(_mm256_movemask_pd(
+                _mm256_castsi256_pd(_mm256_cmpeq_epi64(miss, zero))));
+        const unsigned both = zeros & (zeros >> 1);
+        mask |= ((both & 1u) | ((both >> 1) & 2u)) << i;
+      }
+      if (i < count) {
+        const __m128i vr = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+            base + static_cast<size_t>(rows[i]) * 2));
+        mask |= static_cast<uint32_t>(
+                    _mm_testc_si128(vr, _mm256_castsi256_si128(vq2)))
+                << i;
+      }
+      return mask;
+    }
+    case 4: {
+      const __m256i vq =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q));
+      for (size_t i = 0; i < count; ++i) {
+        const uint64_t* row = base + static_cast<size_t>(rows[i]) * 4;
+        const __m256i vr =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row));
+        mask |= static_cast<uint32_t>(_mm256_testc_si256(vr, vq)) << i;
+      }
+      return mask;
+    }
+    case 8: {
+      const __m256i vq0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q));
+      const __m256i vq1 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q + 4));
+      for (size_t i = 0; i < count; ++i) {
+        const uint64_t* row = base + static_cast<size_t>(rows[i]) * 8;
+        const __m256i vr0 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row));
+        const __m256i vr1 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + 4));
+        mask |= static_cast<uint32_t>(_mm256_testc_si256(vr0, vq0) &
+                                      _mm256_testc_si256(vr1, vq1))
+                << i;
+      }
+      return mask;
+    }
+    default:
+      for (size_t i = 0; i < count; ++i) {
+        const uint64_t* row = base + static_cast<size_t>(rows[i]) * words;
+        if (CoversAvx2(q, row, words)) mask |= uint32_t{1} << i;
+      }
+      return mask;
+  }
+}
+
+__attribute__((target("avx2"))) void OrWordsAvx2(uint64_t* a,
+                                                 const uint64_t* b,
+                                                 size_t n) {
+  size_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<__m256i*>(a + w));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + w),
+                        _mm256_or_si256(va, vb));
+  }
+  for (; w < n; ++w) a[w] |= b[w];
+}
+
+__attribute__((target("avx2"))) void AndWordsAvx2(uint64_t* a,
+                                                  const uint64_t* b,
+                                                  size_t n) {
+  size_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<__m256i*>(a + w));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + w),
+                        _mm256_and_si256(va, vb));
+  }
+  for (; w < n; ++w) a[w] &= b[w];
+}
+
+__attribute__((target("avx2,popcnt"))) uint64_t PopcountAvx2(
+    const uint64_t* a, size_t n) {
+  uint64_t total = 0;
+  for (size_t w = 0; w < n; ++w) {
+    total += static_cast<uint64_t>(__builtin_popcountll(a[w]));
+  }
+  return total;
+}
+
+__attribute__((target("avx2"))) bool IsZeroAvx2(const uint64_t* a, size_t n) {
+  size_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    if (!_mm256_testz_si256(va, va)) return false;
+  }
+  for (; w < n; ++w) {
+    if (a[w] != 0) return false;
+  }
+  return true;
+}
+
+constexpr KernelTable kAvx2Table = {
+    CoversAvx2,   AndNotAnyAvx2, CoversBatchAvx2,   OrWordsAvx2,
+    AndWordsAvx2, PopcountAvx2,  IsZeroAvx2,
+    KernelLevel::kAvx2, "avx2"};
+
+#endif  // MATE_SIMD_X86
+
+// --------------------------------------------------------- dispatcher ----
+
+std::atomic<const KernelTable*> g_active{nullptr};
+
+const KernelTable* ResolveActive() {
+  KernelLevel level = DetectLevel();
+  const char* env = std::getenv("MATE_FORCE_SCALAR");
+  if (env != nullptr && env[0] != '\0' &&
+      !(env[0] == '0' && env[1] == '\0')) {
+    level = KernelLevel::kScalar;
+  }
+  const KernelTable* resolved = &TableForLevel(level);
+  // First resolver wins; a concurrent ForceScalar store is never clobbered.
+  const KernelTable* expected = nullptr;
+  g_active.compare_exchange_strong(expected, resolved,
+                                   std::memory_order_acq_rel);
+  return g_active.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const KernelTable& ScalarKernels() { return kScalarTable; }
+
+const KernelTable& TableForLevel(KernelLevel level) {
+#if MATE_SIMD_X86
+  const KernelLevel best = DetectLevel();
+  if (level >= KernelLevel::kAvx2 && best >= KernelLevel::kAvx2) {
+    return kAvx2Table;
+  }
+  if (level >= KernelLevel::kSse2 && best >= KernelLevel::kSse2) {
+    return kSse2Table;
+  }
+#else
+  (void)level;
+#endif
+  return kScalarTable;
+}
+
+KernelLevel DetectLevel() {
+#if MATE_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return KernelLevel::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return KernelLevel::kSse2;
+#endif
+  return KernelLevel::kScalar;
+}
+
+const KernelTable& Kernels() {
+  const KernelTable* table = g_active.load(std::memory_order_relaxed);
+  if (table != nullptr) return *table;
+  return *ResolveActive();
+}
+
+KernelLevel ActiveLevel() { return Kernels().level; }
+
+const char* LevelName(KernelLevel level) {
+  switch (level) {
+    case KernelLevel::kScalar:
+      return "scalar";
+    case KernelLevel::kSse2:
+      return "sse2";
+    case KernelLevel::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+void ForceScalar(bool on) {
+  g_active.store(on ? &kScalarTable : &TableForLevel(DetectLevel()),
+                 std::memory_order_release);
+}
+
+}  // namespace simd
+}  // namespace mate

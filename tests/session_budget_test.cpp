@@ -228,6 +228,89 @@ TEST(SessionBudgetTest, SingleColumnKeysMaterializeColumnsNotWholeTables) {
   RemoveWorld(saved);
 }
 
+TEST(SessionBudgetTest, ColumnarPathMaterializesExactlyThePostingColumns) {
+  // Pins the evaluator's touched-column set: the posting items of this
+  // query land in columns 0 and 2 of the target table — interleaved and
+  // heavily duplicated across rows, so the evaluator's dedup (sort +
+  // unique) sees an unsorted, repeat-laden input. A lazy Discover must
+  // leave the target with exactly the bytes an explicit
+  // MaterializeColumns(t, {0, 2}) produces: no column dropped, none extra.
+  Corpus corpus;
+  Table target("target");
+  for (size_t c = 0; c < 5; ++c) target.AddColumn("c" + std::to_string(c));
+  for (int r = 0; r < 8; ++r) {
+    // Key values v0..v3 alternate between column 0 (even rows) and column
+    // 2 (odd rows); every other cell is unique filler.
+    std::vector<std::string> cells(5);
+    const std::string key = "v" + std::to_string(r % 4);
+    for (size_t c = 0; c < 5; ++c) {
+      cells[c] = "f" + std::to_string(r) + "_" + std::to_string(c);
+    }
+    cells[r % 2 == 0 ? 0 : 2] = key;
+    (void)target.AppendRow(std::move(cells));
+  }
+  corpus.AddTable(std::move(target));
+  Table decoy("decoy");
+  decoy.AddColumn("a");
+  decoy.AddColumn("b");
+  (void)decoy.AppendRow({"v0", "x"});
+  (void)decoy.AppendRow({"y", "z"});
+  corpus.AddTable(std::move(decoy));
+
+  const std::string corpus_path = testing::TempDir() + "/mate_pin.corpus";
+  const std::string index_path = testing::TempDir() + "/mate_pin.index";
+  {
+    SessionOptions build;
+    build.corpus = std::move(corpus);
+    build.build_index = true;
+    auto builder = Session::Open(std::move(build));
+    ASSERT_TRUE(builder.ok()) << builder.status().ToString();
+    ASSERT_TRUE(builder->Save(corpus_path, index_path).ok());
+  }
+  auto open_lazy = [&]() {
+    SessionOptions options;
+    options.corpus_path = corpus_path;
+    options.index_path = index_path;
+    options.cache_bytes = 0;
+    options.warm_corpus = false;
+    auto session = Session::Open(std::move(options));
+    EXPECT_TRUE(session.ok()) << session.status().ToString();
+    return std::move(*session);
+  };
+
+  Table query("q");
+  query.AddColumn("key");
+  for (int i = 0; i < 4; ++i) {
+    (void)query.AppendRow({"v" + std::to_string(i)});
+  }
+  QuerySpec spec;
+  spec.table = &query;
+  spec.key_columns = {0};
+  spec.options.k = 5;
+
+  Session discovered = open_lazy();
+  const TableId target_id = 0;
+  ASSERT_EQ(discovered.corpus().table_name(target_id), "target");
+  auto result = discovered.Discover(spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->top_k.empty());
+  EXPECT_EQ(result->top_k[0].table_id, target_id);
+  // col0 holds {v0, v2}, col2 holds {v1, v3}: best single mapping joins 2.
+  EXPECT_EQ(result->top_k[0].joinability, 2);
+
+  Session explicit_cols = open_lazy();
+  (void)explicit_cols.corpus().MaterializeColumns(target_id, {0, 2});
+  const uint64_t expected_bytes =
+      explicit_cols.corpus().table_resident_bytes(target_id);
+  EXPECT_GT(expected_bytes, 0u);
+  EXPECT_LT(expected_bytes, discovered.corpus().table_cell_bytes(target_id));
+  EXPECT_EQ(discovered.corpus().table_resident_bytes(target_id),
+            expected_bytes);
+
+  std::remove(corpus_path.c_str());
+  std::remove(index_path.c_str());
+}
+
 TEST(SessionBudgetTest, BudgetDisablesTheBackgroundWarmer) {
   // warm_corpus stays at its default (true) but a budget is armed: warming
   // the whole lake just to evict it again is pointless, so no warmer runs
